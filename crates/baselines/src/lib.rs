@@ -1,0 +1,19 @@
+//! Baseline PCA algorithms the paper compares against (Sections 2 and 5).
+//!
+//! | Module | Paper name | Platform | Communication profile |
+//! |---|---|---|---|
+//! | [`mahout_ssvd`] | Mahout-PCA (stochastic SVD with the PCA option) | MapReduce | O(N·k) intermediate `Q`, per-row dense mapper emissions in the Bt job — the 961 GB pathology |
+//! | [`mllib_pca`] | MLlib-PCA (Gram matrix + eigendecomposition) | Spark | O(D²) partials to a single driver; fails past the driver memory cap |
+//! | [`svd_bidiag`] | SVD-Bidiag (RScaLAPACK) | centralized | O(max((N+D)d, D²)) |
+//! | [`svd_lanczos`] | SVD-Lanczos | centralized/sparse | efficient only without mean-centering |
+//!
+//! All distributed baselines return the same [`spca_core::SpcaRun`] record
+//! as sPCA so the bench harness can table them side by side.
+
+pub mod mahout_ssvd;
+pub mod mllib_pca;
+pub mod svd_bidiag;
+pub mod svd_lanczos;
+
+pub use mahout_ssvd::{MahoutConfig, MahoutPca};
+pub use mllib_pca::{MllibConfig, MllibPca};

@@ -1,0 +1,261 @@
+//! MLlib-PCA: covariance matrix + driver-side eigendecomposition, on the
+//! Spark-like engine.
+//!
+//! The method Section 2.1 analyzes: build the D×D Gram/covariance matrix
+//! by aggregating per-partition partials to the driver, then
+//! eigendecompose it *on the driver*. Deterministic — no iterations — and
+//! fast when D is small (it wins on the 128-dimensional Images dataset in
+//! Table 2), but:
+//!
+//! * every aggregation partial is a dense D×D matrix (O(D²)
+//!   communication, Table 1), and
+//! * the driver must hold the D×D matrix in one process's memory, which is
+//!   why MLlib-PCA "fails when D exceeds 6,000" on the paper's 32 GB
+//!   machines (Figures 7–8). The failure is reproduced through the
+//!   simulated driver-memory cap and surfaces as
+//!   [`SpcaError::Cluster`]`(`[`dcluster::ClusterError::DriverOom`]`)`.
+
+use dcluster::SimCluster;
+use linalg::bytes::ByteSized;
+use linalg::decomp::eig::sym_eigen;
+use linalg::{Mat, SparseMat};
+use sparkle::SparkleContext;
+use spca_core::accuracy;
+use spca_core::model::{IterationStat, PcaModel, SpcaRun};
+use spca_core::SpcaError;
+
+/// Configuration of the MLlib-PCA baseline.
+#[derive(Debug, Clone)]
+pub struct MllibConfig {
+    /// Principal components to produce.
+    pub components: usize,
+    /// Rows sampled for the (instrumentation-only) error estimate.
+    pub error_sample_rows: usize,
+    /// Seed for the error sample.
+    pub seed: u64,
+    /// Number of input partitions. MLlib's tree-aggregation fan-in is
+    /// modelled by a modest partial count (default 8): more partials means
+    /// proportionally more O(D²) traffic.
+    pub partitions: usize,
+}
+
+impl MllibConfig {
+    /// Defaults: 8 aggregation partials, 256-row error sample.
+    pub fn new(components: usize) -> Self {
+        MllibConfig { components, error_sample_rows: 256, seed: 0x111b, partitions: 8 }
+    }
+
+    /// Sets the partition/partial count.
+    pub fn with_partitions(mut self, parts: usize) -> Self {
+        assert!(parts > 0);
+        self.partitions = parts;
+        self
+    }
+}
+
+/// Gram-matrix accumulator: a dense D×D partial per task.
+struct GramAcc(Mat);
+
+impl ByteSized for GramAcc {
+    fn size_bytes(&self) -> u64 {
+        ByteSized::size_bytes(&self.0)
+    }
+}
+
+/// The MLlib-PCA baseline algorithm.
+#[derive(Debug, Clone)]
+pub struct MllibPca {
+    config: MllibConfig,
+}
+
+impl MllibPca {
+    /// Creates the baseline with the given configuration.
+    pub fn new(config: MllibConfig) -> Self {
+        MllibPca { config }
+    }
+
+    /// Runs covariance-PCA on the Spark-like engine. Fails with
+    /// `DriverOom` when the D×D covariance does not fit in driver memory.
+    pub fn fit(&self, cluster: &SimCluster, y: &SparseMat) -> spca_core::Result<SpcaRun> {
+        let cfg = &self.config;
+        let n = y.rows();
+        let d_in = y.cols();
+        if n == 0 || d_in == 0 {
+            return Err(SpcaError::EmptyInput);
+        }
+        if cfg.components > n.min(d_in) {
+            return Err(SpcaError::TooManyComponents {
+                requested: cfg.components,
+                available: n.min(d_in),
+            });
+        }
+
+        let start = cluster.metrics().virtual_time_secs;
+        let start_bytes = cluster.metrics().intermediate_bytes;
+
+        // The defining resource demand: the driver holds the dense D×D
+        // covariance (plus the eigenvector matrix of the same size). If
+        // this does not fit, MLlib dies before doing any distributed work
+        // worth charging — exactly the observed behaviour.
+        let cov_bytes = (d_in as u64) * (d_in as u64) * 8;
+        let _guard = cluster.alloc_driver(2 * cov_bytes)?;
+
+        let ctx = SparkleContext::new(cluster);
+        let partitions = cfg.partitions.min(n.max(1));
+        let blocks: Vec<Vec<spca_core::spark::SpRow>> =
+            y.split_rows(partitions).iter().map(spca_core::spark::to_rows).collect();
+        let mut rdd = ctx.from_partitions(blocks);
+        rdd.persist();
+
+        // Column means (cheap aggregate).
+        let (mean, _) = rdd.aggregate(
+            "MLlib/colMeans",
+            || vec![0.0_f64; d_in],
+            |acc, row| {
+                for (c, v) in row.view().iter() {
+                    acc[c] += v;
+                }
+            },
+            |acc, other| linalg::vector::axpy(1.0, &other, acc),
+        );
+        let mean: Vec<f64> = mean.into_iter().map(|s| s / n as f64).collect();
+
+        // Gram matrix: per-task dense D×D partials, aggregated to the
+        // driver. Sparse rows only touch O(z²) entries per row, but the
+        // *partial* that ships is dense D×D — the communication pathology.
+        let (gram, _bytes) = rdd.aggregate(
+            "MLlib/gram",
+            || GramAcc(Mat::zeros(d_in, d_in)),
+            |acc, row| {
+                let v = row.view();
+                for (ci, vi) in v.iter() {
+                    let target = acc.0.row_mut(ci);
+                    for (cj, vj) in v.iter() {
+                        target[cj] += vi * vj;
+                    }
+                }
+            },
+            |acc, other| acc.0.add_assign(&other.0),
+        );
+
+        // Covariance = (Gram − N·μ⊗μ)/(N−1), then eigendecomposition — all
+        // on the driver, charged as driver compute.
+        let c = cluster.run_driver("MLlib/eigendecomposition", || {
+            let mut cov = gram.0;
+            cov.add_outer(-(n as f64), &mean, &mean);
+            let denom = (n.max(2) - 1) as f64;
+            cov.scale(1.0 / denom);
+            let eig = sym_eigen(&cov)?;
+            let mut c = Mat::zeros(d_in, cfg.components);
+            for j in 0..cfg.components {
+                for r in 0..d_in {
+                    c[(r, j)] = eig.vectors[(r, j)];
+                }
+            }
+            Ok::<Mat, SpcaError>(c)
+        })?;
+
+        let model = PcaModel::new(c, mean, 1e-9);
+        let error_sample = accuracy::sample_rows(y, cfg.error_sample_rows, cfg.seed);
+        let error = accuracy::reconstruction_error(&error_sample, &model)?;
+
+        let end = cluster.metrics();
+        let elapsed = end.virtual_time_secs - start;
+        Ok(SpcaRun {
+            model,
+            iterations: vec![IterationStat {
+                iteration: 1,
+                error,
+                ss: 0.0,
+                virtual_time_secs: elapsed,
+            }],
+            virtual_time_secs: elapsed,
+            intermediate_bytes: end.intermediate_bytes - start_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcluster::ClusterConfig;
+    use linalg::Prng;
+
+    fn tiny_data() -> SparseMat {
+        let mut rng = Prng::seed_from_u64(9);
+        datasets::sparse_lowrank(&datasets::LowRankSpec::small_test(), &mut rng)
+    }
+
+    #[test]
+    fn matches_exact_eigenvectors() {
+        let y = tiny_data();
+        let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+        let run = MllibPca::new(MllibConfig::new(3)).fit(&cluster, &y).unwrap();
+
+        // Oracle: eigenvectors of the explicitly centered covariance.
+        let mut yc = y.to_dense();
+        yc.sub_row_vector(&y.col_means());
+        let cov = {
+            let mut g = yc.matmul_tn(&yc);
+            g.scale(1.0 / (y.rows() - 1) as f64);
+            g
+        };
+        let eig = sym_eigen(&cov).unwrap();
+        for j in 0..3 {
+            let got = run.model.components().col(j);
+            let want = eig.vectors.col(j);
+            let cos = linalg::vector::dot(&got, &want).abs();
+            assert!(cos > 0.999, "eigenvector {j} cosine {cos}");
+        }
+    }
+
+    #[test]
+    fn driver_oom_past_memory_cap() {
+        // D = 1000 → 2·8 MB driver demand; cap the driver below that.
+        let y = SparseMat::from_triplets(10, 1000, &[(0, 0, 1.0), (1, 999, 1.0)]);
+        let cluster = SimCluster::new(
+            ClusterConfig::paper_cluster().with_driver_memory(4 << 20),
+        );
+        match MllibPca::new(MllibConfig::new(2)).fit(&cluster, &y) {
+            Err(SpcaError::Cluster(dcluster::ClusterError::DriverOom { .. })) => {}
+            other => panic!("expected DriverOom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quadratic_intermediate_data_in_dimensionality() {
+        let run_bytes = |cols: usize| {
+            let mut rng = Prng::seed_from_u64(10);
+            let spec = datasets::LowRankSpec {
+                rows: 100,
+                cols,
+                ..datasets::LowRankSpec::small_test()
+            };
+            let y = datasets::sparse_lowrank(&spec, &mut rng);
+            let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+            MllibPca::new(MllibConfig::new(2)).fit(&cluster, &y).unwrap().intermediate_bytes
+        };
+        let b100 = run_bytes(100);
+        let b400 = run_bytes(400);
+        let ratio = b400 as f64 / b100 as f64;
+        assert!(ratio > 10.0, "Gram traffic must grow ~quadratically, got ×{ratio}");
+    }
+
+    #[test]
+    fn driver_peak_reflects_covariance() {
+        let y = tiny_data(); // D = 100 → ≥ 160 kB tracked
+        let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+        let _ = MllibPca::new(MllibConfig::new(2)).fit(&cluster, &y).unwrap();
+        assert!(cluster.metrics().driver_peak_bytes >= 2 * 100 * 100 * 8);
+    }
+
+    #[test]
+    fn single_deterministic_iteration() {
+        let y = tiny_data();
+        let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+        let a = MllibPca::new(MllibConfig::new(2)).fit(&cluster, &y).unwrap();
+        let b = MllibPca::new(MllibConfig::new(2)).fit(&cluster, &y).unwrap();
+        assert_eq!(a.iterations.len(), 1);
+        assert!(a.model.components().approx_eq(b.model.components(), 1e-12));
+    }
+}

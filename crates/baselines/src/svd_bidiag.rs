@@ -1,0 +1,129 @@
+//! SVD-Bidiag PCA (the RScaLAPACK method of Section 2.2).
+//!
+//! Demmel–Kahan-style pipeline: QR decomposition first, then
+//! bidiagonalization of R, then SVD of the bidiagonal core. O(N·D² + D³)
+//! time and O(max((N+D)d, D²)) communication — the analysis rows of
+//! Table 1. The implementation is centralized and dense (the method has no
+//! sparse story: it mean-centers explicitly), which is exactly why the
+//! paper rules it out for large D.
+
+use linalg::decomp::bidiag::svd_via_bidiag;
+use linalg::decomp::qr::qr_thin;
+use linalg::{Mat, SparseMat};
+use spca_core::model::PcaModel;
+use spca_core::SpcaError;
+
+/// PCA of a dense matrix via QR + bidiagonal SVD.
+pub fn fit_dense(y: &Mat, d: usize) -> spca_core::Result<PcaModel> {
+    let n = y.rows();
+    let d_in = y.cols();
+    if n == 0 || d_in == 0 {
+        return Err(SpcaError::EmptyInput);
+    }
+    if d > n.min(d_in) {
+        return Err(SpcaError::TooManyComponents { requested: d, available: n.min(d_in) });
+    }
+
+    // Explicit mean-centering: this method densifies by construction.
+    let mean = y.col_means();
+    let mut yc = y.clone();
+    yc.sub_row_vector(&mean);
+
+    // Step (i): QR. The R factor (min(N,D) × D) carries all the spectral
+    // information of Yc.
+    let r = qr_thin(&yc).r;
+    // Steps (ii)+(iii): bidiagonalize R and diagonalize the core.
+    let svd = svd_via_bidiag(&r)?;
+
+    let mut c = Mat::zeros(d_in, d);
+    for j in 0..d {
+        for row in 0..d_in {
+            c[(row, j)] = svd.vt[(j, row)];
+        }
+    }
+    Ok(PcaModel::new(c, mean, 1e-9))
+}
+
+/// Convenience wrapper for sparse inputs: densifies first (the method's
+/// inherent cost), then runs [`fit_dense`].
+pub fn fit_sparse(y: &SparseMat, d: usize) -> spca_core::Result<PcaModel> {
+    fit_dense(&y.to_dense(), d)
+}
+
+/// Table 1's communication bound for this method, in bytes:
+/// `O(max((N + D)·d, D²))` 8-byte elements.
+pub fn intermediate_bytes_estimate(n: usize, d_in: usize, d: usize) -> u64 {
+    let qr_term = (n + d_in) * d;
+    let bidiag_term = d_in * d_in;
+    8 * qr_term.max(bidiag_term) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::decomp::{qr_thin, svd_jacobi};
+    use linalg::Prng;
+
+    #[test]
+    fn matches_direct_svd_components() {
+        let mut rng = Prng::seed_from_u64(12);
+        let y = rng.normal_mat(40, 10);
+        let model = fit_dense(&y, 3).unwrap();
+
+        let mut yc = y.clone();
+        yc.sub_row_vector(&y.col_means());
+        let svd = svd_jacobi(&yc).unwrap();
+        for j in 0..3 {
+            let got = model.components().col(j);
+            let want: Vec<f64> = (0..10).map(|r| svd.vt[(j, r)]).collect();
+            let cos = linalg::vector::dot(&got, &want).abs();
+            assert!(cos > 0.999, "component {j} cosine {cos}");
+        }
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = Prng::seed_from_u64(13);
+        let y = rng.normal_mat(25, 8);
+        let model = fit_dense(&y, 4).unwrap();
+        let q = model.components();
+        let qtq = q.matmul_tn(q);
+        assert!(qtq.approx_eq(&Mat::identity(4), 1e-8));
+        // (They come out of an SVD, so QR should not change the span.)
+        let _ = qr_thin(q);
+    }
+
+    #[test]
+    fn sparse_wrapper_agrees_with_dense() {
+        let mut rng = Prng::seed_from_u64(14);
+        let dense = Mat::from_fn(20, 6, |i, j| {
+            if (i + j) % 3 == 0 {
+                rng.normal()
+            } else {
+                0.0
+            }
+        });
+        let sparse = SparseMat::from_dense(&dense);
+        let a = fit_dense(&dense, 2).unwrap();
+        let b = fit_sparse(&sparse, 2).unwrap();
+        assert!(a.components().approx_eq(b.components(), 1e-10));
+    }
+
+    #[test]
+    fn communication_estimate_crosses_over_at_large_d() {
+        // For small D the (N+D)d term dominates; for large D the D² term.
+        let small_d = intermediate_bytes_estimate(100_000, 100, 50);
+        assert_eq!(small_d, 8 * (100_100 * 50) as u64);
+        let large_d = intermediate_bytes_estimate(1000, 10_000, 50);
+        assert_eq!(large_d, 8 * (10_000u64 * 10_000));
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(matches!(fit_dense(&Mat::zeros(0, 3), 1), Err(SpcaError::EmptyInput)));
+        assert!(matches!(
+            fit_dense(&Mat::zeros(4, 3), 5),
+            Err(SpcaError::TooManyComponents { .. })
+        ));
+    }
+}

@@ -1,0 +1,105 @@
+//! Criterion benches of the execution engines themselves: the same
+//! aggregation computed through the Spark-like accumulator path and the
+//! MapReduce stateful-combiner path, plus the virtual scheduler.
+//!
+//! These quantify the host-side cost of the simulation substrate (not the
+//! simulated times — those come from the experiment binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dcluster::{scheduler, ClusterConfig, SimCluster};
+use linalg::bytes::ByteSized;
+use linalg::{Prng, SparseMat};
+use mapreduce::{Emitter, MapReduceEngine, MapReduceJob};
+use sparkle::SparkleContext;
+
+fn test_matrix() -> SparseMat {
+    let mut rng = Prng::seed_from_u64(3);
+    datasets::tweets::generate(5_000, 1_000, &mut rng)
+}
+
+/// Column-sum job for the MapReduce path.
+struct ColSums;
+
+impl MapReduceJob for ColSums {
+    type Input = SparseMat;
+    type Key = ();
+    type Value = Vec<f64>;
+    type Output = Vec<f64>;
+
+    fn map(&self, block: &SparseMat, emitter: &mut Emitter<'_, (), Vec<f64>>) {
+        emitter.emit((), block.col_sums());
+    }
+
+    fn reduce(&self, _key: (), mut values: Vec<Vec<f64>>) -> Vec<f64> {
+        let mut acc = values.pop().expect("non-empty");
+        for v in values {
+            linalg::vector::axpy(1.0, &v, &mut acc);
+        }
+        acc
+    }
+}
+
+/// Dense vector accumulator for the Spark path.
+struct VecAcc(Vec<f64>);
+
+impl ByteSized for VecAcc {
+    fn size_bytes(&self) -> u64 {
+        8 + 8 * self.0.len() as u64
+    }
+}
+
+fn bench_engines(crit: &mut Criterion) {
+    let y = test_matrix();
+    let mut group = crit.benchmark_group("engines/col_sums");
+    group.sample_size(10);
+
+    group.bench_function("sparkle_aggregate", |b| {
+        b.iter(|| {
+            let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+            let ctx = SparkleContext::new(&cluster);
+            let rows: Vec<Vec<spca_core::spark::SpRow>> =
+                y.split_rows(8).iter().map(spca_core::spark::to_rows).collect();
+            let rdd = ctx.from_partitions(rows);
+            let cols = y.cols();
+            let (sums, _) = rdd.aggregate(
+                "col_sums",
+                || VecAcc(vec![0.0; cols]),
+                |acc, row| {
+                    for (c, v) in row.view().iter() {
+                        acc.0[c] += v;
+                    }
+                },
+                |acc, other| linalg::vector::axpy(1.0, &other.0, &mut acc.0),
+            );
+            black_box(sums.0)
+        })
+    });
+
+    group.bench_function("mapreduce_job", |b| {
+        b.iter(|| {
+            let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+            let engine = MapReduceEngine::new(&cluster).with_overheads(0.0, 0.0);
+            let blocks = y.split_rows(8);
+            let (out, _) = engine.run_job("col_sums", &ColSums, &blocks, 1);
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+fn bench_scheduler(crit: &mut Criterion) {
+    let durations: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 100) as f64 / 100.0).collect();
+    let mut group = crit.benchmark_group("scheduler/makespan");
+    group.sample_size(20);
+    for cores in [16usize, 64, 256] {
+        group.bench_function(format!("cores_{cores}"), |b| {
+            b.iter(|| black_box(scheduler::makespan(&durations, cores)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_scheduler);
+criterion_main!(benches);

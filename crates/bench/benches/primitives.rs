@@ -1,0 +1,136 @@
+//! Criterion micro-benches for the primitive operations behind Table 3.
+//!
+//! These isolate each optimization at the single-row / single-block level:
+//! mean propagation vs dense centering, Frobenius Algorithm 3 vs
+//! Algorithm 2, the ss3 associativity trick, and transpose-product
+//! patterns (Equation (2)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use linalg::{Mat, Prng, SparseMat};
+use spca_core::{frobenius, init, mean_prop};
+
+const ROWS: usize = 2_000;
+const COLS: usize = 2_000;
+const D: usize = 50;
+
+struct Fixture {
+    y: SparseMat,
+    mean: Vec<f64>,
+    cm: Mat,
+    xm: Vec<f64>,
+    c: Mat,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = Prng::seed_from_u64(1);
+    let y = datasets::tweets::generate(ROWS, COLS, &mut rng);
+    let mean = y.col_means();
+    let (c, ss) = init::random_init(COLS, D, 7);
+    let mut m = c.matmul_tn(&c);
+    m.add_diag(ss);
+    let m_inv = linalg::decomp::lu::Lu::new(&m).unwrap().inverse();
+    let cm = c.matmul(&m_inv);
+    let xm = cm.vecmat(&mean);
+    Fixture { y, mean, cm, xm, c }
+}
+
+fn bench_mean_propagation(crit: &mut Criterion) {
+    let f = fixture();
+    let mut group = crit.benchmark_group("mean_propagation");
+    group.sample_size(10);
+    // One full pass over the matrix computing X rows.
+    group.bench_function("latent_rows_sparse(opt)", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 0..f.y.rows() {
+                let x = mean_prop::latent_row(f.y.row(r), &f.cm, &f.xm);
+                acc += x[0];
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("latent_rows_dense(unopt)", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 0..f.y.rows() {
+                let x = mean_prop::latent_row_dense(f.y.row(r), &f.mean, &f.cm);
+                acc += x[0];
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_frobenius(crit: &mut Criterion) {
+    let f = fixture();
+    let msum = linalg::vector::norm2_sq(&f.mean);
+    let mut group = crit.benchmark_group("frobenius");
+    group.sample_size(10);
+    group.bench_function("algorithm3(opt)", |b| {
+        b.iter(|| black_box(frobenius::centered_sq_block(&f.y, &f.mean, msum)))
+    });
+    group.bench_function("algorithm2(unopt)", |b| {
+        b.iter(|| black_box(frobenius::centered_sq_simple_block(&f.y, &f.mean)))
+    });
+    group.finish();
+}
+
+fn bench_ss3_associativity(crit: &mut Criterion) {
+    let f = fixture();
+    let mut group = crit.benchmark_group("ss3_order");
+    group.sample_size(10);
+    // Optimized: X · (C'·y') — multiply with the sparse vector first.
+    group.bench_function("x_dot_cty(opt)", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 0..f.y.rows() {
+                acc += mean_prop::ss3_row(f.y.row(r), &f.cm, &f.xm, &f.c);
+            }
+            black_box(acc)
+        })
+    });
+    // Unoptimized: (X·C') · y' — a dense D-vector per row.
+    group.bench_function("xct_dot_y(unopt)", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 0..f.y.rows() {
+                let x = mean_prop::latent_row(f.y.row(r), &f.cm, &f.xm);
+                // Dense D-vector X·C'.
+                let dense: Vec<f64> =
+                    (0..COLS).map(|j| linalg::vector::dot(&x, f.c.row(j))).collect();
+                acc += f.y.row(r).dot_dense(&dense);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_transpose_product(crit: &mut Criterion) {
+    // Equation (2): A'B as a sum of rank-1 row products vs materializing
+    // the transpose first.
+    let mut rng = Prng::seed_from_u64(2);
+    let left: Mat = rng.normal_mat(1_000, 64);
+    let right: Mat = rng.normal_mat(1_000, 64);
+    let mut group = crit.benchmark_group("transpose_product");
+    group.sample_size(10);
+    group.bench_function("matmul_tn(opt)", |bch| {
+        bch.iter(|| black_box(left.matmul_tn(&right)))
+    });
+    group.bench_function("transpose_then_matmul(unopt)", |bch| {
+        bch.iter(|| black_box(left.transpose().matmul(&right)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mean_propagation,
+    bench_frobenius,
+    bench_ss3_associativity,
+    bench_transpose_product
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Figure 4 — accuracy vs time on the Bio-Text dataset,
+//! sPCA-MapReduce vs Mahout-PCA.
+//!
+//! The paper's shape: sPCA crosses 90% of ideal accuracy within its first
+//! couple of iterations and converges quickly; Mahout-PCA needs several
+//! times longer to approach the same accuracy.
+
+use baselines::{MahoutConfig, MahoutPca};
+use spca_bench::{data, fresh_cluster, ideal_error, Table, D_COMPONENTS};
+use spca_core::{accuracy, Spca, SpcaConfig};
+
+fn main() {
+    println!("=== Figure 4: accuracy (% of ideal) vs time, Bio-Text ===\n");
+    let y = data::biotext(40_000, 8_000, 2);
+    let d = D_COMPONENTS;
+    eprintln!("reference run for ideal accuracy…");
+    let ideal = ideal_error(&y, d, 7);
+    println!("ideal error (25-iteration reference): {ideal:.4}\n");
+
+    let cluster = fresh_cluster();
+    let spca = Spca::new(
+        SpcaConfig::new(d)
+            .with_max_iters(8)
+            .with_rel_tolerance(None)
+            .with_partitions(8)
+            .with_seed(7),
+    )
+    .fit_mapreduce(&cluster, &y)
+    .expect("sPCA-MapReduce run");
+
+    let cluster = fresh_cluster();
+    let mahout = MahoutPca::new(
+        MahoutConfig::new(d).with_max_iters(4).with_partitions(8).with_seed(7),
+    )
+    .fit(&cluster, &y)
+    .expect("Mahout-PCA run");
+
+    let mut table = Table::new(&["Series", "Iter", "Time (s)", "Accuracy (%)"]);
+    for it in &spca.iterations {
+        table.row(&[
+            "sPCA-MapReduce".into(),
+            it.iteration.to_string(),
+            spca_bench::fmt_secs(it.virtual_time_secs),
+            format!("{:.1}", accuracy::percent_of_ideal(it.error, ideal)),
+        ]);
+    }
+    for it in &mahout.iterations {
+        table.row(&[
+            "Mahout-PCA".into(),
+            it.iteration.to_string(),
+            spca_bench::fmt_secs(it.virtual_time_secs),
+            format!("{:.1}", accuracy::percent_of_ideal(it.error, ideal)),
+        ]);
+    }
+    table.print();
+
+    // ASCII rendering of the two curves.
+    let to_series = |name: &str, run: &spca_core::SpcaRun| {
+        spca_bench::plot::Series::new(
+            name,
+            run.iterations
+                .iter()
+                .map(|it| (it.virtual_time_secs, accuracy::percent_of_ideal(it.error, ideal)))
+                .collect(),
+        )
+    };
+    println!();
+    println!(
+        "{}",
+        spca_bench::plot::render_xy(
+            &[to_series("sPCA-MapReduce", &spca), to_series("Mahout-PCA", &mahout)],
+            64,
+            14,
+            false,
+        )
+    );
+
+    let spca_90 = spca
+        .iterations
+        .iter()
+        .find(|it| accuracy::percent_of_ideal(it.error, ideal) >= 90.0)
+        .map(|it| it.virtual_time_secs);
+    let mahout_90 = mahout
+        .iterations
+        .iter()
+        .find(|it| accuracy::percent_of_ideal(it.error, ideal) >= 90.0)
+        .map(|it| it.virtual_time_secs);
+    println!(
+        "\ntime to 90% of ideal: sPCA-MapReduce {}, Mahout-PCA {}",
+        spca_90.map_or("n/a".into(), spca_bench::fmt_secs),
+        mahout_90.map_or("not reached".into(), spca_bench::fmt_secs),
+    );
+}

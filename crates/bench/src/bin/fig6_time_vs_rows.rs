@@ -1,0 +1,61 @@
+//! Figure 6 — time to reach 95% of ideal accuracy vs number of rows
+//! (Tweets-like data, fixed dimensionality), sPCA-MapReduce vs
+//! Mahout-PCA, log-log.
+//!
+//! Paper shape: the two are comparable on small inputs (Hadoop overheads
+//! dominate), then Mahout's running time grows much faster with N — two
+//! orders of magnitude slower at the large end — while sPCA's grows at a
+//! much smaller rate.
+
+use baselines::{MahoutConfig, MahoutPca};
+use spca_bench::{data, fmt_secs, fresh_cluster, ideal_error, target_error, Table, D_COMPONENTS};
+use spca_core::{Spca, SpcaConfig};
+
+fn main() {
+    println!("=== Figure 6: time to 95% of ideal accuracy vs #rows (D = 4000) ===\n");
+    let cols = 4_000;
+    let mut table = Table::new(&["Rows", "sPCA-MapReduce (s)", "Mahout-PCA (s)", "ratio"]);
+
+    for rows in [4_000usize, 16_000, 64_000, 256_000] {
+        eprintln!("rows = {rows} …");
+        let y = data::tweets(rows, cols, 1);
+        let d = D_COMPONENTS.min(rows / 4).max(4);
+        let ideal = ideal_error(&y, d, 7);
+        let target = target_error(ideal, 95.0);
+
+        let cluster = fresh_cluster();
+        let spca = Spca::new(
+            SpcaConfig::new(d)
+                .with_max_iters(10)
+                .with_rel_tolerance(None)
+                .with_target_error(target)
+                .with_partitions(8)
+                .with_seed(7),
+        )
+        .fit_mapreduce(&cluster, &y)
+        .expect("sPCA run");
+        let spca_secs = spca.time_to_error(target).unwrap_or(spca.virtual_time_secs);
+
+        let cluster = fresh_cluster();
+        let mahout = MahoutPca::new(
+            MahoutConfig::new(d)
+                .with_max_iters(3)
+                .with_target_error(target)
+                .with_partitions(8)
+                .with_seed(7),
+        )
+        .fit(&cluster, &y)
+        .expect("Mahout run");
+        let mahout_secs = mahout.time_to_error(target).unwrap_or(mahout.virtual_time_secs);
+
+        table.row(&[
+            rows.to_string(),
+            fmt_secs(spca_secs),
+            fmt_secs(mahout_secs),
+            format!("{:.1}x", mahout_secs / spca_secs),
+        ]);
+    }
+    table.print();
+    println!("\n(the ratio column should grow with N: Mahout's intermediate data");
+    println!(" scales with rows, sPCA's does not)");
+}

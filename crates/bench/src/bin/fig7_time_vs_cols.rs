@@ -1,0 +1,59 @@
+//! Figure 7 — time to 95% of ideal accuracy vs dimensionality D
+//! (Tweets-like data, fixed rows), sPCA-Spark vs MLlib-PCA.
+//!
+//! Paper shape: MLlib-PCA's time grows quadratically with D and the
+//! algorithm *fails* once the D×D covariance exceeds one machine's
+//! memory (D ≈ 6,000 on the paper's 32 GB nodes; proportionally smaller
+//! on this scaled cluster). sPCA-Spark grows ~linearly and never fails.
+
+use baselines::{MllibConfig, MllibPca};
+use spca_bench::{data, fmt_secs, fresh_cluster, ideal_error, target_error, Table, D_COMPONENTS};
+use spca_core::{Spca, SpcaConfig};
+
+fn main() {
+    let cluster_probe = fresh_cluster();
+    let cap = cluster_probe.config().driver_memory;
+    let fail_d = ((cap / 16) as f64).sqrt() as usize;
+    println!("=== Figure 7: time to 95% of ideal accuracy vs #columns (N = 20000) ===");
+    println!(
+        "(scaled driver memory {} → MLlib needs 2·D²·8 B and should fail past D ≈ {})\n",
+        spca_bench::fmt_bytes(cap),
+        fail_d
+    );
+
+    let rows = 20_000;
+    let mut table = Table::new(&["Columns (D)", "sPCA-Spark (s)", "MLlib-PCA (s)"]);
+
+    for cols in [512usize, 1_024, 2_048, 3_072, 4_096, 6_144] {
+        eprintln!("D = {cols} …");
+        let y = data::tweets(rows, cols, 1);
+        let d = D_COMPONENTS.min(cols / 4).max(4);
+        let ideal = ideal_error(&y, d, 7);
+        let target = target_error(ideal, 95.0);
+
+        let cluster = fresh_cluster();
+        let spca = Spca::new(
+            SpcaConfig::new(d)
+                .with_max_iters(10)
+                .with_rel_tolerance(None)
+                .with_target_error(target)
+                .with_partitions(16)
+                .with_seed(7),
+        )
+        .fit_spark(&cluster, &y)
+        .map(|r| fmt_secs(r.time_to_error(target).unwrap_or(r.virtual_time_secs)))
+        .unwrap_or_else(|_| "Fail".into());
+
+        let cluster = fresh_cluster();
+        let mllib = MllibPca::new(MllibConfig::new(d).with_partitions(4))
+            .fit(&cluster, &y)
+            .map(|r| fmt_secs(r.virtual_time_secs))
+            .unwrap_or_else(|e| match e {
+                spca_core::SpcaError::Cluster(_) => "Fail (driver OOM)".into(),
+                _ => "Fail".into(),
+            });
+
+        table.row(&[cols.to_string(), spca, mllib]);
+    }
+    table.print();
+}

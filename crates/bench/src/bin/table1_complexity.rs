@@ -1,0 +1,126 @@
+//! Table 1 — empirical check of the time/communication complexity
+//! analysis of Section 2.
+//!
+//! For each method, scale one input axis by 4× and report how measured
+//! cost scales, next to the paper's analytical bound:
+//!
+//! | Method | Time bound | Communication bound |
+//! |---|---|---|
+//! | Covariance eigendecomposition (MLlib) | O(N·D·min(N,D)) | O(D²) |
+//! | SVD-Bidiag | O(N·D² + D³) | O(max((N+D)d, D²)) |
+//! | Stochastic SVD (Mahout) | O(N·D·d) | O(max(N·d, d²)) |
+//! | Probabilistic PCA (sPCA) | O(N·D·d) | O(D·d) |
+
+use baselines::{svd_bidiag, MahoutConfig, MahoutPca, MllibConfig, MllibPca};
+use spca_bench::{data, fmt_bytes, fresh_cluster, Table};
+use spca_core::{Spca, SpcaConfig};
+use std::time::Instant;
+
+/// log₄ of the measured ratio — the empirical scaling exponent for a 4×
+/// input growth.
+fn exponent(small: f64, large: f64) -> f64 {
+    (large / small).ln() / 4.0_f64.ln()
+}
+
+fn main() {
+    println!("=== Table 1: measured scaling vs the paper's complexity analysis ===\n");
+    let d = 10;
+
+    // ---- Communication: scale D by 4 (N fixed), then N by 4 (D fixed). ----
+    let mut comm = Table::new(&[
+        "Method",
+        "bytes @D=256",
+        "bytes @D=1024",
+        "D-exponent",
+        "bytes @N=2000",
+        "bytes @N=8000",
+        "N-exponent",
+        "paper bound",
+    ]);
+
+    let spca_bytes = |rows: usize, cols: usize| -> u64 {
+        let y = data::tweets(rows, cols, 1);
+        let cluster = fresh_cluster();
+        Spca::new(
+            SpcaConfig::new(d)
+                .with_max_iters(2)
+                .with_rel_tolerance(None)
+                .with_partitions(8)
+                .with_seed(7),
+        )
+        .fit_spark(&cluster, &y)
+        .expect("spca fit")
+        .intermediate_bytes
+    };
+    let mllib_bytes = |rows: usize, cols: usize| -> u64 {
+        let y = data::tweets(rows, cols, 1);
+        let cluster = fresh_cluster();
+        MllibPca::new(MllibConfig::new(d).with_partitions(4))
+            .fit(&cluster, &y)
+            .expect("mllib fit")
+            .intermediate_bytes
+    };
+    let mahout_bytes = |rows: usize, cols: usize| -> u64 {
+        let y = data::tweets(rows, cols, 1);
+        let cluster = fresh_cluster();
+        MahoutPca::new(MahoutConfig::new(d).with_max_iters(1).with_partitions(8).with_seed(7))
+            .fit(&cluster, &y)
+            .expect("mahout fit")
+            .intermediate_bytes
+    };
+
+    type BytesFn<'a> = &'a dyn Fn(usize, usize) -> u64;
+    let rows_fixed = 2_000;
+    let methods: [(&str, BytesFn<'_>, &str); 3] = [
+        ("MLlib-PCA (covariance)", &mllib_bytes, "O(D^2), indep. of N"),
+        ("Mahout-PCA (SSVD)", &mahout_bytes, "O(N*d): linear in N"),
+        ("sPCA (PPCA)", &spca_bytes, "O(D*d): linear in D, indep. of N"),
+    ];
+    for (name, f, bound) in methods {
+        eprintln!("{name} …");
+        let d_small = f(rows_fixed, 256);
+        let d_large = f(rows_fixed, 1024);
+        let n_small = f(2_000, 512);
+        let n_large = f(8_000, 512);
+        comm.row(&[
+            name.into(),
+            fmt_bytes(d_small),
+            fmt_bytes(d_large),
+            format!("{:.2}", exponent(d_small as f64, d_large as f64)),
+            fmt_bytes(n_small),
+            fmt_bytes(n_large),
+            format!("{:.2}", exponent(n_small as f64, n_large as f64)),
+            bound.into(),
+        ]);
+    }
+    println!("-- Communication (intermediate bytes) --");
+    comm.print();
+
+    // ---- SVD-Bidiag: centralized time scaling in D (O(N·D² + D³)). --------
+    println!("\n-- SVD-Bidiag (centralized) time scaling --");
+    let mut time_table =
+        Table::new(&["Method", "secs @D=64", "secs @D=256", "D-exponent", "paper bound"]);
+    let bidiag_secs = |cols: usize| -> f64 {
+        let y = data::tweets(1_000, cols, 1).to_dense();
+        let start = Instant::now();
+        let _ = svd_bidiag::fit_dense(&y, d).expect("bidiag fit");
+        start.elapsed().as_secs_f64()
+    };
+    let t_small = bidiag_secs(64);
+    let t_large = bidiag_secs(256);
+    time_table.row(&[
+        "SVD-Bidiag".into(),
+        format!("{t_small:.3}"),
+        format!("{t_large:.3}"),
+        format!("{:.2}", exponent(t_small, t_large)),
+        "O(N*D^2 + D^3): exponent ~2".into(),
+    ]);
+    time_table.print();
+
+    // Analytical communication of SVD-Bidiag for the record.
+    println!(
+        "\nSVD-Bidiag communication bound at N=2000: D=256 → {}, D=1024 → {}",
+        fmt_bytes(svd_bidiag::intermediate_bytes_estimate(2_000, 256, d)),
+        fmt_bytes(svd_bidiag::intermediate_bytes_estimate(2_000, 1024, d)),
+    );
+}

@@ -1,0 +1,149 @@
+//! The paper's accuracy metric (Section 5, "Performance Metrics").
+//!
+//! Accuracy is measured through the 1-norm of the reconstruction error on a
+//! random row subset: `e = ‖Yr − Ŷr‖₁ / ‖Yr‖₁`, where `Ŷr` reconstructs
+//! each sampled row through the model (`x = (y−μ)·CM`, `ŷ = x·C' + μ`).
+//! Progress is reported as a percentage of the *ideal* accuracy — the
+//! error a long reference run converges to.
+
+use linalg::{Prng, SparseMat};
+
+use crate::model::PcaModel;
+use crate::Result;
+
+/// Relative 1-norm reconstruction error over the given (sampled) rows.
+pub fn reconstruction_error(sample: &SparseMat, model: &PcaModel) -> Result<f64> {
+    assert_eq!(sample.cols(), model.input_dim(), "sample dimensionality mismatch");
+    if sample.rows() == 0 {
+        return Ok(0.0);
+    }
+    let x = model.transform_sparse(sample)?;
+    let d_in = model.input_dim();
+    let c = model.components();
+    let mean = model.mean();
+
+    let mut err_sum = 0.0;
+    let mut norm_sum = 0.0;
+    let mut recon = vec![0.0; d_in];
+    for r in 0..sample.rows() {
+        // ŷ = x·C' + μ, built row by row to avoid a dense N×D buffer.
+        let xr = x.row(r);
+        for (j, slot) in recon.iter_mut().enumerate() {
+            *slot = linalg::vector::dot(xr, c.row(j)) + mean[j];
+        }
+        // ‖y − ŷ‖₁ over a sparse y: correct the dense term at non-zeros.
+        let mut row_err: f64 = recon.iter().map(|v| v.abs()).sum();
+        for (cidx, v) in sample.row(r).iter() {
+            row_err += (v - recon[cidx]).abs() - recon[cidx].abs();
+        }
+        err_sum += row_err;
+        norm_sum += sample.row(r).values.iter().map(|v| v.abs()).sum::<f64>();
+    }
+    if norm_sum == 0.0 {
+        return Ok(if err_sum == 0.0 { 0.0 } else { f64::INFINITY });
+    }
+    Ok(err_sum / norm_sum)
+}
+
+/// Draws the row sample used for error estimation throughout a run.
+pub fn sample_rows(y: &SparseMat, rows: usize, seed: u64) -> SparseMat {
+    let k = rows.min(y.rows());
+    let mut rng = Prng::seed_from_u64(seed ^ 0xacc);
+    let idx = rng.sample_indices(y.rows(), k);
+    y.select_rows(&idx)
+}
+
+/// Percentage of the ideal accuracy achieved: `100·e_ideal/e`, capped at
+/// 100. Reaches 100 when the run matches the reference error and falls
+/// toward 0 as the reconstruction degrades. (The ratio form is used
+/// because on very sparse binary data the relative 1-norm error of even a
+/// converged model can exceed 1 — the dense reconstruction spreads small
+/// junk over every column — which would make an additive `1−e` scale
+/// degenerate.)
+pub fn percent_of_ideal(error: f64, ideal_error: f64) -> f64 {
+    assert!(ideal_error >= 0.0 && error >= 0.0, "errors are non-negative");
+    if error <= ideal_error {
+        return 100.0;
+    }
+    if error == 0.0 {
+        return 100.0;
+    }
+    (100.0 * ideal_error / error).clamp(0.0, 100.0)
+}
+
+/// The error corresponding to `percent`% of ideal accuracy under the
+/// [`percent_of_ideal`] scale — e.g. the paper's "time to reach 95% of the
+/// ideal accuracy" is `time_to_error(target_error_for(e_ideal, 95.0))`.
+pub fn target_error_for(ideal_error: f64, percent: f64) -> f64 {
+    assert!(percent > 0.0 && percent <= 100.0, "percent in (0, 100]");
+    ideal_error * 100.0 / percent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Mat;
+
+    fn tiny_model() -> PcaModel {
+        // C = e1, mean = 0: model reconstructs the first coordinate only.
+        let mut c = Mat::zeros(3, 1);
+        c[(0, 0)] = 1.0;
+        PcaModel::new(c, vec![0.0; 3], 1e-9)
+    }
+
+    #[test]
+    fn perfect_model_has_near_zero_error() {
+        // Data entirely along e1 is perfectly reconstructed.
+        let y = SparseMat::from_triplets(3, 3, &[(0, 0, 1.0), (1, 0, 2.0), (2, 0, 3.0)]);
+        let e = reconstruction_error(&y, &tiny_model()).unwrap();
+        assert!(e < 1e-6, "error {e}");
+    }
+
+    #[test]
+    fn orthogonal_data_has_full_error() {
+        // Data along e2 cannot be reconstructed at all: e = 1.
+        let y = SparseMat::from_triplets(2, 3, &[(0, 1, 1.0), (1, 1, 2.0)]);
+        let e = reconstruction_error(&y, &tiny_model()).unwrap();
+        assert!((e - 1.0).abs() < 1e-9, "error {e}");
+    }
+
+    #[test]
+    fn empty_sample_is_zero_error() {
+        let y = SparseMat::from_rows(0, 3, vec![]);
+        assert_eq!(reconstruction_error(&y, &tiny_model()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sample_rows_is_deterministic_and_bounded() {
+        let y = SparseMat::from_triplets(
+            10,
+            4,
+            &(0..10).map(|r| (r, (r % 4) as u32, 1.0)).collect::<Vec<_>>(),
+        );
+        let a = sample_rows(&y, 5, 7);
+        let b = sample_rows(&y, 5, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.rows(), 5);
+        let all = sample_rows(&y, 100, 7);
+        assert_eq!(all.rows(), 10, "sample size caps at N");
+    }
+
+    #[test]
+    fn percent_scale_endpoints() {
+        assert_eq!(percent_of_ideal(0.3, 0.3), 100.0);
+        assert!((percent_of_ideal(0.6, 0.3) - 50.0).abs() < 1e-12);
+        assert!(percent_of_ideal(30.0, 0.3) <= 1.0);
+        assert_eq!(percent_of_ideal(0.2, 0.3), 100.0, "capped at 100");
+        // Works when even the ideal error exceeds 1 (sparse binary data).
+        assert_eq!(percent_of_ideal(1.6, 1.6), 100.0);
+        assert!((percent_of_ideal(3.2, 1.6) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_error_inverts_percent() {
+        let ideal = 1.61;
+        let target = target_error_for(ideal, 95.0);
+        assert!((percent_of_ideal(target, ideal) - 95.0).abs() < 1e-9);
+        assert_eq!(target_error_for(ideal, 100.0), ideal);
+    }
+}

@@ -1,0 +1,143 @@
+//! Configuration of a PCA fit.
+
+/// Smart-guess initialization (the paper's sPCA-SG, Section 5.2): run the
+/// algorithm on a small random row sample first and seed the full run with
+/// the resulting `C` and `ss`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmartGuess {
+    /// Fraction of rows to sample for the warm-up run (0 < f ≤ 1).
+    pub sample_fraction: f64,
+    /// EM iterations to spend on the sample.
+    pub iterations: usize,
+}
+
+impl Default for SmartGuess {
+    fn default() -> Self {
+        SmartGuess { sample_fraction: 0.05, iterations: 5 }
+    }
+}
+
+/// Configuration for [`crate::Spca`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpcaConfig {
+    /// Number of principal components `d` (the paper uses 50 everywhere).
+    pub components: usize,
+    /// Hard cap on EM iterations (the paper caps at 10 in Table 2).
+    pub max_iters: usize,
+    /// Stop when the relative change of the reconstruction error between
+    /// iterations falls below this (`None` disables the check).
+    pub rel_tolerance: Option<f64>,
+    /// Stop as soon as the sampled reconstruction error reaches this value
+    /// (`None` disables). Used for "time to 95% of ideal accuracy" runs.
+    pub target_error: Option<f64>,
+    /// RNG seed: initialization of `C`/`ss` and the error-estimation row
+    /// sample derive from it.
+    pub seed: u64,
+    /// Rows sampled for the reconstruction-error estimate (the paper also
+    /// measures error on a random row subset to keep it affordable).
+    pub error_sample_rows: usize,
+    /// Number of input partitions (defaults to the cluster's core count at
+    /// fit time when `None`).
+    pub partitions: Option<usize>,
+    /// Optional smart-guess initialization (sPCA-SG).
+    pub smart_guess: Option<SmartGuess>,
+}
+
+impl SpcaConfig {
+    /// Defaults for `d` components: 10 iterations max, relative tolerance
+    /// 1e-3, 256-row error sample.
+    pub fn new(components: usize) -> Self {
+        assert!(components > 0, "need at least one component");
+        SpcaConfig {
+            components,
+            max_iters: 10,
+            rel_tolerance: Some(1e-3),
+            target_error: None,
+            seed: 0x5bca,
+            error_sample_rows: 256,
+            partitions: None,
+            smart_guess: None,
+        }
+    }
+
+    /// Sets the iteration cap.
+    pub fn with_max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Sets (or disables) the relative-change stop condition.
+    pub fn with_rel_tolerance(mut self, tol: Option<f64>) -> Self {
+        self.rel_tolerance = tol;
+        self
+    }
+
+    /// Sets the target-error stop condition.
+    pub fn with_target_error(mut self, err: f64) -> Self {
+        self.target_error = Some(err);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the error-estimation sample size.
+    pub fn with_error_sample_rows(mut self, rows: usize) -> Self {
+        self.error_sample_rows = rows;
+        self
+    }
+
+    /// Fixes the number of input partitions.
+    pub fn with_partitions(mut self, parts: usize) -> Self {
+        assert!(parts > 0, "need at least one partition");
+        self.partitions = Some(parts);
+        self
+    }
+
+    /// Enables smart-guess initialization.
+    pub fn with_smart_guess(mut self, sg: SmartGuess) -> Self {
+        self.smart_guess = Some(sg);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = SpcaConfig::new(50);
+        assert_eq!(c.components, 50);
+        assert_eq!(c.max_iters, 10);
+        assert!(c.smart_guess.is_none());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = SpcaConfig::new(3)
+            .with_max_iters(7)
+            .with_seed(9)
+            .with_target_error(0.25)
+            .with_rel_tolerance(None)
+            .with_partitions(4)
+            .with_error_sample_rows(64)
+            .with_smart_guess(SmartGuess::default());
+        assert_eq!(c.max_iters, 7);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.target_error, Some(0.25));
+        assert_eq!(c.rel_tolerance, None);
+        assert_eq!(c.partitions, Some(4));
+        assert_eq!(c.error_sample_rows, 64);
+        assert!(c.smart_guess.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn zero_components_rejected() {
+        let _ = SpcaConfig::new(0);
+    }
+}

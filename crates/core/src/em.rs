@@ -1,0 +1,144 @@
+//! The engine-agnostic EM driver (Algorithm 4).
+//!
+//! The paper stresses that only three computations are distributed — the
+//! consolidated `YtX`/`XtX` job, the `ss3` job, and the one-time
+//! mean/Frobenius jobs — while "all other operations can easily run on a
+//! single machine" in the driver. That split is made literal here: the
+//! [`EmJobs`] trait is the distributed surface (implemented once per
+//! engine in [`crate::spark`] and [`crate::mr`]) and [`run_em`] is the
+//! driver program, shared verbatim by both platforms.
+
+use dcluster::SimCluster;
+use linalg::decomp::cholesky::solve_spd_right;
+use linalg::decomp::lu::Lu;
+use linalg::{Mat, SparseMat};
+
+use crate::accuracy;
+use crate::config::SpcaConfig;
+use crate::error::SpcaError;
+use crate::mean_prop::{ss3_finalize, YtxPartial};
+use crate::model::{IterationStat, PcaModel, SpcaRun};
+use crate::Result;
+
+/// The distributed jobs an engine must provide.
+pub trait EmJobs {
+    /// Number of input rows N.
+    fn num_rows(&self) -> usize;
+    /// Number of input columns D.
+    fn num_cols(&self) -> usize;
+    /// `meanJob`: column means of `Y` (Algorithm 4, line 3).
+    fn mean_job(&mut self) -> Vec<f64>;
+    /// `FnormJob`: `‖Y − 1⊗mean‖²_F` via Algorithm 3 (line 4).
+    fn fnorm_job(&mut self, mean: &[f64]) -> f64;
+    /// Consolidated `YtXJob` (line 9): one distributed pass computing the
+    /// `XtX` and `YtX` contributions and the hoisted `Σx`, recomputing `X`
+    /// on demand from the broadcast `CM` and `Xm`.
+    fn ytx_job(&mut self, cm: &Mat, xm: &[f64]) -> YtxPartial;
+    /// `ss3Job` (line 13): distributed part of ss3 (`Σ xᵢ·(C'yᵢ')`).
+    fn ss3_job(&mut self, cm: &Mat, xm: &[f64], c_new: &Mat) -> f64;
+}
+
+/// Runs the EM driver loop over the given engine jobs.
+///
+/// `error_sample` is the pre-drawn row sample the per-iteration accuracy
+/// estimate uses; it is instrumentation and charged to neither engine.
+pub fn run_em(
+    cluster: &SimCluster,
+    jobs: &mut dyn EmJobs,
+    error_sample: &SparseMat,
+    config: &SpcaConfig,
+    init: (Mat, f64),
+) -> Result<SpcaRun> {
+    let n = jobs.num_rows();
+    let d_in = jobs.num_cols();
+    let d = config.components;
+    if n == 0 || d_in == 0 {
+        return Err(SpcaError::EmptyInput);
+    }
+    if d > d_in.min(n) {
+        return Err(SpcaError::TooManyComponents { requested: d, available: d_in.min(n) });
+    }
+
+    let start_time = cluster.metrics().virtual_time_secs;
+    let start_intermediate = cluster.metrics().intermediate_bytes;
+
+    // The driver holds C, CM, YtX and scratch — all O(D·d). This is the
+    // whole point of Figure 8: sPCA's driver memory does not grow with D².
+    let driver_bytes = 4 * (d_in * d * 8) as u64 + (d_in * 8) as u64;
+    let _driver_guard = cluster.alloc_driver(driver_bytes)?;
+
+    let (mut c, mut ss) = init;
+    assert_eq!((c.rows(), c.cols()), (d_in, d), "init C has wrong shape");
+
+    // Lines 3–4: one-time jobs.
+    let mean = jobs.mean_job();
+    let ss1 = jobs.fnorm_job(&mean);
+
+    let mut iterations: Vec<IterationStat> = Vec::new();
+    let mut prev_error = f64::INFINITY;
+
+    for iter in 1..=config.max_iters {
+        // Lines 6–8 (driver): M, CM = C·M⁻¹, Xm = Ym·CM.
+        let mut m = c.matmul_tn(&c);
+        m.add_diag(ss);
+        let m_inv = Lu::new(&m)?.inverse();
+        let cm = c.matmul(&m_inv);
+        let xm = cm.vecmat(&mean);
+
+        // Line 9 (distributed): consolidated XtX/YtX pass.
+        let partial = jobs.ytx_job(&cm, &xm);
+        debug_assert_eq!(partial.rows_seen as usize, n, "YtXJob must see every row");
+
+        // Line 10 (driver): XtX += N·ss·M⁻¹.
+        let mut xtx = partial.xtx.clone();
+        xtx.add_scaled(n as f64 * ss, &m_inv);
+        // Driver-side assembly of the dense YtX.
+        let ytx = partial.finalize_ytx(&mean);
+
+        // Line 11: C = YtX / XtX.
+        let c_new = solve_spd_right(&xtx, &ytx)?;
+
+        // Line 12: ss2 = tr(XtX·C'C).
+        let ctc = c_new.matmul_tn(&c_new);
+        let ss2 = xtx.matmul(&ctc).trace();
+
+        // Line 13 (distributed): ss3.
+        let part = jobs.ss3_job(&cm, &xm, &c_new);
+        let ss3 = ss3_finalize(part, &partial.sum_x, &c_new, &mean);
+
+        // Line 14: variance update.
+        c = c_new;
+        ss = ((ss1 + ss2 - 2.0 * ss3) / (n as f64) / (d_in as f64)).max(1e-12);
+
+        // Instrumentation: sampled reconstruction error (not charged).
+        let model = PcaModel::new(c.clone(), mean.clone(), ss);
+        let error = accuracy::reconstruction_error(error_sample, &model)?;
+        iterations.push(IterationStat {
+            iteration: iter,
+            error,
+            ss,
+            virtual_time_secs: cluster.metrics().virtual_time_secs - start_time,
+        });
+
+        // STOP_CONDITION.
+        if let Some(target) = config.target_error {
+            if error <= target {
+                break;
+            }
+        }
+        if let Some(tol) = config.rel_tolerance {
+            if prev_error.is_finite() && (prev_error - error).abs() <= tol * prev_error.abs() {
+                break;
+            }
+        }
+        prev_error = error;
+    }
+
+    let end = cluster.metrics();
+    Ok(SpcaRun {
+        model: PcaModel::new(c, mean, ss),
+        iterations,
+        virtual_time_secs: end.virtual_time_secs - start_time,
+        intermediate_bytes: end.intermediate_bytes - start_intermediate,
+    })
+}

@@ -1,0 +1,79 @@
+//! Error type for the sPCA algorithms.
+
+use std::fmt;
+
+use dcluster::ClusterError;
+use linalg::LinalgError;
+
+/// Failures surfaced by PCA fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpcaError {
+    /// The input matrix has no rows or no columns.
+    EmptyInput,
+    /// More components requested than the data supports.
+    TooManyComponents {
+        /// Requested component count.
+        requested: usize,
+        /// min(N, D) of the input.
+        available: usize,
+    },
+    /// A numeric routine failed (singular M, non-convergent eigensolver…).
+    Numeric(LinalgError),
+    /// The simulated cluster refused a resource (driver OOM — the MLlib
+    /// failure mode of Figures 7–8).
+    Cluster(ClusterError),
+}
+
+impl fmt::Display for SpcaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpcaError::EmptyInput => write!(f, "input matrix is empty"),
+            SpcaError::TooManyComponents { requested, available } => write!(
+                f,
+                "requested {requested} principal components but the data supports at most {available}"
+            ),
+            SpcaError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            SpcaError::Cluster(e) => write!(f, "cluster failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpcaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpcaError::Numeric(e) => Some(e),
+            SpcaError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for SpcaError {
+    fn from(e: LinalgError) -> Self {
+        SpcaError::Numeric(e)
+    }
+}
+
+impl From<ClusterError> for SpcaError {
+    fn from(e: ClusterError) -> Self {
+        SpcaError::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SpcaError::TooManyComponents { requested: 60, available: 50 };
+        assert!(e.to_string().contains("60"));
+
+        let e: SpcaError = LinalgError::Singular { routine: "lu", pivot: 0.0 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: SpcaError =
+            ClusterError::DriverOom { requested: 1, in_use: 0, limit: 0 }.into();
+        assert!(e.to_string().contains("driver"));
+    }
+}

@@ -1,0 +1,103 @@
+//! sPCA: scalable probabilistic principal component analysis.
+//!
+//! This crate is the paper's primary contribution (Sections 3–4): an
+//! Expectation–Maximization implementation of probabilistic PCA
+//! restructured for distributed execution, with four optimizations —
+//!
+//! 1. **Mean propagation** ([`mean_prop`]) — never subtract the column
+//!    means from the sparse input; push the mean algebraically through
+//!    every product so all distributed work stays O(nnz).
+//! 2. **Minimized intermediate data** ([`em`]) — the large latent matrix
+//!    `X` is never stored or shuffled; each job recomputes its rows
+//!    on demand from the broadcast `CM` matrix, and the `XtX`/`YtX` jobs
+//!    are consolidated into one pass.
+//! 3. **In-memory matrix multiplication** — the small matrices (`C`, `M⁻¹`,
+//!    `CM`) are broadcast to every task; each sparse row is multiplied
+//!    against them locally (Section 3.3's Equation (2) pattern is used for
+//!    the transpose products).
+//! 4. **Sparse Frobenius norm** ([`frobenius`]) — Algorithm 3 computes
+//!    `‖Y − 1⊗Ym‖²_F` touching non-zeros only.
+//!
+//! Entry points: [`Spca::fit_spark`] and [`Spca::fit_mapreduce`] run the
+//! full distributed algorithm on the two simulated platforms; [`ppca`]
+//! holds the single-machine reference implementation (the paper's
+//! Algorithm 1) the distributed versions are tested against; [`missing`]
+//! and [`mixture`] implement the two PPCA extensions Section 2.4 credits
+//! the probabilistic formulation with (EM under missing values, mixtures
+//! of PPCA).
+
+pub mod ablation;
+pub mod accuracy;
+pub mod config;
+pub mod em;
+pub mod error;
+pub mod frobenius;
+pub mod init;
+pub mod likelihood;
+pub mod mean_prop;
+pub mod missing;
+pub mod mixture;
+pub mod model;
+pub mod mr;
+pub mod ppca;
+pub mod spark;
+
+pub use config::SpcaConfig;
+pub use error::SpcaError;
+pub use model::{IterationStat, PcaModel, SpcaRun};
+
+use dcluster::SimCluster;
+use linalg::SparseMat;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SpcaError>;
+
+/// The sPCA algorithm, configured and ready to fit.
+///
+/// ```
+/// use dcluster::{ClusterConfig, SimCluster};
+/// use linalg::Prng;
+/// use spca_core::{Spca, SpcaConfig};
+///
+/// let mut rng = Prng::seed_from_u64(1);
+/// let spec = datasets::LowRankSpec::small_test();
+/// let y = datasets::sparse_lowrank(&spec, &mut rng);
+///
+/// let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+/// let run = Spca::new(SpcaConfig::new(3).with_max_iters(5))
+///     .fit_spark(&cluster, &y)
+///     .unwrap();
+/// assert_eq!(run.model.components().cols(), 3);
+/// // EM improves the sampled reconstruction error monotonically here.
+/// assert!(run.final_error() <= run.iterations[0].error);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Spca {
+    config: SpcaConfig,
+}
+
+impl Spca {
+    /// Creates the algorithm with the given configuration.
+    pub fn new(config: SpcaConfig) -> Self {
+        Spca { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SpcaConfig {
+        &self.config
+    }
+
+    /// Fits on the Spark-like engine (Algorithm 4 + Algorithm 5):
+    /// accumulator-based `YtX`/`XtX` job, cached input RDD, millisecond
+    /// task overheads.
+    pub fn fit_spark(&self, cluster: &SimCluster, y: &SparseMat) -> Result<SpcaRun> {
+        spark::fit(cluster, y, &self.config)
+    }
+
+    /// Fits on the MapReduce engine (Section 4.1): stateful-combiner
+    /// mappers, composite shuffle keys, per-job Hadoop overheads,
+    /// intermediate data through the simulated DFS.
+    pub fn fit_mapreduce(&self, cluster: &SimCluster, y: &SparseMat) -> Result<SpcaRun> {
+        mr::fit(cluster, y, &self.config)
+    }
+}

@@ -1,0 +1,295 @@
+//! Mean propagation: the per-row kernels of the distributed jobs.
+//!
+//! PPCA needs the mean-centered matrix `Yc = Y − 1⊗Ym`, but centering a
+//! sparse matrix destroys its sparsity (Section 3.1). Every kernel here
+//! therefore works on the *original* sparse rows and pushes the mean
+//! through algebraically:
+//!
+//! * latent row: `x = (y − Ym)·CM = y·CM − Xm` with `Xm = Ym·CM` broadcast;
+//! * `YtX` update: `Σᵢ(yᵢ − Ym)' ⊗ xᵢ = Σᵢ yᵢ' ⊗ xᵢ − Ym' ⊗ Σᵢxᵢ` — the
+//!   `Ym' ⊗ Σxᵢ` term is **hoisted**: workers accumulate only the d-vector
+//!   `Σxᵢ`, and the driver applies the rank-1 correction once;
+//! * `ss3` update: `xᵢ·(C'·yᵢ')` uses the associativity trick of
+//!   Section 4.1's Equation (3) — multiply `C'` by the *sparse* `yᵢ'`
+//!   first (O(z·d)), never forming the dense `xᵢ·C'` (O(D·d)).
+//!
+//! [`YtxPartial`] is the consolidated accumulator of the paper's `YtXJob`
+//! (Figure 3): one pass computes the `XtX` and `YtX` contributions *and*
+//! the hoisted sums, recomputing `x` on demand instead of materializing the
+//! N×d matrix `X`.
+
+use std::collections::HashMap;
+
+use linalg::bytes::ByteSized;
+use linalg::sparse::SparseRow;
+use linalg::{Mat, SparseMat};
+
+/// Latent row `x = y·CM − Xm` for one sparse row (O(z·d)).
+pub fn latent_row(row: SparseRow<'_>, cm: &Mat, xm: &[f64]) -> Vec<f64> {
+    let mut x = row.mul_mat(cm);
+    linalg::vector::axpy(-1.0, xm, &mut x);
+    x
+}
+
+/// The ablation arm: the same latent row computed *without* mean
+/// propagation — materialize the dense centered row, then multiply
+/// (O(D·d) regardless of sparsity). Used by the Table 3 comparison.
+pub fn latent_row_dense(row: SparseRow<'_>, mean: &[f64], cm: &Mat) -> Vec<f64> {
+    let mut dense = vec![0.0; mean.len()];
+    for (d, m) in dense.iter_mut().zip(mean) {
+        *d = -m;
+    }
+    for (c, v) in row.iter() {
+        dense[c] += v;
+    }
+    cm.vecmat(&dense)
+}
+
+/// Per-task accumulator of the consolidated `YtX`/`XtX` job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YtxPartial {
+    /// `Σᵢ xᵢ ⊗ xᵢ` (d × d).
+    pub xtx: Mat,
+    /// `Σᵢ yᵢ' ⊗ xᵢ`, stored sparsely: only columns some row touched.
+    pub ytx_rows: HashMap<u32, Vec<f64>>,
+    /// `Σᵢ xᵢ` — the hoisted mean-correction vector.
+    pub sum_x: Vec<f64>,
+    /// Rows processed (for sanity checks).
+    pub rows_seen: u64,
+}
+
+impl YtxPartial {
+    /// Empty accumulator for `d` components.
+    pub fn new(d: usize) -> Self {
+        YtxPartial {
+            xtx: Mat::zeros(d, d),
+            ytx_rows: HashMap::new(),
+            sum_x: vec![0.0; d],
+            rows_seen: 0,
+        }
+    }
+
+    /// Folds one sparse row into the accumulator, recomputing its latent
+    /// vector on demand (the "redundant computation" of Section 3.2).
+    pub fn add_row(&mut self, row: SparseRow<'_>, cm: &Mat, xm: &[f64]) {
+        let x = latent_row(row, cm, xm);
+        // XtX += x ⊗ x.
+        let d = x.len();
+        for i in 0..d {
+            let xi = x[i];
+            if xi != 0.0 {
+                linalg::vector::axpy(xi, &x, &mut self.xtx.row_mut(i)[..]);
+            }
+        }
+        // YtX: only the non-zero columns of y contribute to Σ y' ⊗ x.
+        for (c, v) in row.iter() {
+            let slot = self.ytx_rows.entry(c as u32).or_insert_with(|| vec![0.0; d]);
+            linalg::vector::axpy(v, &x, slot);
+        }
+        linalg::vector::axpy(1.0, &x, &mut self.sum_x);
+        self.rows_seen += 1;
+    }
+
+    /// Merges another partial (accumulator semantics: associative add).
+    pub fn merge(&mut self, other: YtxPartial) {
+        self.xtx.add_assign(&other.xtx);
+        for (c, row) in other.ytx_rows {
+            match self.ytx_rows.entry(c) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    linalg::vector::axpy(1.0, &row, e.get_mut());
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(row);
+                }
+            }
+        }
+        linalg::vector::axpy(1.0, &other.sum_x, &mut self.sum_x);
+        self.rows_seen += other.rows_seen;
+    }
+
+    /// Driver-side assembly of the dense `YtX = Σ y'⊗x − Ym' ⊗ Σx`
+    /// (D × d).
+    pub fn finalize_ytx(&self, mean: &[f64]) -> Mat {
+        let d = self.sum_x.len();
+        let d_in = mean.len();
+        let mut ytx = Mat::zeros(d_in, d);
+        for (&c, row) in &self.ytx_rows {
+            ytx.row_mut(c as usize).copy_from_slice(row);
+        }
+        for (j, &m) in mean.iter().enumerate() {
+            if m != 0.0 {
+                linalg::vector::axpy(-m, &self.sum_x, ytx.row_mut(j));
+            }
+        }
+        ytx
+    }
+}
+
+impl ByteSized for YtxPartial {
+    fn size_bytes(&self) -> u64 {
+        let d = self.sum_x.len() as u64;
+        let xtx = 8 * d * d;
+        let rows: u64 = self.ytx_rows.len() as u64 * (4 + 8 * d);
+        xtx + rows + 8 * d + 8
+    }
+}
+
+/// One row's contribution to `Σᵢ xᵢ·(C'·yᵢ')`, the distributed part of
+/// `ss3` (Algorithm 4, line 13), using the sparse-first associativity
+/// order.
+pub fn ss3_row(row: SparseRow<'_>, cm: &Mat, xm: &[f64], c_new: &Mat) -> f64 {
+    let x = latent_row(row, cm, xm);
+    // C'·y' over non-zeros of y: a d-vector in O(z·d).
+    let d = x.len();
+    let mut cy = vec![0.0; d];
+    for (c, v) in row.iter() {
+        linalg::vector::axpy(v, c_new.row(c), &mut cy);
+    }
+    linalg::vector::dot(&x, &cy)
+}
+
+/// Driver-side completion of ss3:
+/// `ss3 = Σᵢ xᵢ·(C'yᵢ') − (Σᵢxᵢ)·(C'·Ym')`.
+pub fn ss3_finalize(part: f64, sum_x: &[f64], c_new: &Mat, mean: &[f64]) -> f64 {
+    let cy_mean = c_new.vecmat(mean);
+    part - linalg::vector::dot(sum_x, &cy_mean)
+}
+
+/// Dense-oracle computation of `XtX`, `YtX` and `Σx` for tests: centers
+/// the matrix explicitly and uses plain dense algebra.
+pub fn dense_oracle(y: &SparseMat, mean: &[f64], cm: &Mat) -> (Mat, Mat, Vec<f64>) {
+    let mut yc = y.to_dense();
+    yc.sub_row_vector(mean);
+    let x = yc.matmul(cm);
+    let xtx = x.matmul_tn(&x);
+    let ytx = yc.matmul_tn(&x);
+    let mut sum_x = vec![0.0; cm.cols()];
+    for r in 0..x.rows() {
+        linalg::vector::axpy(1.0, x.row(r), &mut sum_x);
+    }
+    (xtx, ytx, sum_x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Prng;
+
+    fn fixture() -> (SparseMat, Vec<f64>, Mat, Vec<f64>) {
+        let mut rng = Prng::seed_from_u64(5);
+        let y = SparseMat::from_triplets(
+            6,
+            8,
+            &[
+                (0, 0, 1.0),
+                (0, 3, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (2, 7, 1.0),
+                (3, 1, 1.0),
+                (4, 0, 1.0),
+                (4, 4, 1.0),
+                (5, 5, 1.0),
+            ],
+        );
+        let mean = y.col_means();
+        let cm = rng.normal_mat(8, 3);
+        let xm = cm.vecmat(&mean);
+        (y, mean, cm, xm)
+    }
+
+    #[test]
+    fn latent_row_matches_dense_centering() {
+        let (y, mean, cm, xm) = fixture();
+        for r in 0..y.rows() {
+            let fast = latent_row(y.row(r), &cm, &xm);
+            let slow = latent_row_dense(y.row(r), &mean, &cm);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-12, "row {r}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_matches_dense_oracle() {
+        let (y, mean, cm, xm) = fixture();
+        let mut p = YtxPartial::new(3);
+        for r in 0..y.rows() {
+            p.add_row(y.row(r), &cm, &xm);
+        }
+        let (xtx_o, ytx_o, sum_o) = dense_oracle(&y, &mean, &cm);
+        assert!(p.xtx.approx_eq(&xtx_o, 1e-10), "XtX mismatch");
+        let ytx = p.finalize_ytx(&mean);
+        assert!(ytx.approx_eq(&ytx_o, 1e-10), "YtX mismatch");
+        for (a, b) in p.sum_x.iter().zip(&sum_o) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        assert_eq!(p.rows_seen, 6);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let (y, mean, cm, xm) = fixture();
+        let mut whole = YtxPartial::new(3);
+        for r in 0..y.rows() {
+            whole.add_row(y.row(r), &cm, &xm);
+        }
+        let mut a = YtxPartial::new(3);
+        let mut b = YtxPartial::new(3);
+        for r in 0..3 {
+            a.add_row(y.row(r), &cm, &xm);
+        }
+        for r in 3..6 {
+            b.add_row(y.row(r), &cm, &xm);
+        }
+        a.merge(b);
+        assert!(a.xtx.approx_eq(&whole.xtx, 1e-12));
+        assert!(a.finalize_ytx(&mean).approx_eq(&whole.finalize_ytx(&mean), 1e-12));
+        assert_eq!(a.rows_seen, whole.rows_seen);
+    }
+
+    #[test]
+    fn ytx_partial_stays_sparse() {
+        // Only touched columns are stored — the property that keeps sPCA's
+        // shuffle at O(z·d) instead of O(D·d).
+        let (y, _, cm, xm) = fixture();
+        let mut p = YtxPartial::new(3);
+        p.add_row(y.row(0), &cm, &xm); // touches columns 0 and 3
+        assert_eq!(p.ytx_rows.len(), 2);
+        assert!(p.ytx_rows.contains_key(&0));
+        assert!(p.ytx_rows.contains_key(&3));
+    }
+
+    #[test]
+    fn ss3_matches_dense_oracle() {
+        let (y, mean, cm, xm) = fixture();
+        let mut rng = Prng::seed_from_u64(9);
+        let c_new = rng.normal_mat(8, 3);
+
+        let part: f64 = (0..y.rows()).map(|r| ss3_row(y.row(r), &cm, &xm, &c_new)).sum();
+        let mut p = YtxPartial::new(3);
+        for r in 0..y.rows() {
+            p.add_row(y.row(r), &cm, &xm);
+        }
+        let fast = ss3_finalize(part, &p.sum_x, &c_new, &mean);
+
+        // Oracle: Σ xᵢ · (C'·ycᵢ') densely.
+        let mut yc = y.to_dense();
+        yc.sub_row_vector(&mean);
+        let x = yc.matmul(&cm);
+        let cy = yc.matmul(&c_new); // N×d rows = C'·ycᵢ'
+        let slow: f64 =
+            (0..x.rows()).map(|r| linalg::vector::dot(x.row(r), cy.row(r))).sum();
+        assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn byte_size_reflects_sparsity() {
+        let mut p = YtxPartial::new(4);
+        let before = p.size_bytes();
+        let y = SparseMat::from_triplets(1, 10, &[(0, 2, 1.0)]);
+        let cm = Mat::zeros(10, 4);
+        p.add_row(y.row(0), &cm, &[0.0; 4]);
+        assert_eq!(p.size_bytes() - before, 4 + 8 * 4);
+    }
+}

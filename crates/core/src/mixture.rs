@@ -1,0 +1,311 @@
+//! Mixtures of probabilistic principal component analysers.
+//!
+//! The second PPCA property Section 2.4 highlights: "multiple PPCA models
+//! can be combined as a probabilistic mixture for better accuracy and to
+//! express complex models" (the paper's reference \[32\] is precisely
+//! Tipping & Bishop's mixture paper). Each mixture component is a full
+//! PPCA model `N(μ_k, C_k C_k' + ss_k·I)`; responsibilities and parameters
+//! are updated by EM.
+//!
+//! Densities use the Woodbury identity, so nothing larger than d×d is ever
+//! inverted: `Σ⁻¹ = (I − C M⁻¹ C')/ss` and
+//! `log|Σ| = (D−d)·log ss + log|M|` with `M = C'C + ss·I`.
+
+use linalg::decomp::lu::Lu;
+use linalg::{Mat, Prng};
+
+use crate::error::SpcaError;
+use crate::model::PcaModel;
+use crate::Result;
+
+/// A fitted mixture of PPCA models.
+#[derive(Debug, Clone)]
+pub struct MixtureOfPpca {
+    /// Mixing weights π (sum to 1).
+    pub weights: Vec<f64>,
+    /// The component models.
+    pub components: Vec<PcaModel>,
+    /// Final per-row average log-likelihood.
+    pub avg_log_likelihood: f64,
+}
+
+struct ComponentState {
+    mean: Vec<f64>,
+    c: Mat,
+    ss: f64,
+}
+
+/// Per-component quantities needed for the log density.
+struct DensityCache {
+    m_inv: Mat,
+    log_det_sigma: f64,
+    cm_inv: Mat, // C·M⁻¹ (D×d)
+}
+
+fn density_cache(state: &ComponentState, d_in: usize) -> Result<DensityCache> {
+    let d = state.c.cols();
+    let mut m = state.c.matmul_tn(&state.c);
+    m.add_diag(state.ss);
+    let lu = Lu::new(&m)?;
+    let m_inv = lu.inverse();
+    let log_det_m = lu.det().abs().max(f64::MIN_POSITIVE).ln();
+    let log_det_sigma = (d_in - d) as f64 * state.ss.max(f64::MIN_POSITIVE).ln() + log_det_m;
+    let cm_inv = state.c.matmul(&m_inv);
+    Ok(DensityCache { m_inv, log_det_sigma, cm_inv })
+}
+
+/// `log N(y; μ, CC' + ss·I)` via Woodbury.
+fn log_density(y: &[f64], state: &ComponentState, cache: &DensityCache) -> f64 {
+    let d_in = y.len() as f64;
+    let resid: Vec<f64> = y.iter().zip(&state.mean).map(|(a, b)| a - b).collect();
+    // Mahalanobis: (‖r‖² − r'C M⁻¹ C' r)/ss.
+    let ctr = {
+        // C' r (d)
+        let mut v = vec![0.0; state.c.cols()];
+        for (j, &r) in resid.iter().enumerate() {
+            if r != 0.0 {
+                linalg::vector::axpy(r, state.c.row(j), &mut v);
+            }
+        }
+        v
+    };
+    let quad_inner = {
+        let tmp = cache.m_inv.matvec(&ctr);
+        linalg::vector::dot(&ctr, &tmp)
+    };
+    let maha = (linalg::vector::norm2_sq(&resid) - quad_inner) / state.ss;
+    -0.5 * (d_in * (2.0 * std::f64::consts::PI).ln() + cache.log_det_sigma + maha)
+}
+
+impl MixtureOfPpca {
+    /// Fits a K-component mixture of d-dimensional PPCA models by EM.
+    pub fn fit(y: &Mat, k: usize, d: usize, iterations: usize, seed: u64) -> Result<Self> {
+        let n = y.rows();
+        let d_in = y.cols();
+        if n == 0 || d_in == 0 {
+            return Err(SpcaError::EmptyInput);
+        }
+        if d > d_in || k == 0 || n < k {
+            return Err(SpcaError::TooManyComponents {
+                requested: d.max(k),
+                available: d_in.min(n),
+            });
+        }
+
+        let mut rng = Prng::seed_from_u64(seed);
+        // Initialize means at random data rows, loadings randomly, equal
+        // weights.
+        let pick = rng.sample_indices(n, k);
+        let mut states: Vec<ComponentState> = pick
+            .iter()
+            .map(|&r| {
+                let mut c = rng.normal_mat(d_in, d);
+                c.scale(0.2);
+                ComponentState { mean: y.row(r).to_vec(), c, ss: 1.0 }
+            })
+            .collect();
+        let mut weights = vec![1.0 / k as f64; k];
+        let mut avg_ll = f64::NEG_INFINITY;
+
+        let mut resp = Mat::zeros(n, k);
+        for _ in 0..iterations {
+            // ---- E-step: responsibilities.
+            let caches: Vec<DensityCache> = states
+                .iter()
+                .map(|s| density_cache(s, d_in))
+                .collect::<Result<_>>()?;
+            let mut total_ll = 0.0;
+            for r in 0..n {
+                let row = y.row(r);
+                let logs: Vec<f64> = (0..k)
+                    .map(|c| weights[c].max(1e-300).ln() + log_density(row, &states[c], &caches[c]))
+                    .collect();
+                let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut z = 0.0;
+                for (c, &l) in logs.iter().enumerate() {
+                    let e = (l - max).exp();
+                    resp[(r, c)] = e;
+                    z += e;
+                }
+                for c in 0..k {
+                    resp[(r, c)] /= z;
+                }
+                total_ll += max + z.ln();
+            }
+            avg_ll = total_ll / n as f64;
+
+            // ---- M-step per component (responsibility-weighted PPCA).
+            for c_idx in 0..k {
+                let rk: f64 = (0..n).map(|r| resp[(r, c_idx)]).sum();
+                if rk < 1e-9 {
+                    continue; // dead component: keep parameters
+                }
+                weights[c_idx] = rk / n as f64;
+                // Weighted mean.
+                let mut mu = vec![0.0; d_in];
+                for r in 0..n {
+                    linalg::vector::axpy(resp[(r, c_idx)], y.row(r), &mut mu);
+                }
+                linalg::vector::scale(1.0 / rk, &mut mu);
+
+                // Posterior latents under current parameters.
+                let cache = density_cache(&states[c_idx], d_in)?;
+                let state = &states[c_idx];
+                let mut sum_yx = Mat::zeros(d_in, d); // Σ r (y−μ) ⊗ x
+                let mut sum_xx = Mat::zeros(d, d); // Σ r E[x xᵀ]
+                let mut xs = Mat::zeros(n, d);
+                for r in 0..n {
+                    let w = resp[(r, c_idx)];
+                    if w < 1e-12 {
+                        continue;
+                    }
+                    let resid: Vec<f64> =
+                        y.row(r).iter().zip(&mu).map(|(a, b)| a - b).collect();
+                    // x = M⁻¹C'(y−μ) = (C M⁻¹)'(y−μ).
+                    let x = cache.cm_inv.vecmat(&resid);
+                    xs.row_mut(r).copy_from_slice(&x);
+                    sum_yx.add_outer(w, &resid, &x);
+                    sum_xx.add_outer(w, &x, &x);
+                }
+                sum_xx.add_scaled(rk * state.ss, &cache.m_inv);
+                sum_xx.add_diag(1e-9);
+                // C_new solves C·ΣE[xx'] = Σ(y−μ)⊗x.
+                let c_new = linalg::decomp::cholesky::solve_spd_right(&sum_xx, &sum_yx)?;
+
+                // ss update.
+                let mut num = 0.0;
+                for r in 0..n {
+                    let w = resp[(r, c_idx)];
+                    if w < 1e-12 {
+                        continue;
+                    }
+                    let resid: Vec<f64> =
+                        y.row(r).iter().zip(&mu).map(|(a, b)| a - b).collect();
+                    let x = xs.row(r);
+                    let pred = c_new.matvec(x);
+                    let e2: f64 = resid
+                        .iter()
+                        .zip(&pred)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    num += w * e2;
+                }
+                // Posterior-covariance correction term.
+                let ctc = c_new.matmul_tn(&c_new);
+                let trace_term = rk * state.ss * cache.m_inv.matmul(&ctc).trace();
+                let ss_new = ((num + trace_term) / (rk * d_in as f64)).max(1e-12);
+
+                states[c_idx] = ComponentState { mean: mu, c: c_new, ss: ss_new };
+            }
+        }
+
+        let components = states
+            .into_iter()
+            .map(|s| PcaModel::new(s.c, s.mean, s.ss))
+            .collect();
+        Ok(MixtureOfPpca { weights, components, avg_log_likelihood: avg_ll })
+    }
+
+    /// Hard cluster assignment per row (argmax responsibility under the
+    /// fitted parameters).
+    pub fn assign(&self, y: &Mat) -> Result<Vec<usize>> {
+        let d_in = y.cols();
+        let states: Vec<ComponentState> = self
+            .components
+            .iter()
+            .map(|m| ComponentState {
+                mean: m.mean().to_vec(),
+                c: m.components().clone(),
+                ss: m.noise_variance(),
+            })
+            .collect();
+        let caches: Vec<DensityCache> =
+            states.iter().map(|s| density_cache(s, d_in)).collect::<Result<_>>()?;
+        Ok((0..y.rows())
+            .map(|r| {
+                let row = y.row(r);
+                (0..self.components.len())
+                    .max_by(|&a, &b| {
+                        let la = self.weights[a].max(1e-300).ln()
+                            + log_density(row, &states[a], &caches[a]);
+                        let lb = self.weights[b].max(1e-300).ln()
+                            + log_density(row, &states[b], &caches[b]);
+                        la.partial_cmp(&lb).expect("finite log densities")
+                    })
+                    .expect("at least one component")
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated low-rank clusters.
+    fn two_clusters(n_per: usize, d_in: usize, seed: u64) -> (Mat, Vec<usize>) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut labels = Vec::new();
+        for cluster in 0..2 {
+            let offset = if cluster == 0 { -6.0 } else { 6.0 };
+            let dir = rng.normal_vec(d_in);
+            for _ in 0..n_per {
+                let t = rng.normal();
+                let mut row: Vec<f64> =
+                    (0..d_in).map(|j| offset + t * dir[j] + 0.3 * rng.normal()).collect();
+                row[0] += offset; // extra separation on the first axis
+                rows.push(row);
+                labels.push(cluster);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        (Mat::from_rows(&refs), labels)
+    }
+
+    #[test]
+    fn separates_two_clusters() {
+        let (y, labels) = two_clusters(60, 6, 1);
+        let mix = MixtureOfPpca::fit(&y, 2, 1, 25, 3).unwrap();
+        let assign = mix.assign(&y).unwrap();
+        // Assignments must be consistent with the true labels up to
+        // permutation.
+        let agree = assign.iter().zip(&labels).filter(|(a, b)| a == b).count();
+        let acc = agree.max(assign.len() - agree) as f64 / assign.len() as f64;
+        assert!(acc > 0.95, "cluster accuracy {acc}");
+        // Weights near 50/50.
+        assert!((mix.weights[0] - 0.5).abs() < 0.1, "weights {:?}", mix.weights);
+    }
+
+    #[test]
+    fn likelihood_improves_with_more_iterations() {
+        let (y, _) = two_clusters(40, 5, 2);
+        let short = MixtureOfPpca::fit(&y, 2, 1, 2, 7).unwrap();
+        let long = MixtureOfPpca::fit(&y, 2, 1, 20, 7).unwrap();
+        assert!(
+            long.avg_log_likelihood >= short.avg_log_likelihood - 1e-9,
+            "{} vs {}",
+            long.avg_log_likelihood,
+            short.avg_log_likelihood
+        );
+    }
+
+    #[test]
+    fn single_component_behaves_like_ppca() {
+        let (y, _) = two_clusters(30, 4, 3);
+        let mix = MixtureOfPpca::fit(&y, 1, 2, 15, 1).unwrap();
+        assert_eq!(mix.components.len(), 1);
+        assert!((mix.weights[0] - 1.0).abs() < 1e-12);
+        let assigns = mix.assign(&y).unwrap();
+        assert!(assigns.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let y = Mat::zeros(3, 2);
+        assert!(MixtureOfPpca::fit(&y, 0, 1, 5, 0).is_err());
+        assert!(MixtureOfPpca::fit(&y, 5, 1, 5, 0).is_err(), "more clusters than rows");
+        let empty = Mat::zeros(0, 2);
+        assert!(MixtureOfPpca::fit(&empty, 1, 1, 5, 0).is_err());
+    }
+}

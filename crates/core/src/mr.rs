@@ -1,0 +1,333 @@
+//! sPCA on the MapReduce engine (Section 4.1).
+//!
+//! Four job types, mirroring the paper's implementation:
+//!
+//! * `meanJob`, `FnormJob` — one-time lightweight jobs before the loop.
+//! * `YtXJob` — the consolidated pass. Its mapper is a *stateful
+//!   combiner*: per-partition `XtX-p`/`YtX-p` partials and the hoisted
+//!   `Σx` are accumulated in mapper memory and emitted once at cleanup,
+//!   so mapper output stays O(d² + z·d) per mapper instead of O(rows·d).
+//!   A *composite key* routes all `XtX-p` partials to one reducer (they
+//!   are d×d and tiny) while `YtX` rows spread across reducers by row
+//!   index — exactly the paper's key design.
+//! * `ss3Job` — emits a single scalar per mapper (the paper: "the mapper
+//!   output of this job is a scalar, which reduces the amount of
+//!   intermediate data").
+
+use dcluster::SimCluster;
+use linalg::bytes::ByteSized;
+use linalg::{Mat, SparseMat};
+use mapreduce::{Emitter, MapReduceEngine, MapReduceJob};
+
+use crate::config::SpcaConfig;
+use crate::em::{run_em, EmJobs};
+use crate::frobenius;
+use crate::init;
+use crate::mean_prop::{ss3_row, YtxPartial};
+use crate::model::SpcaRun;
+use crate::Result;
+
+/// Composite shuffle key of the `YtXJob`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MrKey {
+    /// All `XtX-p` partials — routed to a single reducer.
+    XtX,
+    /// All hoisted `Σx` partials — single reducer.
+    SumX,
+    /// Row-count partials (sanity bookkeeping).
+    Count,
+    /// One key per touched `YtX` row — spreads across reducers.
+    Row(u32),
+}
+
+impl ByteSized for MrKey {
+    fn size_bytes(&self) -> u64 {
+        match self {
+            MrKey::Row(_) => 5,
+            _ => 1,
+        }
+    }
+}
+
+/// `meanJob`: column sums, reduced to one vector (driver divides by N).
+struct MeanJob;
+
+impl MapReduceJob for MeanJob {
+    type Input = SparseMat;
+    type Key = ();
+    type Value = Vec<f64>;
+    type Output = Vec<f64>;
+
+    fn map(&self, block: &SparseMat, emitter: &mut Emitter<(), Vec<f64>>) {
+        emitter.emit((), block.col_sums());
+    }
+
+    fn reduce(&self, _key: (), values: Vec<Vec<f64>>) -> Vec<f64> {
+        sum_vectors(values)
+    }
+}
+
+/// `FnormJob`: Algorithm 3 partial per block.
+struct FnormJob {
+    mean: Vec<f64>,
+    mean_norm_sq: f64,
+}
+
+impl MapReduceJob for FnormJob {
+    type Input = SparseMat;
+    type Key = ();
+    type Value = f64;
+    type Output = f64;
+
+    fn map(&self, block: &SparseMat, emitter: &mut Emitter<(), f64>) {
+        emitter.emit((), frobenius::centered_sq_block(block, &self.mean, self.mean_norm_sq));
+    }
+
+    fn reduce(&self, _key: (), values: Vec<f64>) -> f64 {
+        values.iter().sum()
+    }
+}
+
+/// The consolidated `YtXJob` with a stateful-combiner mapper.
+struct YtXJob {
+    cm: Mat,
+    xm: Vec<f64>,
+    d: usize,
+}
+
+impl MapReduceJob for YtXJob {
+    type Input = SparseMat;
+    type Key = MrKey;
+    type Value = Vec<f64>;
+    type Output = Vec<f64>;
+
+    fn map(&self, block: &SparseMat, emitter: &mut Emitter<MrKey, Vec<f64>>) {
+        // Stateful combiner: fold the whole partition into in-memory
+        // partials, emit once at "cleanup".
+        let mut partial = YtxPartial::new(self.d);
+        for r in 0..block.rows() {
+            partial.add_row(block.row(r), &self.cm, &self.xm);
+        }
+        emitter.emit(MrKey::XtX, partial.xtx.data().to_vec());
+        emitter.emit(MrKey::SumX, partial.sum_x.clone());
+        emitter.emit(MrKey::Count, vec![partial.rows_seen as f64]);
+        for (c, row) in partial.ytx_rows {
+            emitter.emit(MrKey::Row(c), row);
+        }
+    }
+
+    fn reduce(&self, _key: MrKey, values: Vec<Vec<f64>>) -> Vec<f64> {
+        sum_vectors(values)
+    }
+}
+
+/// `ss3Job`: scalar mapper output.
+struct Ss3Job {
+    cm: Mat,
+    xm: Vec<f64>,
+    c_new: Mat,
+}
+
+impl MapReduceJob for Ss3Job {
+    type Input = SparseMat;
+    type Key = ();
+    type Value = f64;
+    type Output = f64;
+
+    fn map(&self, block: &SparseMat, emitter: &mut Emitter<(), f64>) {
+        let mut part = 0.0;
+        for r in 0..block.rows() {
+            part += ss3_row(block.row(r), &self.cm, &self.xm, &self.c_new);
+        }
+        emitter.emit((), part);
+    }
+
+    fn reduce(&self, _key: (), values: Vec<f64>) -> f64 {
+        values.iter().sum()
+    }
+}
+
+fn sum_vectors(mut values: Vec<Vec<f64>>) -> Vec<f64> {
+    let mut acc = values.pop().expect("reducer gets at least one value");
+    for v in values {
+        linalg::vector::axpy(1.0, &v, &mut acc);
+    }
+    acc
+}
+
+struct MrJobs<'a> {
+    engine: MapReduceEngine<'a>,
+    blocks: Vec<SparseMat>,
+    n: usize,
+    d_in: usize,
+    d: usize,
+    reducers: usize,
+}
+
+impl EmJobs for MrJobs<'_> {
+    fn num_rows(&self) -> usize {
+        self.n
+    }
+
+    fn num_cols(&self) -> usize {
+        self.d_in
+    }
+
+    fn mean_job(&mut self) -> Vec<f64> {
+        let (out, _) = self.engine.run_job("meanJob", &MeanJob, &self.blocks, 1);
+        let mut mean = out.into_iter().next().expect("meanJob output").1;
+        linalg::vector::scale(1.0 / self.n as f64, &mut mean);
+        mean
+    }
+
+    fn fnorm_job(&mut self, mean: &[f64]) -> f64 {
+        let job =
+            FnormJob { mean: mean.to_vec(), mean_norm_sq: linalg::vector::norm2_sq(mean) };
+        let (out, _) = self.engine.run_job("FnormJob", &job, &self.blocks, 1);
+        out.into_iter().next().expect("FnormJob output").1
+    }
+
+    fn ytx_job(&mut self, cm: &Mat, xm: &[f64]) -> YtxPartial {
+        // Distributed-cache shipment of the broadcast matrices (CM, Xm).
+        self.engine
+            .cluster()
+            .charge_broadcast(linalg::Mat::size_bytes(cm) + 8 * xm.len() as u64);
+        let job = YtXJob { cm: cm.clone(), xm: xm.to_vec(), d: self.d };
+        let (out, _) = self.engine.run_job("YtXJob", &job, &self.blocks, self.reducers);
+        let mut partial = YtxPartial::new(self.d);
+        for (key, value) in out {
+            match key {
+                MrKey::XtX => partial.xtx = Mat::from_vec(self.d, self.d, value),
+                MrKey::SumX => partial.sum_x = value,
+                MrKey::Count => partial.rows_seen = value[0] as u64,
+                MrKey::Row(c) => {
+                    partial.ytx_rows.insert(c, value);
+                }
+            }
+        }
+        partial
+    }
+
+    fn ss3_job(&mut self, cm: &Mat, xm: &[f64], c_new: &Mat) -> f64 {
+        // ss3Job re-ships CM/Xm plus the updated C (each MR job re-reads
+        // its distributed cache; nothing persists across jobs).
+        self.engine.cluster().charge_broadcast(
+            linalg::Mat::size_bytes(cm)
+                + 8 * xm.len() as u64
+                + linalg::Mat::size_bytes(c_new),
+        );
+        let job = Ss3Job { cm: cm.clone(), xm: xm.to_vec(), c_new: c_new.clone() };
+        let (out, _) = self.engine.run_job("ss3Job", &job, &self.blocks, 1);
+        out.into_iter().next().expect("ss3Job output").1
+    }
+}
+
+/// Fits sPCA on the MapReduce engine.
+pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<SpcaRun> {
+    let partitions = config
+        .partitions
+        .unwrap_or_else(|| cluster.config().total_cores())
+        .min(y.rows().max(1));
+    let blocks = y.split_rows(partitions);
+
+    // Smart guess warms up on the sample with this same engine; its cost
+    // is charged to this run (the paper counts the warm-up delay).
+    let warm_time = cluster.metrics().virtual_time_secs;
+    let warm_bytes = cluster.metrics().intermediate_bytes;
+    let init_state = match &config.smart_guess {
+        Some(sg) => {
+            let want = ((y.rows() as f64) * sg.sample_fraction).ceil() as usize;
+            let k = want.max(2 * config.components + 2).min(y.rows());
+            let mut rng = linalg::Prng::seed_from_u64(config.seed ^ 0x5650);
+            let idx = rng.sample_indices(y.rows(), k);
+            let sample = y.select_rows(&idx);
+            let warm = SpcaConfig {
+                smart_guess: None,
+                max_iters: sg.iterations,
+                rel_tolerance: None,
+                target_error: None,
+                ..config.clone()
+            };
+            let run = fit(cluster, &sample, &warm)?;
+            (run.model.components().clone(), run.model.noise_variance())
+        }
+        None => init::random_init(y.cols(), config.components, config.seed),
+    };
+    let warm_elapsed = cluster.metrics().virtual_time_secs - warm_time;
+    let warm_intermediate = cluster.metrics().intermediate_bytes - warm_bytes;
+
+    let error_sample = crate::accuracy::sample_rows(y, config.error_sample_rows, config.seed);
+    let reducers = cluster.config().nodes.max(1);
+    let mut jobs = MrJobs {
+        engine: MapReduceEngine::new(cluster),
+        blocks,
+        n: y.rows(),
+        d_in: y.cols(),
+        d: config.components,
+        reducers,
+    };
+    let mut run = run_em(cluster, &mut jobs, &error_sample, config, init_state)?;
+    for it in &mut run.iterations {
+        it.virtual_time_secs += warm_elapsed;
+    }
+    run.virtual_time_secs += warm_elapsed;
+    run.intermediate_bytes += warm_intermediate;
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcluster::ClusterConfig;
+
+    #[test]
+    fn mr_key_ordering_groups_small_keys_first() {
+        let mut keys = vec![MrKey::Row(7), MrKey::SumX, MrKey::Row(0), MrKey::XtX, MrKey::Count];
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![MrKey::XtX, MrKey::SumX, MrKey::Count, MrKey::Row(0), MrKey::Row(7)]
+        );
+    }
+
+    #[test]
+    fn fit_runs_on_tiny_data() {
+        let mut rng = linalg::Prng::seed_from_u64(4);
+        let spec = datasets::LowRankSpec::small_test();
+        let y = datasets::sparse_lowrank(&spec, &mut rng);
+        let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+        let run = fit(&cluster, &y, &SpcaConfig::new(3).with_max_iters(4)).unwrap();
+        assert_eq!(run.model.output_dim(), 3);
+        let first = run.iterations.first().unwrap().error;
+        assert!(run.final_error() <= first);
+        // MapReduce pays per-job overheads: 2 + 2·iters jobs at ≥6 s each.
+        assert!(run.virtual_time_secs >= 6.0 * 2.0);
+    }
+
+    #[test]
+    fn mapreduce_matches_spark_exactly() {
+        // Same seed, same math: the two platforms must agree to numerical
+        // round-off — the paper's claim that the design is platform
+        // independent.
+        let mut rng = linalg::Prng::seed_from_u64(5);
+        let spec = datasets::LowRankSpec::small_test();
+        let y = datasets::sparse_lowrank(&spec, &mut rng);
+        let config = SpcaConfig::new(3).with_max_iters(3).with_rel_tolerance(None);
+
+        let c1 = SimCluster::new(ClusterConfig::paper_cluster());
+        let mr_run = fit(&c1, &y, &config).unwrap();
+        let c2 = SimCluster::new(ClusterConfig::paper_cluster());
+        let spark_run = crate::spark::fit(&c2, &y, &config).unwrap();
+
+        assert!(
+            mr_run
+                .model
+                .components()
+                .approx_eq(spark_run.model.components(), 1e-8),
+            "C diverged between platforms"
+        );
+        assert!(
+            (mr_run.model.noise_variance() - spark_run.model.noise_variance()).abs() < 1e-10
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Reference single-machine PPCA — the paper's Algorithm 1, verbatim
+//! (with the EM-correct `N·ss·M⁻¹` term; see DESIGN.md).
+//!
+//! This is the *unoptimized* baseline everything else is validated
+//! against: it densifies, it materializes `X`, it mean-centers explicitly.
+//! The distributed sPCA implementations must produce numerically identical
+//! iterates from the same seed — that equivalence is what "our
+//! optimization ideas do not change any theoretical properties of PPCA"
+//! means operationally, and it is asserted in the integration tests.
+
+use linalg::decomp::cholesky::solve_spd_right;
+use linalg::decomp::lu::Lu;
+use linalg::Mat;
+
+use crate::error::SpcaError;
+use crate::init::random_init;
+use crate::model::PcaModel;
+use crate::Result;
+
+/// Per-iteration state exposed to tests.
+#[derive(Debug, Clone)]
+pub struct PpcaTrace {
+    /// `C` after each iteration.
+    pub c_history: Vec<Mat>,
+    /// `ss` after each iteration.
+    pub ss_history: Vec<f64>,
+}
+
+/// Fits PPCA on a dense matrix by EM (Algorithm 1).
+pub fn fit_dense(y: &Mat, d: usize, iterations: usize, seed: u64) -> Result<(PcaModel, PpcaTrace)> {
+    let n = y.rows();
+    let d_in = y.cols();
+    if n == 0 || d_in == 0 {
+        return Err(SpcaError::EmptyInput);
+    }
+    if d > d_in.min(n) {
+        return Err(SpcaError::TooManyComponents { requested: d, available: d_in.min(n) });
+    }
+
+    // Lines 1–4: initialize and mean-center (the reference *does* densify).
+    let (mut c, mut ss) = random_init(d_in, d, seed);
+    let mean = y.col_means();
+    let mut yc = y.clone();
+    yc.sub_row_vector(&mean);
+    let ss1 = yc.frobenius_sq();
+
+    let mut trace = PpcaTrace { c_history: Vec::new(), ss_history: Vec::new() };
+
+    for _ in 0..iterations {
+        // Line 6: M = C'C + ss·I.
+        let mut m = c.matmul_tn(&c);
+        m.add_diag(ss);
+        let m_inv = Lu::new(&m)?.inverse();
+        // Line 7: X = Yc·C·M⁻¹.
+        let cm = c.matmul(&m_inv);
+        let x = yc.matmul(&cm);
+        // Line 8 (EM-complete): XtX = X'X + N·ss·M⁻¹.
+        let mut xtx = x.matmul_tn(&x);
+        xtx.add_scaled(n as f64 * ss, &m_inv);
+        // Line 9: YtX = Yc'·X.
+        let ytx = yc.matmul_tn(&x);
+        // Line 10: C = YtX / XtX.
+        let c_new = solve_spd_right(&xtx, &ytx)?;
+        // Line 11: ss2 = tr(XtX·C'C).
+        let ctc = c_new.matmul_tn(&c_new);
+        let ss2 = xtx.matmul(&ctc).trace();
+        // Line 12: ss3 = Σₙ Xₙ·C'·Ycₙ'.
+        let p = yc.matmul(&c_new);
+        let ss3: f64 =
+            (0..n).map(|r| linalg::vector::dot(x.row(r), p.row(r))).sum();
+        // Line 13: ss = (‖Yc‖² + ss2 − 2·ss3)/N/D.
+        c = c_new;
+        ss = ((ss1 + ss2 - 2.0 * ss3) / (n as f64) / (d_in as f64)).max(1e-12);
+
+        trace.c_history.push(c.clone());
+        trace.ss_history.push(ss);
+    }
+
+    Ok((PcaModel::new(c, mean, ss), trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::decomp::{qr_thin, svd_jacobi};
+    use linalg::Prng;
+
+    /// Low-rank + noise data with a known principal subspace.
+    fn planted_data(n: usize, d_in: usize, rank: usize, noise: f64, seed: u64) -> (Mat, Mat) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let basis = qr_thin(&rng.normal_mat(d_in, rank)).q; // d_in × rank
+        let latent = rng.normal_mat(n, rank);
+        let mut y = latent.matmul(&basis.transpose());
+        y.scale(3.0);
+        // Non-zero per-column mean (constant within each column, so the
+        // mean-centering step removes it exactly).
+        for r in 0..n {
+            for (j, v) in y.row_mut(r).iter_mut().enumerate() {
+                *v += 0.5 * ((j % 7) as f64);
+            }
+        }
+        let e = rng.normal_mat(n, d_in);
+        y.add_scaled(noise, &e);
+        (y, basis)
+    }
+
+    /// Largest principal angle (as cosine deficit) between the column
+    /// spaces of two orthonormal-izable matrices.
+    fn subspace_alignment(a: &Mat, b: &Mat) -> f64 {
+        let qa = qr_thin(a).q;
+        let qb = qr_thin(b).q;
+        let overlap = qa.matmul_tn(&qb);
+        let svd = svd_jacobi(&overlap).unwrap();
+        // Smallest singular value of Qa'Qb = cos(largest principal angle).
+        *svd.s.last().unwrap()
+    }
+
+    #[test]
+    fn recovers_planted_subspace() {
+        let (y, basis) = planted_data(300, 12, 3, 0.05, 1);
+        let (model, _) = fit_dense(&y, 3, 30, 42).unwrap();
+        let align = subspace_alignment(model.components(), &basis);
+        assert!(align > 0.99, "subspace alignment {align}");
+    }
+
+    #[test]
+    fn ss_converges_to_noise_floor() {
+        let noise = 0.2;
+        let (y, _) = planted_data(400, 10, 2, noise, 2);
+        let (model, trace) = fit_dense(&y, 2, 40, 7).unwrap();
+        // ss estimates the residual variance per dimension ≈ noise².
+        let ss = model.noise_variance();
+        assert!(
+            ss > noise * noise * 0.5 && ss < noise * noise * 2.0,
+            "ss {ss} vs noise² {}",
+            noise * noise
+        );
+        // And the trajectory is eventually non-increasing-ish: final below first.
+        assert!(trace.ss_history.last().unwrap() < &trace.ss_history[0]);
+    }
+
+    #[test]
+    fn matches_svd_subspace_on_clean_data() {
+        let (y, _) = planted_data(200, 8, 2, 0.01, 3);
+        let (model, _) = fit_dense(&y, 2, 40, 11).unwrap();
+        // Compare against the top-2 right singular vectors of centered Y.
+        let mean = y.col_means();
+        let mut yc = y.clone();
+        yc.sub_row_vector(&mean);
+        let svd = svd_jacobi(&yc).unwrap();
+        let mut top = Mat::zeros(8, 2);
+        for j in 0..2 {
+            for r in 0..8 {
+                top[(r, j)] = svd.vt[(j, r)];
+            }
+        }
+        let align = subspace_alignment(model.components(), &top);
+        assert!(align > 0.999, "alignment with SVD subspace {align}");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let (y, _) = planted_data(100, 6, 2, 0.1, 4);
+        let (model, _) = fit_dense(&y, 2, 5, 1).unwrap();
+        for (a, b) in model.mean().iter().zip(y.col_means()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_oversized() {
+        let empty = Mat::zeros(0, 5);
+        assert!(matches!(fit_dense(&empty, 1, 5, 0), Err(SpcaError::EmptyInput)));
+        let y = Mat::zeros(4, 3);
+        assert!(matches!(
+            fit_dense(&y, 4, 5, 0),
+            Err(SpcaError::TooManyComponents { requested: 4, available: 3 })
+        ));
+    }
+
+    #[test]
+    fn likelihood_proxy_improves_monotonically_in_practice() {
+        // EM guarantees non-decreasing likelihood; on well-conditioned data
+        // the reconstruction error through the model should shrink.
+        let (y, _) = planted_data(250, 10, 3, 0.1, 5);
+        let (_, trace) = fit_dense(&y, 3, 15, 3).unwrap();
+        let first = trace.ss_history[0];
+        let last = *trace.ss_history.last().unwrap();
+        assert!(last < first, "ss should shrink: {first} → {last}");
+    }
+}

@@ -1,0 +1,275 @@
+//! sPCA on the Spark-like engine (Section 4.2, Algorithm 5).
+//!
+//! The input matrix is turned into an RDD of sparse rows, persisted in the
+//! cluster's aggregate memory, and each EM iteration runs exactly two
+//! accumulator stages against it:
+//!
+//! * `YtXSparkJob` — one `aggregate` whose per-task accumulator is a
+//!   [`YtxPartial`]: the latent row `Xi` is recomputed on the fly from the
+//!   broadcast `CM`/`Xm`, the `XtX` and `YtX` contributions fold in
+//!   locally, and only the partials cross the network (the paper's
+//!   `XtXSum`/`YtXSum` accumulators, "eliminating the need for reduce
+//!   operations"). The `YtX` partial stores touched rows only — the
+//!   O(z·d) sparsity trick of Section 4.2.
+//! * `ss3SparkJob` — one `aggregate` folding the scalar `Σ xᵢ·(C'yᵢ')`.
+
+use dcluster::SimCluster;
+use linalg::bytes::ByteSized;
+use linalg::sparse::SparseRow;
+use linalg::{Mat, SparseMat};
+use sparkle::{Rdd, SparkleContext};
+
+use crate::config::SpcaConfig;
+use crate::em::{run_em, EmJobs};
+use crate::init;
+use crate::mean_prop::{ss3_row, YtxPartial};
+use crate::model::SpcaRun;
+use crate::Result;
+
+/// One sparse matrix row as an RDD element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpRow {
+    /// Column indices of non-zeros, ascending.
+    pub indices: Vec<u32>,
+    /// Values parallel to `indices`.
+    pub values: Vec<f64>,
+}
+
+impl SpRow {
+    /// Borrowed view compatible with the linalg kernels.
+    pub fn view(&self) -> SparseRow<'_> {
+        SparseRow { indices: &self.indices, values: &self.values }
+    }
+}
+
+impl ByteSized for SpRow {
+    fn size_bytes(&self) -> u64 {
+        (self.indices.len() * 12 + 8) as u64
+    }
+}
+
+/// Converts a sparse matrix into row elements (helper for RDD creation).
+pub fn to_rows(y: &SparseMat) -> Vec<SpRow> {
+    (0..y.rows())
+        .map(|r| {
+            let row = y.row(r);
+            SpRow { indices: row.indices.to_vec(), values: row.values.to_vec() }
+        })
+        .collect()
+}
+
+/// Accumulator wrapper so `f64` partials get a wire size.
+#[derive(Debug, Clone, Copy, Default)]
+struct Scalar(f64);
+
+impl ByteSized for Scalar {
+    fn size_bytes(&self) -> u64 {
+        8
+    }
+}
+
+/// Dense vector accumulator (column sums of the mean job).
+struct DenseAcc(Vec<f64>);
+
+impl ByteSized for DenseAcc {
+    fn size_bytes(&self) -> u64 {
+        8 + 8 * self.0.len() as u64
+    }
+}
+
+struct SparkJobs<'a> {
+    rdd: Rdd<'a, SpRow>,
+    n: usize,
+    d_in: usize,
+    d: usize,
+}
+
+impl EmJobs for SparkJobs<'_> {
+    fn num_rows(&self) -> usize {
+        self.n
+    }
+
+    fn num_cols(&self) -> usize {
+        self.d_in
+    }
+
+    fn mean_job(&mut self) -> Vec<f64> {
+        let d_in = self.d_in;
+        let (sums, _) = self.rdd.aggregate(
+            "meanJob",
+            || DenseAcc(vec![0.0; d_in]),
+            |acc, row| {
+                for (c, v) in row.view().iter() {
+                    acc.0[c] += v;
+                }
+            },
+            |acc, other| linalg::vector::axpy(1.0, &other.0, &mut acc.0),
+        );
+        let mut mean = sums.0;
+        linalg::vector::scale(1.0 / self.n as f64, &mut mean);
+        mean
+    }
+
+    fn fnorm_job(&mut self, mean: &[f64]) -> f64 {
+        let msum = linalg::vector::norm2_sq(mean);
+        let (total, _) = self.rdd.aggregate(
+            "FnormJob",
+            || Scalar(0.0),
+            |acc, row| {
+                // Algorithm 3, one row.
+                let mut s = msum;
+                for (c, v) in row.view().iter() {
+                    let m = mean[c];
+                    s += (v - m) * (v - m) - m * m;
+                }
+                acc.0 += s;
+            },
+            |acc, other| acc.0 += other.0,
+        );
+        total.0
+    }
+
+    fn ytx_job(&mut self, cm: &Mat, xm: &[f64]) -> YtxPartial {
+        // Broadcast the iteration's in-memory matrices (Section 3.3) to
+        // every node: CM (D×d) and Xm (d).
+        self.rdd
+            .cluster()
+            .charge_broadcast(linalg::Mat::size_bytes(cm) + 8 * xm.len() as u64);
+        let d = self.d;
+        let (partial, _bytes) = self.rdd.aggregate(
+            "YtXJob",
+            || YtxPartial::new(d),
+            |acc, row| acc.add_row(row.view(), cm, xm),
+            |acc, other| acc.merge(other),
+        );
+        partial
+    }
+
+    fn ss3_job(&mut self, cm: &Mat, xm: &[f64], c_new: &Mat) -> f64 {
+        // The updated C must reach every node for the ss3 pass; CM/Xm are
+        // already resident from the YtX job's broadcast.
+        self.rdd.cluster().charge_broadcast(linalg::Mat::size_bytes(c_new));
+        let (part, _) = self.rdd.aggregate(
+            "ss3Job",
+            || Scalar(0.0),
+            |acc, row| acc.0 += ss3_row(row.view(), cm, xm, c_new),
+            |acc, other| acc.0 += other.0,
+        );
+        part.0
+    }
+}
+
+/// Distributed projection: computes the reduced matrix `X = (Y − 1⊗μ)·CM`
+/// (the paper's §2.1 dimensionality-reduction output, `X = Y*C`) as one
+/// narrow stage over the cluster, returning the N×d latent matrix.
+///
+/// This is what feeds "other machine learning algorithms such as k-means
+/// clustering" downstream; the N×d result is small enough to collect.
+pub fn transform(
+    cluster: &SimCluster,
+    y: &SparseMat,
+    model: &crate::model::PcaModel,
+    partitions: usize,
+) -> Result<Mat> {
+    assert_eq!(y.cols(), model.input_dim(), "transform: dimension mismatch");
+    let ctx = SparkleContext::new(cluster);
+    let parts = partitions.min(y.rows().max(1)).max(1);
+    let blocks: Vec<Vec<SpRow>> = y.split_rows(parts).iter().map(to_rows).collect();
+    let rdd = ctx.from_partitions(blocks);
+
+    let cm = model.latent_projection()?;
+    let xm = cm.vecmat(model.mean());
+    cluster.charge_broadcast(linalg::Mat::size_bytes(&cm) + 8 * xm.len() as u64);
+
+    let latent = rdd.map_partitions("transform", |part| {
+        part.iter()
+            .map(|row| crate::mean_prop::latent_row(row.view(), &cm, &xm))
+            .collect::<Vec<Vec<f64>>>()
+    });
+    let rows = latent.collect();
+    let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    Ok(Mat::from_rows(&refs))
+}
+
+/// Fits sPCA on the Spark-like engine.
+pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<SpcaRun> {
+    let ctx = SparkleContext::new(cluster);
+    let partitions = config
+        .partitions
+        .unwrap_or_else(|| cluster.config().total_cores())
+        .min(y.rows().max(1));
+
+    // Build and persist the input RDD (cached across all EM iterations).
+    let blocks: Vec<Vec<SpRow>> = y.split_rows(partitions).iter().map(to_rows).collect();
+    let mut rdd = ctx.from_partitions(blocks);
+    rdd.persist();
+
+    // Initialization: random, or smart-guess warm start (sPCA-SG). The
+    // warm-up's time and intermediate data are charged to this run — the
+    // paper reports the (527 s) initialization delay as part of sPCA-SG's
+    // timeline.
+    let warm_time = cluster.metrics().virtual_time_secs;
+    let warm_bytes = cluster.metrics().intermediate_bytes;
+    let init_state = match &config.smart_guess {
+        Some(sg) => init::smart_guess_init(cluster, y, config, sg)?,
+        None => init::random_init(y.cols(), config.components, config.seed),
+    };
+    let warm_elapsed = cluster.metrics().virtual_time_secs - warm_time;
+    let warm_intermediate = cluster.metrics().intermediate_bytes - warm_bytes;
+
+    let error_sample = crate::accuracy::sample_rows(y, config.error_sample_rows, config.seed);
+    let mut jobs = SparkJobs { rdd, n: y.rows(), d_in: y.cols(), d: config.components };
+    let mut run = run_em(cluster, &mut jobs, &error_sample, config, init_state)?;
+    for it in &mut run.iterations {
+        it.virtual_time_secs += warm_elapsed;
+    }
+    run.virtual_time_secs += warm_elapsed;
+    run.intermediate_bytes += warm_intermediate;
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcluster::ClusterConfig;
+
+    #[test]
+    fn sp_row_roundtrip_and_size() {
+        let y = SparseMat::from_triplets(2, 5, &[(0, 1, 2.0), (0, 4, 1.0), (1, 0, 3.0)]);
+        let rows = to_rows(&y);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].indices, vec![1, 4]);
+        assert_eq!(rows[0].size_bytes(), 32);
+        assert_eq!(rows[1].view().dot_dense(&[1.0, 0.0, 0.0, 0.0, 0.0]), 3.0);
+    }
+
+    #[test]
+    fn distributed_transform_matches_local() {
+        let mut rng = linalg::Prng::seed_from_u64(8);
+        let spec = datasets::LowRankSpec::small_test();
+        let y = datasets::sparse_lowrank(&spec, &mut rng);
+        let cluster = SimCluster::new(dcluster::ClusterConfig::paper_cluster());
+        let run = fit(&cluster, &y, &SpcaConfig::new(3).with_max_iters(3)).unwrap();
+        let distributed = transform(&cluster, &y, &run.model, 8).unwrap();
+        let local = run.model.transform_sparse(&y).unwrap();
+        assert!(distributed.approx_eq(&local, 1e-12));
+        assert_eq!(distributed.rows(), y.rows());
+    }
+
+    #[test]
+    fn fit_runs_and_converges_on_tiny_data() {
+        let mut rng = linalg::Prng::seed_from_u64(3);
+        let spec = datasets::LowRankSpec::small_test();
+        let y = datasets::sparse_lowrank(&spec, &mut rng);
+        let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+        let run = fit(&cluster, &y, &SpcaConfig::new(4).with_max_iters(6)).unwrap();
+        assert_eq!(run.model.output_dim(), 4);
+        assert!(!run.iterations.is_empty());
+        // Error must improve from the first iteration to the last.
+        let first = run.iterations.first().unwrap().error;
+        let last = run.final_error();
+        assert!(last <= first, "error should not increase: {first} → {last}");
+        assert!(run.intermediate_bytes > 0);
+        assert!(run.virtual_time_secs > 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Seeded synthetic datasets mirroring the paper's evaluation data.
+//!
+//! The paper evaluates on four real datasets (Section 5). None are
+//! available here, so each generator below synthesizes data with the same
+//! *structure* — the properties PCA behaviour actually depends on:
+//! sparsity profile, dimensionality, value type, and a planted low-rank
+//! signal whose recovery the accuracy metric can track.
+//!
+//! | Paper dataset | Shape (paper) | Structure | Generator |
+//! |---|---|---|---|
+//! | Tweets | 1.26B × 71.5K binary, ~94 GB sparse | Zipf word frequencies, short documents, latent topics | [`tweets`] |
+//! | Bio-Text | 8.2M × 141K binary, ~4.9 GB sparse | Zipf, longer documents, latent topics | [`biotext`] |
+//! | Diabetes | 353 × 65.7K real-valued NMR spectra | smooth peak structure + low-rank patient variation | [`diabetes`] |
+//! | Images | 160M × 128 dense SIFT features | dense mixture of clusters in 128-d | [`images`] |
+//!
+//! All generators take an explicit [`linalg::Prng`] so every experiment is
+//! reproducible from a seed, and row/column counts are free parameters so
+//! the benches can sweep them the way the paper sweeps dataset sizes.
+
+pub mod biotext;
+pub mod diabetes;
+pub mod images;
+pub mod lowrank;
+pub mod tweets;
+
+pub use lowrank::{sparse_lowrank, LowRankSpec};

@@ -1,0 +1,174 @@
+//! The core topic-model generator for sparse binary matrices.
+//!
+//! Text-like term–document matrices (Tweets, Bio-Text) are generated from a
+//! small latent topic model: each document mixes a couple of topics, each
+//! topic prefers a subset of the vocabulary, and word popularity follows a
+//! Zipf law. The topic structure plants a recoverable low-rank signal —
+//! what PCA converges to — while the Zipf tail reproduces the extreme,
+//! skewed sparsity that makes the paper's mean-propagation optimization
+//! matter.
+
+use linalg::rng::{Prng, ZipfTable};
+use linalg::SparseMat;
+
+/// Parameters of the sparse topic-model generator.
+#[derive(Debug, Clone)]
+pub struct LowRankSpec {
+    /// Number of rows (documents).
+    pub rows: usize,
+    /// Number of columns (vocabulary size).
+    pub cols: usize,
+    /// Number of latent topics (the planted rank).
+    pub topics: usize,
+    /// Mean number of distinct words per document.
+    pub words_per_row: f64,
+    /// Probability that a word is drawn from the row's topics rather than
+    /// the global background distribution. Higher = stronger signal.
+    pub topic_affinity: f64,
+    /// Zipf exponent of the background word distribution (~1 for text).
+    pub zipf_exponent: f64,
+}
+
+impl LowRankSpec {
+    /// A tiny spec for unit tests and doctests.
+    pub fn small_test() -> Self {
+        LowRankSpec {
+            rows: 200,
+            cols: 100,
+            topics: 5,
+            words_per_row: 8.0,
+            topic_affinity: 0.7,
+            zipf_exponent: 1.0,
+        }
+    }
+}
+
+/// Generates a sparse binary matrix from the topic model.
+pub fn sparse_lowrank(spec: &LowRankSpec, rng: &mut Prng) -> SparseMat {
+    sparse_lowrank_labeled(spec, rng).0
+}
+
+/// Like [`sparse_lowrank`], additionally returning each document's primary
+/// topic — ground truth for clustering-flavoured evaluations (the paper
+/// motivates PCA as the dimensionality-reduction step before k-means).
+pub fn sparse_lowrank_labeled(spec: &LowRankSpec, rng: &mut Prng) -> (SparseMat, Vec<usize>) {
+    assert!(spec.topics > 0, "need at least one topic");
+    assert!(spec.cols > 0 && spec.rows > 0, "matrix must be non-empty");
+    assert!(
+        (0.0..=1.0).contains(&spec.topic_affinity),
+        "topic_affinity must be a probability"
+    );
+
+    let background = ZipfTable::new(spec.cols, spec.zipf_exponent);
+    // Each topic owns a contiguous-ish slice of "preferred" vocabulary,
+    // sampled with its own Zipf table over a permuted alphabet so topics
+    // overlap the popular words but differ in their tails.
+    let topic_size = (spec.cols / spec.topics).max(1);
+    let topic_table = ZipfTable::new(topic_size, spec.zipf_exponent.max(0.8));
+    let topic_offsets: Vec<usize> =
+        (0..spec.topics).map(|t| (t * topic_size) % spec.cols).collect();
+
+    let mut rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(spec.rows);
+    let mut labels: Vec<usize> = Vec::with_capacity(spec.rows);
+    for _ in 0..spec.rows {
+        // 1–2 topics per document.
+        let t1 = rng.index(spec.topics);
+        labels.push(t1);
+        let t2 = if rng.uniform() < 0.3 { rng.index(spec.topics) } else { t1 };
+        // Word count: geometric-ish around the mean, at least 1.
+        let mean = spec.words_per_row;
+        let count = (mean * (0.5 + rng.uniform())).round().max(1.0) as usize;
+
+        let mut cols: Vec<u32> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let col = if rng.uniform() < spec.topic_affinity {
+                let t = if rng.uniform() < 0.5 { t1 } else { t2 };
+                (topic_offsets[t] + rng.zipf(&topic_table)) % spec.cols
+            } else {
+                rng.zipf(&background)
+            };
+            cols.push(col as u32);
+        }
+        // Binary presence: a word repeated in a document is still one
+        // non-zero (the paper's matrices are 0/1 indicators).
+        cols.sort_unstable();
+        cols.dedup();
+        rows.push(cols.into_iter().map(|c| (c, 1.0)).collect());
+    }
+    (SparseMat::from_rows(spec.rows, spec.cols, rows), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_binary_values() {
+        let mut rng = Prng::seed_from_u64(1);
+        let m = sparse_lowrank(&LowRankSpec::small_test(), &mut rng);
+        assert_eq!((m.rows(), m.cols()), (200, 100));
+        for r in 0..m.rows() {
+            for (_, v) in m.row(r).iter() {
+                assert_eq!(v, 1.0, "entries must be binary");
+            }
+        }
+    }
+
+    #[test]
+    fn density_tracks_words_per_row() {
+        let mut rng = Prng::seed_from_u64(2);
+        let spec = LowRankSpec { rows: 500, cols: 1000, ..LowRankSpec::small_test() };
+        let m = sparse_lowrank(&spec, &mut rng);
+        let nnz_per_row = m.nnz() as f64 / 500.0;
+        // Duplicates collapse, so the stored count sits below the sampled
+        // word count but in the same regime.
+        assert!(nnz_per_row > 3.0 && nnz_per_row < 9.0, "nnz/row = {nnz_per_row}");
+        assert!(m.density() < 0.02);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = LowRankSpec::small_test();
+        let a = sparse_lowrank(&spec, &mut Prng::seed_from_u64(7));
+        let b = sparse_lowrank(&spec, &mut Prng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = sparse_lowrank(&spec, &mut Prng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn word_frequencies_are_skewed() {
+        let mut rng = Prng::seed_from_u64(3);
+        let spec = LowRankSpec { rows: 2000, cols: 500, ..LowRankSpec::small_test() };
+        let m = sparse_lowrank(&spec, &mut rng);
+        let sums = m.col_sums();
+        let mut sorted = sums.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top20: f64 = sorted[..20].iter().sum();
+        let total: f64 = sorted.iter().sum();
+        assert!(top20 / total > 0.25, "top-20 words carry {}", top20 / total);
+    }
+
+    #[test]
+    fn planted_topics_give_low_rank_spectrum() {
+        // The centered matrix should concentrate variance in roughly
+        // `topics` directions: the top-5 singular values dominate the next 5.
+        let mut rng = Prng::seed_from_u64(4);
+        let spec = LowRankSpec {
+            rows: 300,
+            cols: 60,
+            topics: 3,
+            words_per_row: 10.0,
+            topic_affinity: 0.9,
+            zipf_exponent: 1.0,
+        };
+        let m = sparse_lowrank(&spec, &mut rng);
+        let mut dense = m.to_dense();
+        let mean = m.col_means();
+        dense.sub_row_vector(&mean);
+        let svd = linalg::decomp::svd_jacobi(&dense).unwrap();
+        let head: f64 = svd.s[..3].iter().map(|s| s * s).sum();
+        let tail: f64 = svd.s[3..13].iter().map(|s| s * s).sum();
+        assert!(head > tail, "head {head} should dominate tail {tail}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Tweets-like dataset: very short documents, huge skew.
+//!
+//! The paper's Tweets matrix is 1.26B × 71.5K with binary entries and ~7
+//! words per tweet (94 GB ÷ 12 B/entry ÷ 1.26 B rows). The generator keeps
+//! that per-row profile and lets experiments sweep rows/columns the way
+//! Figures 5–7 do.
+
+use linalg::{Prng, SparseMat};
+
+use crate::lowrank::{sparse_lowrank, LowRankSpec};
+
+/// Full-control spec for the Tweets-like generator.
+pub fn spec(rows: usize, cols: usize) -> LowRankSpec {
+    LowRankSpec {
+        rows,
+        cols,
+        // Scale topic count gently with vocabulary so the planted rank
+        // stays recoverable with d = 50 components at every sweep size.
+        topics: (cols / 400).clamp(8, 40),
+        words_per_row: 7.0,
+        topic_affinity: 0.65,
+        zipf_exponent: 1.05,
+    }
+}
+
+/// Generates a Tweets-like binary term–document matrix.
+pub fn generate(rows: usize, cols: usize, rng: &mut Prng) -> SparseMat {
+    sparse_lowrank(&spec(rows, cols), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tweets_are_short_and_sparse() {
+        let mut rng = Prng::seed_from_u64(10);
+        let m = generate(1000, 2000, &mut rng);
+        let words_per_tweet = m.nnz() as f64 / 1000.0;
+        assert!(words_per_tweet > 3.0 && words_per_tweet < 9.0, "{words_per_tweet}");
+        assert!(m.density() < 0.005);
+    }
+
+    #[test]
+    fn column_sweep_changes_dimensionality_only() {
+        let mut rng = Prng::seed_from_u64(11);
+        let a = generate(500, 1000, &mut rng);
+        let mut rng = Prng::seed_from_u64(11);
+        let b = generate(500, 4000, &mut rng);
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(b.cols(), 4000);
+    }
+}

@@ -1,0 +1,492 @@
+//! The simulated cluster: real task execution, virtual accounting.
+
+use std::fmt;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::config::ClusterConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+use crate::metrics::{Metrics, MetricsSnapshot, StageRecord};
+use crate::scheduler::makespan;
+
+/// Errors surfaced by the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A driver-side allocation exceeded the configured driver memory —
+    /// the failure MLlib-PCA hits past D ≈ 6,000 in the paper.
+    DriverOom {
+        /// Bytes the caller asked for.
+        requested: u64,
+        /// Bytes already live in the driver.
+        in_use: u64,
+        /// Configured driver memory.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::DriverOom { requested, in_use, limit } => write!(
+                f,
+                "driver out of memory: requested {requested} B with {in_use} B live (limit {limit} B)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Per-stage execution options.
+#[derive(Debug, Clone)]
+pub struct StageOptions {
+    /// Label recorded in the stage metrics.
+    pub label: String,
+    /// Virtual seconds of launch overhead added to every task. Hadoop task
+    /// slots cost seconds; Spark tasks cost milliseconds — this single knob
+    /// is what separates the two engines' small-job behaviour (the paper's
+    /// §5.2 observation that Hadoop overheads dominate small inputs).
+    pub task_overhead_secs: f64,
+}
+
+impl StageOptions {
+    /// Options with the given label and no per-task overhead.
+    pub fn new(label: impl Into<String>) -> Self {
+        StageOptions { label: label.into(), task_overhead_secs: 0.0 }
+    }
+
+    /// Sets the per-task virtual launch overhead.
+    pub fn with_task_overhead(mut self, secs: f64) -> Self {
+        self.task_overhead_secs = secs;
+        self
+    }
+}
+
+/// A simulated cluster instance. Cheap to share by reference; all interior
+/// state is behind a lock.
+pub struct SimCluster {
+    cfg: ClusterConfig,
+    metrics: Mutex<Metrics>,
+    host_threads: usize,
+    /// Counter feeding the deterministic failure-injection hash.
+    failure_counter: AtomicU64,
+}
+
+impl SimCluster {
+    /// Creates a cluster with the given hardware description.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let host_threads =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        SimCluster {
+            cfg,
+            metrics: Mutex::new(Metrics::default()),
+            host_threads,
+            failure_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Deterministic per-task failure decision (splitmix64 hash of a
+    /// global attempt counter against the configured rate).
+    fn task_fails(&self) -> bool {
+        if self.cfg.task_failure_rate <= 0.0 {
+            return false;
+        }
+        let i = self.failure_counter.fetch_add(1, Ordering::Relaxed);
+        let mut z = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z as f64 / u64::MAX as f64) < self.cfg.task_failure_rate
+    }
+
+    /// The hardware description.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Runs a distributed stage: executes every task (really, on host
+    /// threads), measures per-task durations, and advances the virtual
+    /// clock by the LPT makespan of those durations on the cluster's
+    /// virtual cores. Results come back in task order.
+    pub fn run_stage<T, F>(&self, opts: StageOptions, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            self.metrics.lock().snapshot.stages.push(StageRecord {
+                label: opts.label,
+                tasks: 0,
+                compute_secs: 0.0,
+                cpu_secs: 0.0,
+            });
+            return Vec::new();
+        }
+
+        let workers = self.host_threads.min(n).max(1);
+        let (task_tx, task_rx) = crossbeam::channel::unbounded();
+        for item in tasks.into_iter().enumerate() {
+            task_tx.send(item).expect("queue is open");
+        }
+        drop(task_tx);
+
+        let (res_tx, res_rx) = crossbeam::channel::unbounded();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let task_rx = task_rx.clone();
+                let res_tx = res_tx.clone();
+                s.spawn(move || {
+                    while let Ok((i, task)) = task_rx.recv() {
+                        let start = Instant::now();
+                        let out = task();
+                        let secs = start.elapsed().as_secs_f64();
+                        if res_tx.send((i, secs, out)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+        });
+
+        let mut durations = vec![0.0_f64; n];
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        while let Ok((i, secs, out)) = res_rx.recv() {
+            durations[i] = secs;
+            slots[i] = Some(out);
+        }
+        let results: Vec<T> =
+            slots.into_iter().map(|s| s.expect("every task produced a result")).collect();
+
+        let cpu_secs: f64 = durations.iter().sum();
+        // Failure injection: a failed first attempt is re-executed — same
+        // result (the retry recomputes it), twice the duration plus the
+        // rescheduling delay. Charged in the schedule, invisible in the
+        // output, exactly like the platforms the paper targets.
+        let with_overhead: Vec<f64> = durations
+            .iter()
+            .map(|d| {
+                let base = d + opts.task_overhead_secs;
+                if self.task_fails() {
+                    base * 2.0 + self.cfg.task_retry_delay_secs
+                } else {
+                    base
+                }
+            })
+            .collect();
+        let compute_secs = makespan(&with_overhead, self.cfg.total_cores());
+
+        let mut m = self.metrics.lock();
+        m.advance(compute_secs);
+        m.snapshot.stages.push(StageRecord { label: opts.label, tasks: n, compute_secs, cpu_secs });
+        results
+    }
+
+    /// Runs a driver-local computation, measuring it and charging the
+    /// virtual clock one core's worth of time (the driver is a single
+    /// process).
+    pub fn run_driver<T>(&self, label: impl Into<String>, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        let secs = start.elapsed().as_secs_f64();
+        let mut m = self.metrics.lock();
+        m.advance(secs);
+        m.snapshot.stages.push(StageRecord {
+            label: label.into(),
+            tasks: 1,
+            compute_secs: secs,
+            cpu_secs: secs,
+        });
+        out
+    }
+
+    /// Aggregate network bandwidth: transfers fan out across node links
+    /// (shuffles and accumulator pushes are all-to-all / tree-shaped, not a
+    /// single pipe), so adding nodes adds bandwidth. This is also what
+    /// makes speedup experiments behave like the paper's Table 4: both
+    /// compute *and* communication scale with the cluster.
+    fn network_bw(&self) -> f64 {
+        self.cfg.network_bytes_per_sec * self.cfg.nodes as f64
+    }
+
+    /// Aggregate disk bandwidth: the DFS stripes across every node's disks.
+    fn disk_bw(&self) -> f64 {
+        self.cfg.disk_bytes_per_sec * self.cfg.nodes as f64
+    }
+
+    /// Meters `bytes` crossing the network (shuffle traffic) and advances
+    /// the clock by the transfer time at aggregate bandwidth.
+    pub fn charge_network(&self, bytes: u64) {
+        let mut m = self.metrics.lock();
+        m.snapshot.network_bytes += bytes;
+        m.snapshot.intermediate_bytes += bytes;
+        let secs = bytes as f64 / self.network_bw();
+        m.advance(secs);
+    }
+
+    /// Meters `bytes` written to the distributed filesystem.
+    pub fn charge_dfs_write(&self, bytes: u64) {
+        let mut m = self.metrics.lock();
+        m.snapshot.dfs_bytes_written += bytes;
+        m.snapshot.intermediate_bytes += bytes;
+        let secs = bytes as f64 / self.disk_bw();
+        m.advance(secs);
+    }
+
+    /// Meters a broadcast of `bytes` to every worker node (Spark torrent
+    /// broadcast / Hadoop distributed cache). The payload crosses the
+    /// network once per node and counts as intermediate data — this is
+    /// how sPCA's per-iteration `CM` matrix is charged.
+    pub fn charge_broadcast(&self, bytes: u64) {
+        let total = bytes.saturating_mul(self.cfg.nodes as u64);
+        let mut m = self.metrics.lock();
+        m.snapshot.network_bytes += total;
+        m.snapshot.intermediate_bytes += total;
+        let secs = total as f64 / self.network_bw();
+        m.advance(secs);
+    }
+
+    /// Meters `bytes` read back from the distributed filesystem.
+    pub fn charge_dfs_read(&self, bytes: u64) {
+        let mut m = self.metrics.lock();
+        m.snapshot.dfs_bytes_read += bytes;
+        let secs = bytes as f64 / self.disk_bw();
+        m.advance(secs);
+    }
+
+    /// Advances the virtual clock by a flat amount (job-initialization
+    /// overheads and the like).
+    pub fn advance_time(&self, secs: f64) {
+        self.metrics.lock().advance(secs);
+    }
+
+    /// Tracks a driver-side allocation against the configured driver
+    /// memory. The returned guard releases the bytes on drop; peak usage is
+    /// recorded for Figure 8.
+    pub fn alloc_driver(&self, bytes: u64) -> Result<DriverAlloc<'_>, ClusterError> {
+        let mut m = self.metrics.lock();
+        let in_use = m.snapshot.driver_bytes;
+        if in_use + bytes > self.cfg.driver_memory {
+            return Err(ClusterError::DriverOom {
+                requested: bytes,
+                in_use,
+                limit: self.cfg.driver_memory,
+            });
+        }
+        m.snapshot.driver_bytes = in_use + bytes;
+        m.snapshot.driver_peak_bytes = m.snapshot.driver_peak_bytes.max(in_use + bytes);
+        Ok(DriverAlloc { cluster: self, bytes })
+    }
+
+    /// Copy of all metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.lock().snapshot.clone()
+    }
+
+    /// Resets clock, meters, and stage history (driver-live bytes are kept,
+    /// since guards may still be outstanding).
+    pub fn reset_metrics(&self) {
+        let mut m = self.metrics.lock();
+        let live = m.snapshot.driver_bytes;
+        m.snapshot = MetricsSnapshot { driver_bytes: live, driver_peak_bytes: live, ..Default::default() };
+    }
+}
+
+impl fmt::Debug for SimCluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimCluster")
+            .field("nodes", &self.cfg.nodes)
+            .field("cores_per_node", &self.cfg.cores_per_node)
+            .field("host_threads", &self.host_threads)
+            .finish()
+    }
+}
+
+/// RAII guard for a tracked driver allocation.
+#[derive(Debug)]
+pub struct DriverAlloc<'a> {
+    cluster: &'a SimCluster,
+    bytes: u64,
+}
+
+impl DriverAlloc<'_> {
+    /// Size of the tracked allocation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for DriverAlloc<'_> {
+    fn drop(&mut self) {
+        let mut m = self.cluster.metrics.lock();
+        m.snapshot.driver_bytes = m.snapshot.driver_bytes.saturating_sub(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster() -> SimCluster {
+        SimCluster::new(ClusterConfig::paper_cluster().with_nodes(2).with_cores_per_node(2))
+    }
+
+    #[test]
+    fn run_stage_returns_results_in_order() {
+        let c = small_cluster();
+        let tasks: Vec<_> = (0..10).map(|i| move || i * i).collect();
+        let out = c.run_stage(StageOptions::new("squares"), tasks);
+        assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_stage_records_metrics() {
+        let c = small_cluster();
+        let tasks: Vec<_> = (0..4).map(|_| move || std::hint::black_box(0)).collect();
+        let _ = c.run_stage(StageOptions::new("noop").with_task_overhead(1.0), tasks);
+        let m = c.metrics();
+        assert_eq!(m.stages.len(), 1);
+        assert_eq!(m.stages[0].tasks, 4);
+        // 4 tasks × 1s overhead on 4 cores → ~1s of virtual time.
+        assert!(m.virtual_time_secs >= 1.0);
+        assert!(m.virtual_time_secs < 1.5, "got {}", m.virtual_time_secs);
+    }
+
+    #[test]
+    fn more_cores_means_less_virtual_time() {
+        let run = |cores: usize| {
+            let c = SimCluster::new(
+                ClusterConfig::paper_cluster().with_nodes(1).with_cores_per_node(cores),
+            );
+            let tasks: Vec<_> = (0..64).map(|_| move || ()).collect();
+            let _ = c.run_stage(StageOptions::new("t").with_task_overhead(0.5), tasks);
+            c.metrics().virtual_time_secs
+        };
+        let t8 = run(8);
+        let t32 = run(32);
+        assert!(t8 > 3.0 * t32, "t8={t8} t32={t32}");
+    }
+
+    #[test]
+    fn empty_stage_is_recorded_but_free() {
+        let c = small_cluster();
+        let out: Vec<i32> = c.run_stage(StageOptions::new("empty"), Vec::<fn() -> i32>::new());
+        assert!(out.is_empty());
+        assert_eq!(c.metrics().stages.len(), 1);
+        assert_eq!(c.metrics().virtual_time_secs, 0.0);
+    }
+
+    #[test]
+    fn network_and_dfs_charges_accumulate() {
+        // small_cluster has 2 nodes: aggregate bandwidth is 2x the link.
+        let c = small_cluster();
+        c.charge_network(240_000_000); // 1 virtual second at 2 x 120 MB/s
+        c.charge_dfs_write(200_000_000); // 1 virtual second at 2 x 100 MB/s
+        c.charge_dfs_read(100_000_000); // 0.5 virtual seconds
+        let m = c.metrics();
+        assert_eq!(m.network_bytes, 240_000_000);
+        assert_eq!(m.dfs_bytes_written, 200_000_000);
+        assert_eq!(m.dfs_bytes_read, 100_000_000);
+        assert_eq!(m.intermediate_bytes, 440_000_000);
+        assert!((m.virtual_time_secs - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn broadcast_charges_once_per_node() {
+        let c = small_cluster(); // 2 nodes
+        c.charge_broadcast(1_000);
+        let m = c.metrics();
+        assert_eq!(m.network_bytes, 2_000);
+        assert_eq!(m.intermediate_bytes, 2_000);
+        assert!(m.virtual_time_secs > 0.0);
+    }
+
+    #[test]
+    fn bandwidth_scales_with_node_count() {
+        let time_for = |nodes: usize| {
+            let c = SimCluster::new(ClusterConfig::paper_cluster().with_nodes(nodes));
+            c.charge_network(960_000_000);
+            c.metrics().virtual_time_secs
+        };
+        let t2 = time_for(2);
+        let t8 = time_for(8);
+        assert!((t2 / t8 - 4.0).abs() < 1e-9, "4x nodes -> 4x aggregate bandwidth");
+    }
+
+    #[test]
+    fn driver_allocation_tracks_peak_and_frees() {
+        let c = SimCluster::new(ClusterConfig::paper_cluster().with_driver_memory(1000));
+        {
+            let _a = c.alloc_driver(600).unwrap();
+            let _b = c.alloc_driver(300).unwrap();
+            assert_eq!(c.metrics().driver_bytes, 900);
+        }
+        let m = c.metrics();
+        assert_eq!(m.driver_bytes, 0, "guards must free on drop");
+        assert_eq!(m.driver_peak_bytes, 900);
+    }
+
+    #[test]
+    fn driver_oom_is_reported() {
+        let c = SimCluster::new(ClusterConfig::paper_cluster().with_driver_memory(1000));
+        let _a = c.alloc_driver(800).unwrap();
+        let err = c.alloc_driver(300).map(|g| g.bytes()).unwrap_err();
+        assert_eq!(err, ClusterError::DriverOom { requested: 300, in_use: 800, limit: 1000 });
+    }
+
+    #[test]
+    fn run_driver_charges_clock() {
+        let c = small_cluster();
+        let v = c.run_driver("local", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(c.metrics().stages.len(), 1);
+    }
+
+    #[test]
+    fn reset_clears_meters_but_keeps_live_driver_bytes() {
+        let c = SimCluster::new(ClusterConfig::paper_cluster().with_driver_memory(1000));
+        let guard = c.alloc_driver(500).unwrap();
+        c.charge_network(1_000_000);
+        c.reset_metrics();
+        let m = c.metrics();
+        assert_eq!(m.network_bytes, 0);
+        assert_eq!(m.virtual_time_secs, 0.0);
+        assert_eq!(m.driver_bytes, 500);
+        drop(guard);
+        assert_eq!(c.metrics().driver_bytes, 0);
+    }
+
+    #[test]
+    fn failure_injection_slows_but_never_corrupts() {
+        let run = |rate: f64| {
+            let c = SimCluster::new(
+                ClusterConfig::paper_cluster()
+                    .with_nodes(1)
+                    .with_cores_per_node(4)
+                    .with_task_failure_rate(rate),
+            );
+            let tasks: Vec<_> = (0..100).map(|i| move || i * 3).collect();
+            let out = c.run_stage(StageOptions::new("t").with_task_overhead(0.5), tasks);
+            (out, c.metrics().virtual_time_secs)
+        };
+        let (ok_out, ok_time) = run(0.0);
+        let (faulty_out, faulty_time) = run(0.3);
+        assert_eq!(ok_out, faulty_out, "retries must be invisible in results");
+        assert!(
+            faulty_time > ok_time * 1.1,
+            "30% failures must cost time: {ok_time} vs {faulty_time}"
+        );
+    }
+
+    #[test]
+    fn stage_results_survive_host_oversubscription() {
+        // More tasks than host threads: the queue must drain fully.
+        let c = small_cluster();
+        let tasks: Vec<_> = (0..200).map(|i| move || i).collect();
+        let out = c.run_stage(StageOptions::new("many"), tasks);
+        assert_eq!(out.len(), 200);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+    }
+}

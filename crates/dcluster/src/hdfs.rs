@@ -1,0 +1,113 @@
+//! Simulated distributed filesystem.
+//!
+//! MapReduce jobs communicate *between* jobs through HDFS: the output of
+//! `meanJob` is read by every mapper of `YtXJob`, SSVD's huge N×k `Q`
+//! matrix is written and re-read, and so on. This module is a byte-metered
+//! namespace — artifacts are named, sized, and charged to the cluster's
+//! disk model on `put`/`get`; actual payloads stay in the engine's memory
+//! (this is a simulator, not a storage system).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::cluster::SimCluster;
+
+/// Named byte-size ledger over the simulated DFS.
+#[derive(Debug, Default)]
+pub struct Dfs {
+    files: Mutex<HashMap<String, u64>>,
+}
+
+impl Dfs {
+    /// Creates an empty filesystem.
+    pub fn new() -> Self {
+        Dfs::default()
+    }
+
+    /// Records a file of `bytes` and charges the write to the cluster.
+    /// Overwrites any previous file of the same name.
+    pub fn put(&self, cluster: &SimCluster, name: impl Into<String>, bytes: u64) {
+        cluster.charge_dfs_write(bytes);
+        self.files.lock().insert(name.into(), bytes);
+    }
+
+    /// Charges a full read of the named file and returns its size.
+    /// Panics if the file does not exist — that is an engine bug.
+    pub fn get(&self, cluster: &SimCluster, name: &str) -> u64 {
+        let bytes = *self
+            .files
+            .lock()
+            .get(name)
+            .unwrap_or_else(|| panic!("dfs: no such file {name:?}"));
+        cluster.charge_dfs_read(bytes);
+        bytes
+    }
+
+    /// Size of the named file without charging a read.
+    pub fn stat(&self, name: &str) -> Option<u64> {
+        self.files.lock().get(name).copied()
+    }
+
+    /// Total bytes currently stored.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.lock().values().sum()
+    }
+
+    /// Number of stored files.
+    pub fn file_count(&self) -> usize {
+        self.files.lock().len()
+    }
+
+    /// Removes a file, returning its size if it existed.
+    pub fn delete(&self, name: &str) -> Option<u64> {
+        self.files.lock().remove(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    #[test]
+    fn put_get_roundtrip_charges_io() {
+        let c = SimCluster::new(ClusterConfig::paper_cluster());
+        let dfs = Dfs::new();
+        dfs.put(&c, "Q-matrix", 1_000_000);
+        assert_eq!(dfs.get(&c, "Q-matrix"), 1_000_000);
+        let m = c.metrics();
+        assert_eq!(m.dfs_bytes_written, 1_000_000);
+        assert_eq!(m.dfs_bytes_read, 1_000_000);
+        assert!(m.virtual_time_secs > 0.0);
+    }
+
+    #[test]
+    fn overwrite_replaces_size() {
+        let c = SimCluster::new(ClusterConfig::paper_cluster());
+        let dfs = Dfs::new();
+        dfs.put(&c, "f", 100);
+        dfs.put(&c, "f", 250);
+        assert_eq!(dfs.stat("f"), Some(250));
+        assert_eq!(dfs.total_bytes(), 250);
+        assert_eq!(dfs.file_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such file")]
+    fn missing_file_is_a_bug() {
+        let c = SimCluster::new(ClusterConfig::paper_cluster());
+        let dfs = Dfs::new();
+        let _ = dfs.get(&c, "ghost");
+    }
+
+    #[test]
+    fn delete_removes() {
+        let c = SimCluster::new(ClusterConfig::paper_cluster());
+        let dfs = Dfs::new();
+        dfs.put(&c, "tmp", 10);
+        assert_eq!(dfs.delete("tmp"), Some(10));
+        assert_eq!(dfs.delete("tmp"), None);
+        assert_eq!(dfs.stat("tmp"), None);
+    }
+}

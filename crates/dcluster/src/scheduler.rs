@@ -1,0 +1,104 @@
+//! Virtual-core task scheduling.
+//!
+//! Given the measured durations of a stage's tasks, compute how long the
+//! stage would have taken on `cores` parallel cores. Greedy longest-
+//! processing-time (LPT) list scheduling is within 4/3 of optimal makespan
+//! and matches how MapReduce/Spark slot schedulers behave on skewed task
+//! sets closely enough for the paper's shape claims.
+
+/// Makespan of scheduling `durations` onto `cores` identical cores with
+/// greedy LPT. Returns 0 for an empty task set.
+pub fn makespan(durations: &[f64], cores: usize) -> f64 {
+    assert!(cores > 0, "makespan: need at least one core");
+    if durations.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = durations.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite durations"));
+    // Binary-heap of core finish times would be O(n log c); with the task
+    // counts this simulator sees (≤ thousands), a linear min-scan is fine.
+    let mut loads = vec![0.0_f64; cores.min(sorted.len())];
+    for d in sorted {
+        let (idx, _) = loads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
+            .expect("non-empty loads");
+        loads[idx] += d;
+    }
+    loads.into_iter().fold(0.0, f64::max)
+}
+
+/// Number of scheduling waves `ceil(tasks / cores)` — used to charge
+/// per-wave overheads the way Hadoop's slot scheduler does.
+pub fn waves(tasks: usize, cores: usize) -> usize {
+    assert!(cores > 0, "waves: need at least one core");
+    tasks.div_ceil(cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_is_sum() {
+        let d = [1.0, 2.0, 3.0];
+        assert!((makespan(&d, 1) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enough_cores_is_max() {
+        let d = [1.0, 2.0, 3.0];
+        assert!((makespan(&d, 8) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_tasks_divide_evenly() {
+        let d = vec![1.0; 16];
+        assert!((makespan(&d, 4) - 4.0).abs() < 1e-12);
+        assert!((makespan(&d, 8) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpt_handles_skew() {
+        // One long task dominates no matter the core count.
+        let d = [10.0, 1.0, 1.0, 1.0];
+        assert!((makespan(&d, 4) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(makespan(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn makespan_monotone_in_cores() {
+        let d: Vec<f64> = (1..40).map(|i| (i % 7) as f64 + 0.5).collect();
+        let mut prev = f64::INFINITY;
+        for cores in [1, 2, 4, 8, 16, 32] {
+            let m = makespan(&d, cores);
+            assert!(m <= prev + 1e-12, "makespan must not grow with more cores");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn near_linear_speedup_for_divisible_work() {
+        // 256 equal tasks: 16→32→64 cores halves the makespan each time,
+        // the shape of the paper's Table 4.
+        let d = vec![0.25; 256];
+        let t16 = makespan(&d, 16);
+        let t32 = makespan(&d, 32);
+        let t64 = makespan(&d, 64);
+        assert!((t16 / t32 - 2.0).abs() < 1e-9);
+        assert!((t16 / t64 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waves_rounds_up() {
+        assert_eq!(waves(10, 4), 3);
+        assert_eq!(waves(8, 4), 2);
+        assert_eq!(waves(0, 4), 0);
+        assert_eq!(waves(1, 64), 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Golub–Kahan bidiagonalization and the SVD built on it.
+//!
+//! This is the machinery behind the paper's *SVD-Bidiag* method
+//! (Section 2.2): reduce the matrix to upper-bidiagonal form with
+//! alternating left/right Householder reflections, then diagonalize the
+//! small bidiagonal core.
+//!
+//! The bidiagonal core is diagonalized by the implicit-shift QR sweeps of
+//! [`super::bidiag_svd::golub_reinsch_svd`] — the Golub–Reinsch/
+//! Demmel–Kahan family the paper's reference \[11\] belongs to, working on
+//! the bidiagonal directly so small singular values keep full relative
+//! accuracy.
+
+use crate::dense::Mat;
+use crate::decomp::bidiag_svd::golub_reinsch_svd;
+use crate::decomp::svd::Svd;
+use crate::vector;
+use crate::Result;
+
+/// Result of bidiagonalizing a tall matrix `A = U B Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Bidiagonal {
+    /// Left orthonormal factor (m × n, thin).
+    pub u: Mat,
+    /// Main diagonal of `B` (length n).
+    pub diag: Vec<f64>,
+    /// Super-diagonal of `B` (length n-1).
+    pub superdiag: Vec<f64>,
+    /// Right orthogonal factor (n × n).
+    pub v: Mat,
+}
+
+struct Reflector {
+    /// First row/column the reflector touches.
+    offset: usize,
+    v: Vec<f64>,
+    beta: f64,
+}
+
+fn make_reflector(x: &[f64], offset: usize) -> Reflector {
+    let mut v = x.to_vec();
+    let sigma = vector::norm2(&v);
+    if sigma == 0.0 {
+        return Reflector { offset, v, beta: 0.0 };
+    }
+    let sign = if v[0] >= 0.0 { 1.0 } else { -1.0 };
+    v[0] += sign * sigma;
+    let vtv = vector::norm2_sq(&v);
+    let beta = if vtv > 0.0 { 2.0 / vtv } else { 0.0 };
+    Reflector { offset, v, beta }
+}
+
+/// Applies `H = I - beta v vᵀ` to rows `offset..` of the given columns.
+fn apply_left(a: &mut Mat, h: &Reflector, col_start: usize) {
+    if h.beta == 0.0 {
+        return;
+    }
+    for col in col_start..a.cols() {
+        let mut dot = 0.0;
+        for (t, vi) in h.v.iter().enumerate() {
+            dot += vi * a[(h.offset + t, col)];
+        }
+        let s = h.beta * dot;
+        if s != 0.0 {
+            for (t, vi) in h.v.iter().enumerate() {
+                a[(h.offset + t, col)] -= s * vi;
+            }
+        }
+    }
+}
+
+/// Applies `H` to columns `offset..` of the given rows (right
+/// multiplication).
+fn apply_right(a: &mut Mat, h: &Reflector, row_start: usize) {
+    if h.beta == 0.0 {
+        return;
+    }
+    for row in row_start..a.rows() {
+        let mut dot = 0.0;
+        for (t, vi) in h.v.iter().enumerate() {
+            dot += vi * a[(row, h.offset + t)];
+        }
+        let s = h.beta * dot;
+        if s != 0.0 {
+            for (t, vi) in h.v.iter().enumerate() {
+                a[(row, h.offset + t)] -= s * vi;
+            }
+        }
+    }
+}
+
+/// Householder bidiagonalization of a tall (m ≥ n) matrix.
+pub fn bidiagonalize(a: &Mat) -> Bidiagonal {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m >= n, "bidiagonalize expects a tall matrix ({m} < {n}); transpose first");
+    let mut work = a.clone();
+    let mut lefts: Vec<Reflector> = Vec::with_capacity(n);
+    let mut rights: Vec<Reflector> = Vec::new();
+
+    for k in 0..n {
+        // Zero below the diagonal in column k.
+        let x: Vec<f64> = (k..m).map(|i| work[(i, k)]).collect();
+        let h = make_reflector(&x, k);
+        apply_left(&mut work, &h, k);
+        lefts.push(h);
+        // Zero right of the super-diagonal in row k.
+        if k + 2 < n {
+            let x: Vec<f64> = (k + 1..n).map(|j| work[(k, j)]).collect();
+            let h = make_reflector(&x, k + 1);
+            apply_right(&mut work, &h, k);
+            rights.push(h);
+        }
+    }
+
+    let diag: Vec<f64> = (0..n).map(|i| work[(i, i)]).collect();
+    let superdiag: Vec<f64> = (0..n.saturating_sub(1)).map(|i| work[(i, i + 1)]).collect();
+
+    // U = L_0 (L_1 (… L_{n-1} I_thin)): apply left reflectors in reverse.
+    let mut u = Mat::zeros(m, n);
+    for i in 0..n {
+        u[(i, i)] = 1.0;
+    }
+    for h in lefts.iter().rev() {
+        apply_left(&mut u, h, 0);
+    }
+
+    // V = R_0 (R_1 (… R_last I)): apply right reflectors (as symmetric
+    // matrices, acting on rows) in reverse.
+    let mut v = Mat::identity(n);
+    for h in rights.iter().rev() {
+        // Left application with the same vector: R_k is symmetric.
+        let as_left = Reflector { offset: h.offset, v: h.v.clone(), beta: h.beta };
+        apply_left(&mut v, &as_left, 0);
+    }
+
+    Bidiagonal { u, diag, superdiag, v }
+}
+
+impl Bidiagonal {
+    /// Materializes the bidiagonal core `B` (n × n).
+    pub fn b_matrix(&self) -> Mat {
+        let n = self.diag.len();
+        let mut b = Mat::zeros(n, n);
+        for i in 0..n {
+            b[(i, i)] = self.diag[i];
+            if i + 1 < n {
+                b[(i, i + 1)] = self.superdiag[i];
+            }
+        }
+        b
+    }
+}
+
+/// Full SVD pipeline via bidiagonalization: reduce, run Golub–Reinsch QR
+/// sweeps on the bidiagonal core, and compose the factors.
+///
+/// Handles wide inputs by transposing internally.
+pub fn svd_via_bidiag(a: &Mat) -> Result<Svd> {
+    if a.rows() < a.cols() {
+        let t = svd_via_bidiag(&a.transpose())?;
+        return Ok(Svd { u: t.vt.transpose(), s: t.s, vt: t.u.transpose() });
+    }
+    let n = a.cols();
+    if n == 0 {
+        return Ok(Svd { u: Mat::zeros(a.rows(), 0), s: vec![], vt: Mat::zeros(0, 0) });
+    }
+    let bd = bidiagonalize(a);
+    let (ub, s, vbt) = golub_reinsch_svd(&bd.diag, &bd.superdiag)?;
+    let u = bd.u.matmul(&ub);
+    // A = (U_bd·U_B) · S · (V_Bᵀ·V_bdᵀ).
+    let vt = vbt.matmul_nt(&bd.v);
+    Ok(Svd { u, s, vt })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    #[test]
+    fn bidiagonalization_reconstructs() {
+        let mut rng = Prng::seed_from_u64(41);
+        let a = rng.normal_mat(12, 5);
+        let bd = bidiagonalize(&a);
+        let rebuilt = bd.u.matmul(&bd.b_matrix()).matmul(&bd.v.transpose());
+        assert!(rebuilt.approx_eq(&a, 1e-9), "U·B·Vᵀ ≠ A");
+        // Orthonormality.
+        let utu = bd.u.matmul_tn(&bd.u);
+        assert!(utu.approx_eq(&Mat::identity(5), 1e-10));
+        let vtv = bd.v.matmul_tn(&bd.v);
+        assert!(vtv.approx_eq(&Mat::identity(5), 1e-10));
+    }
+
+    #[test]
+    fn bidiagonal_core_has_only_two_diagonals() {
+        let mut rng = Prng::seed_from_u64(42);
+        let a = rng.normal_mat(9, 6);
+        let bd = bidiagonalize(&a);
+        // Verify by reconstructing through the dense core and checking its
+        // sparsity pattern.
+        let b = bd.b_matrix();
+        for i in 0..6 {
+            for j in 0..6 {
+                if j != i && j != i + 1 {
+                    assert_eq!(b[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn svd_via_bidiag_matches_jacobi_svd() {
+        let mut rng = Prng::seed_from_u64(43);
+        let a = rng.normal_mat(14, 6);
+        let s1 = svd_via_bidiag(&a).unwrap();
+        let s2 = super::super::svd::svd_jacobi(&a).unwrap();
+        for (x, y) in s1.s.iter().zip(&s2.s) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+        assert!(s1.reconstruct().approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn svd_via_bidiag_on_wide_matrix() {
+        let mut rng = Prng::seed_from_u64(44);
+        let a = rng.normal_mat(4, 11);
+        let svd = svd_via_bidiag(&a).unwrap();
+        assert!(svd.reconstruct().approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn svd_via_bidiag_near_rank_deficient() {
+        // One dominant direction plus noise floor.
+        let mut rng = Prng::seed_from_u64(45);
+        let mut a = Mat::zeros(10, 4);
+        let x = rng.normal_vec(10);
+        let y = rng.normal_vec(4);
+        a.add_outer(3.0, &x, &y);
+        let noise = rng.normal_mat(10, 4);
+        a.add_scaled(1e-6, &noise);
+        let svd = svd_via_bidiag(&a).unwrap();
+        assert!(svd.s[0] > 1.0);
+        assert!(svd.s[1] < 1e-4);
+        assert!(svd.reconstruct().approx_eq(&a, 1e-8));
+    }
+}

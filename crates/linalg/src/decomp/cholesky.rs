@@ -1,0 +1,166 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+//!
+//! The M-step's `C = YtX / XtX` (Matlab mrdivide, Algorithm 4 line 11)
+//! right-divides by the d×d matrix `XtX = Σₙ E[xₙxₙ']`, which is SPD
+//! whenever the latent posterior is proper. Cholesky is the cheap, stable
+//! way to do that solve; callers fall back to LU if the data is degenerate.
+
+use crate::dense::Mat;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factorizes an SPD matrix. Returns [`LinalgError::NotPositiveDefinite`]
+    /// when a diagonal entry of the factor would be non-positive.
+    pub fn new(a: &Mat) -> Result<Cholesky> {
+        assert_eq!(a.rows(), a.cols(), "cholesky: matrix must be square");
+        let n = a.rows();
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { index: i, value: s });
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "cholesky solve: rhs length mismatch");
+        // Forward: L y = b
+        let mut x = b.to_vec();
+        for i in 0..n {
+            let mut s = x[i];
+            for (k, &xk) in x.iter().enumerate().take(i) {
+                s -= self.l[(i, k)] * xk;
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[(k, i)] * xk;
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_mat(&self, b: &Mat) -> Mat {
+        assert_eq!(b.rows(), self.dim(), "cholesky solve_mat: row count mismatch");
+        let mut out = Mat::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve(&b.col(j));
+            for (i, v) in x.into_iter().enumerate() {
+                out[(i, j)] = v;
+            }
+        }
+        out
+    }
+}
+
+/// Matlab-style right division `B / A = B · A⁻¹` for symmetric `A`.
+///
+/// Solved without forming `A⁻¹`: `X A = B  ⇔  A Xᵀ = Bᵀ` (A symmetric).
+/// Falls back to LU when `A` is not numerically SPD.
+pub fn solve_spd_right(a: &Mat, b: &Mat) -> Result<Mat> {
+    assert_eq!(a.rows(), a.cols(), "solve_spd_right: A must be square");
+    assert_eq!(b.cols(), a.rows(), "solve_spd_right: B/A dimension mismatch");
+    let bt = b.transpose();
+    let xt = match Cholesky::new(a) {
+        Ok(ch) => ch.solve_mat(&bt),
+        Err(_) => super::lu::Lu::new(a)?.solve_mat(&bt),
+    };
+    Ok(xt.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    fn random_spd(n: usize, seed: u64) -> Mat {
+        let mut rng = Prng::seed_from_u64(seed);
+        let g = rng.normal_mat(n + 2, n);
+        let mut a = g.matmul_tn(&g);
+        a.add_diag(0.5);
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_input() {
+        let a = random_spd(6, 1);
+        let ch = Cholesky::new(&a).unwrap();
+        let rebuilt = ch.l().matmul(&ch.l().transpose());
+        assert!(rebuilt.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = random_spd(5, 2);
+        let b = vec![1.0, -1.0, 2.0, 0.5, 3.0];
+        let x_ch = Cholesky::new(&a).unwrap().solve(&b);
+        let x_lu = super::super::lu::Lu::new(&a).unwrap().solve(&b);
+        for (p, q) in x_ch.iter().zip(&x_lu) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        match Cholesky::new(&a) {
+            Err(LinalgError::NotPositiveDefinite { .. }) => {}
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn right_division_matches_explicit_inverse() {
+        let a = random_spd(4, 3);
+        let mut rng = Prng::seed_from_u64(4);
+        let b = rng.normal_mat(7, 4);
+        let x = solve_spd_right(&a, &b).unwrap();
+        let expected = b.matmul(&super::super::lu::inverse(&a).unwrap());
+        assert!(x.approx_eq(&expected, 1e-9));
+    }
+
+    #[test]
+    fn right_division_falls_back_to_lu_for_indefinite() {
+        // Symmetric but indefinite: Cholesky fails, LU must take over.
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        let b = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let x = solve_spd_right(&a, &b).unwrap();
+        assert!(x.matmul(&a).approx_eq(&b, 1e-10));
+    }
+}

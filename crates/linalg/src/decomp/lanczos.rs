@@ -1,0 +1,296 @@
+//! Golub–Kahan–Lanczos bidiagonalization for sparse / implicit SVD.
+//!
+//! This is the paper's *SVD-Lanczos* method (Section 2.2): the matrix is
+//! only touched through matrix–vector products, so it runs in O(steps ·
+//! nnz) on a sparse operator. The paper's point — which the baselines crate
+//! demonstrates — is that PCA needs the *mean-centered* matrix, and naive
+//! centering densifies the operator; the [`crate::ops::CenteredSparse`]
+//! operator shows the mean-propagated alternative.
+//!
+//! Full reorthogonalization (two rounds of classical Gram–Schmidt per step)
+//! keeps the Krylov bases numerically orthogonal; at the subspace sizes PCA
+//! needs (d + small oversampling) its cost is negligible next to the
+//! products.
+
+use crate::dense::Mat;
+use crate::decomp::svd::{svd_jacobi, Svd};
+use crate::error::LinalgError;
+use crate::ops::LinOp;
+use crate::rng::Prng;
+use crate::vector;
+use crate::Result;
+
+/// Twice-iterated classical Gram–Schmidt of `x` against the rows of `basis`.
+fn reorthogonalize(x: &mut [f64], basis: &[Vec<f64>]) {
+    for _ in 0..2 {
+        for b in basis {
+            let proj = vector::dot(x, b);
+            if proj != 0.0 {
+                vector::axpy(-proj, b, x);
+            }
+        }
+    }
+}
+
+/// Approximate truncated SVD of an implicit operator by Lanczos
+/// bidiagonalization.
+///
+/// * `k` — number of singular triplets wanted.
+/// * `extra` — additional Lanczos steps beyond `k` (oversampling); 10–20
+///   gives good accuracy on spectra with reasonable decay.
+///
+/// Returns the top-`k` triplets. Errors with [`LinalgError::RankTooLarge`]
+/// if `k` exceeds `min(rows, cols)`.
+pub fn lanczos_svd(op: &dyn LinOp, k: usize, extra: usize, rng: &mut Prng) -> Result<Svd> {
+    let m = op.rows();
+    let n = op.cols();
+    let max_rank = m.min(n);
+    if k > max_rank {
+        return Err(LinalgError::RankTooLarge { requested: k, available: max_rank });
+    }
+    if k == 0 {
+        return Ok(Svd { u: Mat::zeros(m, 0), s: vec![], vt: Mat::zeros(0, 0) });
+    }
+    let steps = (k + extra).min(max_rank);
+
+    let mut us: Vec<Vec<f64>> = Vec::with_capacity(steps);
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(steps + 1);
+    let mut alphas: Vec<f64> = Vec::with_capacity(steps);
+    let mut betas: Vec<f64> = Vec::with_capacity(steps);
+
+    let mut v = rng.normal_vec(n);
+    vector::normalize(&mut v);
+    vs.push(v);
+
+    let mut u_work = vec![0.0; m];
+    let mut v_work = vec![0.0; n];
+    // Breakdown threshold relative to the largest coefficient seen so far:
+    // an absolute cutoff misfires on exactly low-rank inputs, where the
+    // residual at the rank boundary sits at roundoff *times the operator
+    // scale*, not at raw machine epsilon.
+    let mut scale = 0.0_f64;
+
+    for j in 0..steps {
+        // u_j = A v_j − β_{j-1} u_{j-1}
+        op.apply(&vs[j], &mut u_work);
+        if j > 0 {
+            let beta_prev = betas[j - 1];
+            vector::axpy(-beta_prev, &us[j - 1], &mut u_work);
+        }
+        reorthogonalize(&mut u_work, &us);
+        let alpha = vector::norm2(&u_work);
+        scale = scale.max(alpha);
+        if alpha <= 1e-10 * scale.max(f64::MIN_POSITIVE) {
+            break; // invariant subspace found
+        }
+        vector::scale(1.0 / alpha, &mut u_work);
+        us.push(u_work.clone());
+        alphas.push(alpha);
+
+        // v_{j+1} = Aᵀ u_j − α_j v_j
+        op.apply_t(&us[j], &mut v_work);
+        vector::axpy(-alpha, &vs[j], &mut v_work);
+        reorthogonalize(&mut v_work, &vs);
+        let beta = vector::norm2(&v_work);
+        scale = scale.max(beta);
+        if beta <= 1e-10 * scale {
+            break;
+        }
+        vector::scale(1.0 / beta, &mut v_work);
+        vs.push(v_work.clone());
+        betas.push(beta);
+    }
+
+    let done = alphas.len();
+    if done == 0 {
+        // The operator annihilated the start vector; extremely unlikely for
+        // random starts unless A = 0.
+        return Ok(Svd { u: Mat::zeros(m, k), s: vec![0.0; k], vt: Mat::zeros(k, n) });
+    }
+
+    // Small bidiagonal core B = Uᵀ A V. When the u-recursion broke down (or
+    // the step budget ran out) one more v than u exists and the trailing β
+    // couples to it, so B is rectangular done × vs.len(); dropping that
+    // coupling loses exactly the information that makes low-rank inputs
+    // resolve to full accuracy.
+    let v_count = vs.len();
+    let mut b = Mat::zeros(done, v_count);
+    for i in 0..done {
+        b[(i, i)] = alphas[i];
+    }
+    for (i, &beta) in betas.iter().enumerate() {
+        if i + 1 < v_count {
+            b[(i, i + 1)] = beta;
+        }
+    }
+    let core = svd_jacobi(&b)?;
+
+    // Compose: U = U_lanczos · U_B, V = V_lanczos · V_B.
+    let u_basis = Mat::from_rows(&us.iter().map(Vec::as_slice).collect::<Vec<_>>()).transpose();
+    let v_basis =
+        Mat::from_rows(&vs.iter().map(Vec::as_slice).collect::<Vec<_>>()).transpose();
+    let u_full = u_basis.matmul(&core.u);
+    let v_full = v_basis.matmul(&core.vt.transpose());
+
+    let keep = k.min(done);
+    let mut u = Mat::zeros(m, keep);
+    let mut vt = Mat::zeros(keep, n);
+    for c in 0..keep {
+        for r in 0..m {
+            u[(r, c)] = u_full[(r, c)];
+        }
+        for r in 0..n {
+            vt[(c, r)] = v_full[(r, c)];
+        }
+    }
+    let mut s: Vec<f64> = core.s[..keep].to_vec();
+    // Pad (should not happen for k ≤ numerical rank).
+    while s.len() < k {
+        s.push(0.0);
+    }
+    if u.cols() < k {
+        let mut u_pad = Mat::zeros(m, k);
+        let mut vt_pad = Mat::zeros(k, n);
+        for c in 0..u.cols() {
+            for r in 0..m {
+                u_pad[(r, c)] = u[(r, c)];
+            }
+            for r in 0..n {
+                vt_pad[(c, r)] = vt[(c, r)];
+            }
+        }
+        u = u_pad;
+        vt = vt_pad;
+    }
+    Ok(Svd { u, s, vt })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::CenteredSparse;
+    use crate::sparse::SparseMat;
+
+    fn low_rank_matrix(m: usize, n: usize, rank: usize, seed: u64) -> Mat {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut a = Mat::zeros(m, n);
+        for r in 0..rank {
+            let x = rng.normal_vec(m);
+            let y = rng.normal_vec(n);
+            a.add_outer(3.0 / (r + 1) as f64, &x, &y);
+        }
+        a
+    }
+
+    #[test]
+    fn top_singular_values_match_dense_svd() {
+        let a = low_rank_matrix(40, 25, 5, 51);
+        let mut rng = Prng::seed_from_u64(1);
+        let lan = lanczos_svd(&a, 5, 15, &mut rng).unwrap();
+        let dense = svd_jacobi(&a).unwrap();
+        for i in 0..5 {
+            let rel = (lan.s[i] - dense.s[i]).abs() / dense.s[i].max(1e-12);
+            assert!(rel < 1e-6, "triplet {i}: {} vs {}", lan.s[i], dense.s[i]);
+        }
+    }
+
+    #[test]
+    fn singular_vectors_span_the_same_subspace() {
+        let a = low_rank_matrix(30, 20, 3, 52);
+        let mut rng = Prng::seed_from_u64(2);
+        let lan = lanczos_svd(&a, 3, 12, &mut rng).unwrap();
+        let dense = svd_jacobi(&a).unwrap();
+        // |v_lanczos · v_dense| ≈ 1 for each leading right vector.
+        for i in 0..3 {
+            let vl = lan.vt.row(i);
+            let vd = dense.vt.row(i);
+            let cos = vector::dot(vl, vd).abs();
+            assert!(cos > 1.0 - 1e-6, "vector {i} cosine {cos}");
+        }
+    }
+
+    #[test]
+    fn works_on_sparse_operator() {
+        let dense = low_rank_matrix(25, 18, 2, 53);
+        // Sparsify by zeroing small entries; keep the structure.
+        let sparse = SparseMat::from_dense(&Mat::from_fn(25, 18, |i, j| {
+            let v = dense[(i, j)];
+            if v.abs() > 0.5 {
+                v
+            } else {
+                0.0
+            }
+        }));
+        let mut rng = Prng::seed_from_u64(3);
+        let lan = lanczos_svd(&sparse, 4, 12, &mut rng).unwrap();
+        let exact = svd_jacobi(&sparse.to_dense()).unwrap();
+        for i in 0..4 {
+            assert!((lan.s[i] - exact.s[i]).abs() < 1e-6 * exact.s[0]);
+        }
+    }
+
+    #[test]
+    fn centered_operator_gives_pca_directions() {
+        // SVD of the implicitly centered operator == SVD of explicit
+        // centering.
+        let y = SparseMat::from_triplets(
+            6,
+            4,
+            &[
+                (0, 0, 2.0),
+                (1, 0, 4.0),
+                (2, 1, 1.0),
+                (3, 1, 3.0),
+                (4, 2, 5.0),
+                (5, 3, 2.0),
+            ],
+        );
+        let mean = y.col_means();
+        let op = CenteredSparse::new(&y, &mean);
+        let mut rng = Prng::seed_from_u64(4);
+        let lan = lanczos_svd(&op, 3, 3, &mut rng).unwrap();
+
+        let mut centered = y.to_dense();
+        centered.sub_row_vector(&mean);
+        let exact = svd_jacobi(&centered).unwrap();
+        for i in 0..3 {
+            assert!(
+                (lan.s[i] - exact.s[i]).abs() < 1e-8,
+                "σ{i}: {} vs {}",
+                lan.s[i],
+                exact.s[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rank_too_large_is_rejected() {
+        let a = Mat::zeros(3, 2);
+        let mut rng = Prng::seed_from_u64(5);
+        match lanczos_svd(&a, 5, 0, &mut rng) {
+            Err(LinalgError::RankTooLarge { requested: 5, available: 2 }) => {}
+            other => panic!("expected RankTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let a = low_rank_matrix(5, 4, 1, 54);
+        let mut rng = Prng::seed_from_u64(6);
+        let svd = lanczos_svd(&a, 0, 5, &mut rng).unwrap();
+        assert!(svd.s.is_empty());
+    }
+
+    #[test]
+    fn breakdown_on_exact_low_rank_is_graceful() {
+        // Rank 2 but asking for 2 with many extra steps: Lanczos must stop
+        // early without error and still return the right values.
+        let a = low_rank_matrix(20, 10, 2, 55);
+        let mut rng = Prng::seed_from_u64(7);
+        let lan = lanczos_svd(&a, 2, 15, &mut rng).unwrap();
+        let dense = svd_jacobi(&a).unwrap();
+        for i in 0..2 {
+            assert!((lan.s[i] - dense.s[i]).abs() < 1e-6 * dense.s[0].max(1.0));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Householder QR decomposition with thin Q.
+//!
+//! QR shows up in two of the analyzed PCA methods: SVD-Bidiag performs a QR
+//! first (Section 2.2), and stochastic SVD orthonormalizes its random
+//! projection with a QR — in the distributed case via TSQR
+//! (see [`mod@super::tsqr`]), whose local steps call into this module.
+
+use crate::dense::Mat;
+use crate::vector;
+
+/// Thin QR factorization: `A = Q R` with `Q` of shape m×k, `R` k×n,
+/// k = min(m, n). `Q` has orthonormal columns and `R` is upper triangular.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthonormal factor (m × k).
+    pub q: Mat,
+    /// Upper-triangular factor (k × n).
+    pub r: Mat,
+}
+
+/// Computes the thin QR of `a` by Householder reflections.
+pub fn qr_thin(a: &Mat) -> Qr {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    let mut work = a.clone();
+    // Householder vectors (each scaled so the reflection is I - beta v vᵀ).
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut betas: Vec<f64> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Column j below (and including) the diagonal.
+        let mut v: Vec<f64> = (j..m).map(|i| work[(i, j)]).collect();
+        let sigma = vector::norm2(&v);
+        if sigma == 0.0 {
+            vs.push(v);
+            betas.push(0.0);
+            continue;
+        }
+        let sign = if v[0] >= 0.0 { 1.0 } else { -1.0 };
+        let alpha = -sign * sigma;
+        v[0] -= alpha;
+        let vtv = vector::norm2_sq(&v);
+        let beta = if vtv > 0.0 { 2.0 / vtv } else { 0.0 };
+
+        // Apply H = I - beta v vᵀ to the trailing block work[j.., j..].
+        for col in j..n {
+            let mut dot = 0.0;
+            for (t, vi) in v.iter().enumerate() {
+                dot += vi * work[(j + t, col)];
+            }
+            let s = beta * dot;
+            if s != 0.0 {
+                for (t, vi) in v.iter().enumerate() {
+                    work[(j + t, col)] -= s * vi;
+                }
+            }
+        }
+        vs.push(v);
+        betas.push(beta);
+    }
+
+    // R: upper-triangular top k×n of the transformed matrix.
+    let mut r = Mat::zeros(k, n);
+    for i in 0..k {
+        for j in i..n {
+            r[(i, j)] = work[(i, j)];
+        }
+    }
+
+    // Thin Q: apply reflections in reverse order to the first k identity
+    // columns.
+    let mut q = Mat::zeros(m, k);
+    for i in 0..k {
+        q[(i, i)] = 1.0;
+    }
+    for j in (0..k).rev() {
+        let beta = betas[j];
+        if beta == 0.0 {
+            continue;
+        }
+        let v = &vs[j];
+        for col in 0..k {
+            let mut dot = 0.0;
+            for (t, vi) in v.iter().enumerate() {
+                dot += vi * q[(j + t, col)];
+            }
+            let s = beta * dot;
+            if s != 0.0 {
+                for (t, vi) in v.iter().enumerate() {
+                    q[(j + t, col)] -= s * vi;
+                }
+            }
+        }
+    }
+
+    Qr { q, r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    fn check_qr(a: &Mat, tol: f64) {
+        let Qr { q, r } = qr_thin(a);
+        let k = a.rows().min(a.cols());
+        assert_eq!((q.rows(), q.cols()), (a.rows(), k));
+        assert_eq!((r.rows(), r.cols()), (k, a.cols()));
+        // Reconstruction.
+        assert!(q.matmul(&r).approx_eq(a, tol), "QR does not reconstruct input");
+        // Orthonormal columns.
+        let qtq = q.matmul_tn(&q);
+        assert!(qtq.approx_eq(&Mat::identity(k), tol), "Q columns not orthonormal");
+        // R upper triangular.
+        for i in 0..k {
+            for j in 0..i.min(r.cols()) {
+                assert!(r[(i, j)].abs() < tol, "R not upper triangular at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn qr_of_tall_random_matrix() {
+        let mut rng = Prng::seed_from_u64(11);
+        check_qr(&rng.normal_mat(20, 5), 1e-10);
+    }
+
+    #[test]
+    fn qr_of_square_matrix() {
+        let mut rng = Prng::seed_from_u64(12);
+        check_qr(&rng.normal_mat(6, 6), 1e-10);
+    }
+
+    #[test]
+    fn qr_of_wide_matrix() {
+        let mut rng = Prng::seed_from_u64(13);
+        check_qr(&rng.normal_mat(4, 9), 1e-10);
+    }
+
+    #[test]
+    fn qr_of_rank_deficient_matrix_still_reconstructs() {
+        // Two identical columns.
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let Qr { q, r } = qr_thin(&a);
+        assert!(q.matmul(&r).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn qr_with_zero_column() {
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[0.0, 2.0], &[0.0, 2.0]]);
+        let Qr { q, r } = qr_thin(&a);
+        assert!(q.matmul(&r).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn qr_of_identity_is_identity() {
+        let a = Mat::identity(4);
+        let Qr { q, r } = qr_thin(&a);
+        // Up to column signs, both factors are the identity; reconstruction
+        // must be exact either way.
+        assert!(q.matmul(&r).approx_eq(&a, 1e-14));
+    }
+}

@@ -1,0 +1,97 @@
+//! TSQR: communication-avoiding QR for tall-skinny, row-partitioned
+//! matrices.
+//!
+//! Mahout's SSVD orthonormalizes the N×k projected matrix `Y·Ω` with a
+//! distributed QR; the standard way on a row-partitioned matrix is TSQR:
+//! each partition takes a local QR, the small R factors are stacked and
+//! QR'd once more, and the local Q blocks are corrected by the second-stage
+//! Q blocks. Only the k×k R factors ever travel — which is precisely why
+//! SSVD's *communication* cost in Table 1 is driven by the N×k Q matrix it
+//! must still materialize, not by the QR itself.
+
+use crate::dense::Mat;
+use crate::decomp::qr::{qr_thin, Qr};
+
+/// Result of a TSQR over row blocks.
+#[derive(Debug, Clone)]
+pub struct TsqrResult {
+    /// Orthonormal Q, one block per input block (same row counts).
+    pub q_blocks: Vec<Mat>,
+    /// Global upper-triangular R (k × k), k = common column count.
+    pub r: Mat,
+}
+
+/// Runs TSQR over row blocks of a conceptually stacked matrix.
+///
+/// All blocks must share a column count `k`, and each block should have at
+/// least `k` rows for the local QR to be thin (fewer rows still works; the
+/// local factor is just wide).
+pub fn tsqr(blocks: &[Mat]) -> TsqrResult {
+    assert!(!blocks.is_empty(), "tsqr: need at least one block");
+    let k = blocks[0].cols();
+    for b in blocks {
+        assert_eq!(b.cols(), k, "tsqr: blocks must share a column count");
+    }
+
+    // Stage 1: local QRs.
+    let locals: Vec<Qr> = blocks.iter().map(qr_thin).collect();
+
+    // Stage 2: QR of the stacked R factors.
+    let stacked = Mat::vcat(&locals.iter().map(|qr| qr.r.clone()).collect::<Vec<_>>());
+    let Qr { q: q2, r } = qr_thin(&stacked);
+
+    // Stage 3: correct each local Q by its slice of the stage-2 Q.
+    let mut q_blocks = Vec::with_capacity(blocks.len());
+    let mut offset = 0;
+    for qr in &locals {
+        let rows_here = qr.r.rows();
+        let q2_block = q2.row_block(offset, offset + rows_here);
+        offset += rows_here;
+        q_blocks.push(qr.q.matmul(&q2_block));
+    }
+
+    TsqrResult { q_blocks, r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    #[test]
+    fn tsqr_matches_monolithic_qr_reconstruction() {
+        let mut rng = Prng::seed_from_u64(21);
+        let a = rng.normal_mat(40, 6);
+        let blocks = vec![a.row_block(0, 13), a.row_block(13, 26), a.row_block(26, 40)];
+        let TsqrResult { q_blocks, r } = tsqr(&blocks);
+
+        let q = Mat::vcat(&q_blocks);
+        assert_eq!((q.rows(), q.cols()), (40, 6));
+        // Reconstruction.
+        assert!(q.matmul(&r).approx_eq(&a, 1e-9));
+        // Global orthonormality across blocks.
+        let qtq = q.matmul_tn(&q);
+        assert!(qtq.approx_eq(&Mat::identity(6), 1e-9));
+    }
+
+    #[test]
+    fn tsqr_single_block_degenerates_to_qr() {
+        let mut rng = Prng::seed_from_u64(22);
+        let a = rng.normal_mat(10, 3);
+        let TsqrResult { q_blocks, r } = tsqr(std::slice::from_ref(&a));
+        assert!(q_blocks[0].matmul(&r).approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn tsqr_with_short_blocks() {
+        // Blocks with fewer rows than columns still stack correctly.
+        let mut rng = Prng::seed_from_u64(23);
+        let a = rng.normal_mat(10, 4);
+        let blocks: Vec<Mat> = (0..5).map(|i| a.row_block(2 * i, 2 * i + 2)).collect();
+        let TsqrResult { q_blocks, r } = tsqr(&blocks);
+        let q = Mat::vcat(&q_blocks);
+        assert!(q.matmul(&r).approx_eq(&a, 1e-9));
+        let qtq = q.matmul_tn(&q);
+        assert!(qtq.approx_eq(&Mat::identity(4), 1e-9));
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type shared by all numeric routines in this crate.
+//!
+//! Dimension mismatches are programmer errors and are asserted at call sites;
+//! `LinalgError` covers *numeric* failures that a correct caller can still
+//! hit on bad data (singular systems, non-SPD inputs, iteration limits).
+
+use std::fmt;
+
+/// Numeric failure raised by a decomposition or solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// A (near-)singular matrix was passed to a solver that requires full rank.
+    Singular {
+        /// Routine that detected the singularity.
+        routine: &'static str,
+        /// Magnitude of the offending pivot.
+        pivot: f64,
+    },
+    /// Cholesky factorization found a non-positive diagonal entry.
+    NotPositiveDefinite {
+        /// Index of the failing diagonal entry.
+        index: usize,
+        /// Value found on the diagonal.
+        value: f64,
+    },
+    /// An iterative routine did not converge within its iteration budget.
+    NonConvergence {
+        /// Routine that gave up.
+        routine: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The requested factorization rank exceeds what the input supports.
+    RankTooLarge {
+        /// Rank requested by the caller.
+        requested: usize,
+        /// Largest rank supported by the input dimensions.
+        available: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { routine, pivot } => {
+                write!(f, "{routine}: matrix is singular (pivot magnitude {pivot:.3e})")
+            }
+            LinalgError::NotPositiveDefinite { index, value } => write!(
+                f,
+                "cholesky: matrix is not positive definite (diagonal {index} = {value:.3e})"
+            ),
+            LinalgError::NonConvergence { routine, iterations } => {
+                write!(f, "{routine}: no convergence after {iterations} iterations")
+            }
+            LinalgError::RankTooLarge { requested, available } => write!(
+                f,
+                "requested rank {requested} exceeds the {available} supported by the input"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::Singular { routine: "lu", pivot: 1e-300 };
+        assert!(e.to_string().contains("lu"));
+        assert!(e.to_string().contains("singular"));
+
+        let e = LinalgError::NotPositiveDefinite { index: 3, value: -0.5 };
+        assert!(e.to_string().contains("positive definite"));
+
+        let e = LinalgError::NonConvergence { routine: "tqli", iterations: 30 };
+        assert!(e.to_string().contains("30"));
+
+        let e = LinalgError::RankTooLarge { requested: 9, available: 4 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<LinalgError>();
+    }
+}

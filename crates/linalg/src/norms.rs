@@ -1,0 +1,85 @@
+//! Reference norm computations.
+//!
+//! These are the *oracle* implementations: straightforward, dense, and
+//! obviously correct. The optimized sparse equivalents (the paper's
+//! Algorithms 2 and 3) live in `spca-core::frobenius` and are tested against
+//! these.
+
+use crate::dense::Mat;
+use crate::sparse::SparseMat;
+
+/// Squared Frobenius norm of the mean-centered matrix `Y - 1⊗mean`,
+/// computed by materializing every centered entry. O(N·D) time regardless
+/// of sparsity — exactly the cost profile mean propagation avoids.
+pub fn centered_frobenius_sq_dense(y: &Mat, mean: &[f64]) -> f64 {
+    assert_eq!(mean.len(), y.cols(), "mean length must equal column count");
+    let mut sum = 0.0;
+    for r in 0..y.rows() {
+        for (v, m) in y.row(r).iter().zip(mean) {
+            let c = v - m;
+            sum += c * c;
+        }
+    }
+    sum
+}
+
+/// Same as [`centered_frobenius_sq_dense`] but reading from a sparse matrix
+/// by densifying one row at a time — the paper's Algorithm 2
+/// ("Frobenius-simple"). Kept here as a second oracle and as the
+/// unoptimized arm of the Table 3 ablation.
+pub fn centered_frobenius_sq_simple(y: &SparseMat, mean: &[f64]) -> f64 {
+    assert_eq!(mean.len(), y.cols(), "mean length must equal column count");
+    let mut sum = 0.0;
+    let mut dense_row = vec![0.0; y.cols()];
+    for r in 0..y.rows() {
+        dense_row.iter_mut().zip(mean).for_each(|(d, m)| *d = -m);
+        for (c, v) in y.row(r).iter() {
+            dense_row[c] += v;
+        }
+        sum += dense_row.iter().map(|v| v * v).sum::<f64>();
+    }
+    sum
+}
+
+/// 1-norm (sum of absolute entries) of the dense difference `a - b`,
+/// used by the reconstruction-error metric.
+pub fn diff_norm1(a: &Mat, b: &Mat) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "diff_norm1: shape mismatch");
+    a.data().iter().zip(b.data()).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_and_simple_oracles_agree() {
+        let y = Mat::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 0.0, 0.0], &[0.0, 3.0, 4.0]]);
+        let ys = SparseMat::from_dense(&y);
+        let mean = ys.col_means();
+        let a = centered_frobenius_sq_dense(&y, &mean);
+        let b = centered_frobenius_sq_simple(&ys, &mean);
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn centered_norm_of_constant_matrix_is_zero() {
+        let y = Mat::from_fn(4, 3, |_, _| 5.0);
+        let mean = vec![5.0; 3];
+        assert!(centered_frobenius_sq_dense(&y, &mean) < 1e-20);
+    }
+
+    #[test]
+    fn zero_mean_reduces_to_plain_frobenius() {
+        let y = Mat::from_rows(&[&[1.0, -2.0], &[3.0, 0.5]]);
+        let f = centered_frobenius_sq_dense(&y, &[0.0, 0.0]);
+        assert!((f - y.frobenius_sq()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_norm1_hand_check() {
+        let a = Mat::from_rows(&[&[1.0, 2.0]]);
+        let b = Mat::from_rows(&[&[0.0, 4.0]]);
+        assert_eq!(diff_norm1(&a, &b), 3.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Abstract linear operators.
+//!
+//! Lanczos bidiagonalization (Section 2.2's SVD-Lanczos) only needs
+//! matrix–vector products, so it is written against [`LinOp`]. Three
+//! implementations matter here:
+//!
+//! * [`Mat`] — dense.
+//! * [`SparseMat`] — sparse, products touch non-zeros only.
+//! * [`CenteredSparse`] — the mean-centered view `Y - 1⊗mean` *without
+//!   materializing it*: products propagate the mean algebraically, the same
+//!   identity sPCA's mean propagation uses
+//!   (`(Y - 1⊗m)·x = Y·x - (m·x)·1`).
+
+use crate::dense::Mat;
+use crate::sparse::SparseMat;
+use crate::vector;
+
+/// A real linear operator `A : R^cols → R^rows` exposing products with `A`
+/// and `Aᵀ`.
+pub trait LinOp {
+    /// Output dimension of `apply`.
+    fn rows(&self) -> usize;
+    /// Input dimension of `apply`.
+    fn cols(&self) -> usize;
+    /// `out = A * x`. `x.len() == cols()`, `out.len() == rows()`.
+    fn apply(&self, x: &[f64], out: &mut [f64]);
+    /// `out = Aᵀ * x`. `x.len() == rows()`, `out.len() == cols()`.
+    fn apply_t(&self, x: &[f64], out: &mut [f64]);
+}
+
+impl LinOp for Mat {
+    fn rows(&self) -> usize {
+        Mat::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        Mat::cols(self)
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), Mat::cols(self));
+        assert_eq!(out.len(), Mat::rows(self));
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = vector::dot(self.row(i), x);
+        }
+    }
+
+    fn apply_t(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), Mat::rows(self));
+        assert_eq!(out.len(), Mat::cols(self));
+        out.fill(0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi != 0.0 {
+                vector::axpy(xi, self.row(i), out);
+            }
+        }
+    }
+}
+
+impl LinOp for SparseMat {
+    fn rows(&self) -> usize {
+        SparseMat::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        SparseMat::cols(self)
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), SparseMat::cols(self));
+        assert_eq!(out.len(), SparseMat::rows(self));
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.row(i).dot_dense(x);
+        }
+    }
+
+    fn apply_t(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), SparseMat::rows(self));
+        assert_eq!(out.len(), SparseMat::cols(self));
+        out.fill(0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi != 0.0 {
+                for (c, v) in self.row(i).iter() {
+                    out[c] += xi * v;
+                }
+            }
+        }
+    }
+}
+
+/// Implicitly mean-centered sparse operator `Y - 1 ⊗ mean`.
+#[derive(Debug, Clone)]
+pub struct CenteredSparse<'a> {
+    y: &'a SparseMat,
+    mean: &'a [f64],
+}
+
+impl<'a> CenteredSparse<'a> {
+    /// Wraps `y` with column means `mean` (`mean.len() == y.cols()`).
+    pub fn new(y: &'a SparseMat, mean: &'a [f64]) -> Self {
+        assert_eq!(mean.len(), y.cols(), "CenteredSparse: mean length mismatch");
+        CenteredSparse { y, mean }
+    }
+}
+
+impl LinOp for CenteredSparse<'_> {
+    fn rows(&self) -> usize {
+        self.y.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.y.cols()
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        // (Y - 1⊗m) x = Y x - (m·x) 1
+        self.y.apply(x, out);
+        let shift = vector::dot(self.mean, x);
+        for o in out.iter_mut() {
+            *o -= shift;
+        }
+    }
+
+    fn apply_t(&self, x: &[f64], out: &mut [f64]) {
+        // (Y - 1⊗m)ᵀ x = Yᵀ x - (Σ x) m
+        self.y.apply_t(x, out);
+        let total: f64 = x.iter().sum();
+        vector::axpy(-total, self.mean, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (SparseMat, Vec<f64>) {
+        let y = SparseMat::from_triplets(
+            3,
+            4,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 3, 5.0)],
+        );
+        let mean = y.col_means();
+        (y, mean)
+    }
+
+    #[test]
+    fn dense_and_sparse_ops_agree() {
+        let (y, _) = sample();
+        let d = y.to_dense();
+        let x = vec![1.0, -2.0, 0.5, 3.0];
+        let mut a = vec![0.0; 3];
+        let mut b = vec![0.0; 3];
+        LinOp::apply(&y, &x, &mut a);
+        LinOp::apply(&d, &x, &mut b);
+        assert_eq!(a, b);
+
+        let xt = vec![1.0, 2.0, -1.0];
+        let mut at = vec![0.0; 4];
+        let mut bt = vec![0.0; 4];
+        y.apply_t(&xt, &mut at);
+        d.apply_t(&xt, &mut bt);
+        for (p, q) in at.iter().zip(&bt) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn centered_operator_matches_explicit_centering() {
+        let (y, mean) = sample();
+        let mut dense = y.to_dense();
+        dense.sub_row_vector(&mean);
+        let op = CenteredSparse::new(&y, &mean);
+
+        let x = vec![0.5, 1.0, -1.0, 2.0];
+        let mut a = vec![0.0; 3];
+        let mut b = vec![0.0; 3];
+        op.apply(&x, &mut a);
+        LinOp::apply(&dense, &x, &mut b);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-12);
+        }
+
+        let xt = vec![1.0, -1.0, 0.25];
+        let mut at = vec![0.0; 4];
+        let mut bt = vec![0.0; 4];
+        op.apply_t(&xt, &mut at);
+        dense.apply_t(&xt, &mut bt);
+        for (p, q) in at.iter().zip(&bt) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_adjoint_identity_holds() {
+        // <A x, y> == <x, Aᵀ y> for the centered operator.
+        let (y, mean) = sample();
+        let op = CenteredSparse::new(&y, &mean);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let yv = vec![-1.0, 0.5, 2.0];
+        let mut ax = vec![0.0; 3];
+        op.apply(&x, &mut ax);
+        let mut aty = vec![0.0; 4];
+        op.apply_t(&yv, &mut aty);
+        let lhs = vector::dot(&ax, &yv);
+        let rhs = vector::dot(&x, &aty);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+}

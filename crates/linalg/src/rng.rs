@@ -1,0 +1,258 @@
+//! Seeded random number generation.
+//!
+//! Every stochastic step of the paper's algorithms (the `normrnd`
+//! initializations of `C` and `ss` in Algorithms 1 and 4, SSVD's random
+//! projection matrix `Ω`, dataset synthesis, row sampling for the accuracy
+//! estimator) draws from a [`Prng`] so experiments are reproducible from a
+//! single `u64` seed.
+//!
+//! Normal deviates use the Box–Muller transform on top of `rand`'s uniform
+//! stream; the `rand_distr` crate is intentionally not a dependency.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::dense::Mat;
+
+/// Deterministic pseudo-random generator used throughout the reproduction.
+#[derive(Debug, Clone)]
+pub struct Prng {
+    inner: StdRng,
+    /// Second deviate cached by Box–Muller.
+    spare_normal: Option<f64>,
+}
+
+impl Prng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Prng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// Derives an independent child generator; used to give each dataset /
+    /// algorithm / iteration its own stream without correlation.
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let s = self.inner.random::<u64>() ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        Prng::seed_from_u64(s)
+    }
+
+    /// Uniform deviate in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "index bound must be positive");
+        self.inner.random_range(0..bound)
+    }
+
+    /// Standard normal deviate (mean 0, variance 1) via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] so the logarithm is finite.
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// `rows × cols` matrix of standard normal deviates — the paper's
+    /// `normrnd(rows, cols)`.
+    pub fn normal_mat(&mut self, rows: usize, cols: usize) -> Mat {
+        let mut m = Mat::zeros(rows, cols);
+        for v in m.data_mut() {
+            *v = self.normal();
+        }
+        m
+    }
+
+    /// Vector of standard normal deviates.
+    pub fn normal_vec(&mut self, len: usize) -> Vec<f64> {
+        (0..len).map(|_| self.normal()).collect()
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (k ≤ n), in random order.
+    ///
+    /// Used by the accuracy estimator's row sampling and by sPCA-SG's
+    /// smart-guess sample (Section 5.2).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+        // Partial Fisher-Yates over an index vector; O(n) memory is fine at
+        // the scales this reproduction runs at.
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut self.inner);
+        idx.truncate(k);
+        idx
+    }
+
+    /// Geometric-ish Zipf sample over `[0, n)` with exponent `s`, via
+    /// inverse-CDF on a precomputed table. See [`ZipfTable`].
+    pub fn zipf(&mut self, table: &ZipfTable) -> usize {
+        table.sample(self.uniform())
+    }
+}
+
+/// Precomputed cumulative distribution for Zipf-distributed term sampling.
+///
+/// The Tweets and Bio-Text matrices in the paper are term–document matrices;
+/// term frequencies in text follow a Zipf law, which is what gives those
+/// matrices their extreme sparsity profile. The table costs O(n) once and
+/// O(log n) per sample.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds the CDF for `n` ranks with exponent `s` (s ≈ 1 for text).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf table needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        let norm = 1.0 / total;
+        for c in &mut cdf {
+            *c *= norm;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Number of ranks in the table.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the table is empty (never: `new` requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    fn sample(&self, u: f64) -> usize {
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = Prng::seed_from_u64(42);
+        let mut b = Prng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+            assert_eq!(a.normal(), b.normal());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Prng::seed_from_u64(1);
+        let mut b = Prng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_parent_consumption() {
+        let mut parent = Prng::seed_from_u64(7);
+        let mut child = parent.fork(1);
+        let x = child.uniform();
+        // Forking again with a different salt gives a different stream.
+        let mut child2 = parent.fork(2);
+        assert_ne!(x, child2.uniform());
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = Prng::seed_from_u64(1234);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_with_shifts_and_scales() {
+        let mut rng = Prng::seed_from_u64(5);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal_with(3.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn normal_mat_has_right_shape() {
+        let mut rng = Prng::seed_from_u64(0);
+        let m = rng.normal_mat(3, 5);
+        assert_eq!((m.rows(), m.cols()), (3, 5));
+        assert!(m.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Prng::seed_from_u64(9);
+        let k = 50;
+        let idx = rng.sample_indices(200, k);
+        assert_eq!(idx.len(), k);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), k, "indices must be distinct");
+        assert!(idx.iter().all(|&i| i < 200));
+    }
+
+    #[test]
+    fn sample_indices_full_population() {
+        let mut rng = Prng::seed_from_u64(9);
+        let mut idx = rng.sample_indices(10, 10);
+        idx.sort_unstable();
+        assert_eq!(idx, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_indices_rejects_oversample() {
+        let mut rng = Prng::seed_from_u64(9);
+        let _ = rng.sample_indices(5, 6);
+    }
+
+    #[test]
+    fn zipf_is_heavily_skewed_to_low_ranks() {
+        let table = ZipfTable::new(1000, 1.0);
+        let mut rng = Prng::seed_from_u64(77);
+        let n = 50_000;
+        let low = (0..n).filter(|_| rng.zipf(&table) < 10).count();
+        // Under Zipf(1.0) the first 10 of 1000 ranks carry ~39% of the mass.
+        let frac = low as f64 / n as f64;
+        assert!(frac > 0.30 && frac < 0.50, "low-rank mass {frac}");
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range() {
+        let table = ZipfTable::new(17, 1.1);
+        let mut rng = Prng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(rng.zipf(&table) < 17);
+        }
+    }
+}

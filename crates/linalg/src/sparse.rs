@@ -1,0 +1,381 @@
+//! CSR sparse matrix.
+//!
+//! The paper's large inputs (Tweets: 1.26B × 71.5K at ~10⁻⁴ density) only
+//! fit anywhere because they are stored sparse, and the entire point of the
+//! *mean propagation* optimization (Section 3.1) is to never destroy that
+//! sparsity by mean-centering. This CSR type therefore has no in-place
+//! mean-subtraction at all — centering is always expressed algebraically by
+//! the callers (see `spca-core::mean_prop`).
+
+use crate::dense::Mat;
+use crate::vector;
+
+/// Compressed-sparse-row matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMat {
+    rows: usize,
+    cols: usize,
+    /// Row pointers: row `r` occupies `indptr[r]..indptr[r+1]` of the arrays.
+    indptr: Vec<usize>,
+    /// Column indices, strictly increasing within a row.
+    indices: Vec<u32>,
+    /// Non-zero values, parallel to `indices`.
+    values: Vec<f64>,
+}
+
+/// Borrowed view of one sparse row.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseRow<'a> {
+    /// Column indices of the non-zeros, strictly increasing.
+    pub indices: &'a [u32],
+    /// Non-zero values, parallel to `indices`.
+    pub values: &'a [f64],
+}
+
+impl SparseMat {
+    /// Builds from per-row `(column, value)` lists. Entries within each row
+    /// are sorted and zero values are dropped; duplicate columns in one row
+    /// are summed.
+    pub fn from_rows(rows: usize, cols: usize, mut entries: Vec<Vec<(u32, f64)>>) -> Self {
+        assert_eq!(entries.len(), rows, "from_rows: expected {rows} row lists");
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for row in &mut entries {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut last: Option<u32> = None;
+            for &(c, v) in row.iter() {
+                assert!((c as usize) < cols, "from_rows: column {c} out of bounds {cols}");
+                if v == 0.0 {
+                    continue;
+                }
+                if last == Some(c) {
+                    *values.last_mut().expect("just pushed") += v;
+                } else {
+                    indices.push(c);
+                    values.push(v);
+                    last = Some(c);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        SparseMat { rows, cols, indptr, indices, values }
+    }
+
+    /// Builds from COO triplets `(row, col, value)`.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, u32, f64)]) -> Self {
+        let mut per_row: Vec<Vec<(u32, f64)>> = vec![Vec::new(); rows];
+        for &(r, c, v) in triplets {
+            assert!(r < rows, "from_triplets: row {r} out of bounds {rows}");
+            per_row[r].push((c, v));
+        }
+        SparseMat::from_rows(rows, cols, per_row)
+    }
+
+    /// Converts a dense matrix, keeping entries with `|v| > 0`.
+    pub fn from_dense(m: &Mat) -> Self {
+        let per_row = (0..m.rows())
+            .map(|r| {
+                m.row(r)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0.0)
+                    .map(|(c, &v)| (c as u32, v))
+                    .collect()
+            })
+            .collect();
+        SparseMat::from_rows(m.rows(), m.cols(), per_row)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries that are non-zero.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// View of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> SparseRow<'_> {
+        debug_assert!(r < self.rows);
+        let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+        SparseRow { indices: &self.indices[s..e], values: &self.values[s..e] }
+    }
+
+    /// In-memory footprint in bytes: 4-byte index + 8-byte value per
+    /// non-zero, plus row pointers. This is what the cluster simulator
+    /// charges when sparse data moves.
+    pub fn size_bytes(&self) -> u64 {
+        (self.nnz() * 12 + self.indptr.len() * 8) as u64
+    }
+
+    /// Product `self * B` with a dense matrix, iterating non-zeros only.
+    pub fn mul_dense(&self, b: &Mat) -> Mat {
+        assert_eq!(self.cols, b.rows(), "mul_dense: inner dimensions differ");
+        let mut out = Mat::zeros(self.rows, b.cols());
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let out_row = out.row_mut(r);
+            for (&c, &v) in row.indices.iter().zip(row.values) {
+                vector::axpy(v, b.row(c as usize), out_row);
+            }
+        }
+        out
+    }
+
+    /// Column sums (Σ over rows of each column), touching non-zeros only.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut s = vec![0.0; self.cols];
+        for (&c, &v) in self.indices.iter().zip(&self.values) {
+            s[c as usize] += v;
+        }
+        s
+    }
+
+    /// Column means — the `meanJob` of Algorithm 4.
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut s = self.col_sums();
+        if self.rows > 0 {
+            vector::scale(1.0 / self.rows as f64, &mut s);
+        }
+        s
+    }
+
+    /// Squared Frobenius norm of the *stored* matrix (no centering).
+    pub fn frobenius_sq(&self) -> f64 {
+        vector::norm2_sq(&self.values)
+    }
+
+    /// Sum of absolute values of stored entries.
+    pub fn norm1(&self) -> f64 {
+        vector::norm1(&self.values)
+    }
+
+    /// Densifies. Only sensible for test-sized matrices.
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (&c, &v) in row.indices.iter().zip(row.values) {
+                m[(r, c as usize)] = v;
+            }
+        }
+        m
+    }
+
+    /// Copies rows `[start, end)` into a fresh sparse matrix. Used by the
+    /// engines to partition the input across virtual nodes.
+    pub fn row_block(&self, start: usize, end: usize) -> SparseMat {
+        assert!(start <= end && end <= self.rows, "row_block: bad range {start}..{end}");
+        let (s, e) = (self.indptr[start], self.indptr[end]);
+        let mut indptr = Vec::with_capacity(end - start + 1);
+        for r in start..=end {
+            indptr.push(self.indptr[r] - s);
+        }
+        SparseMat {
+            rows: end - start,
+            cols: self.cols,
+            indptr,
+            indices: self.indices[s..e].to_vec(),
+            values: self.values[s..e].to_vec(),
+        }
+    }
+
+    /// Copies the selected rows into a fresh sparse matrix (sampling).
+    pub fn select_rows(&self, idx: &[usize]) -> SparseMat {
+        let per_row = idx
+            .iter()
+            .map(|&r| {
+                let row = self.row(r);
+                row.indices.iter().zip(row.values).map(|(&c, &v)| (c, v)).collect()
+            })
+            .collect();
+        SparseMat::from_rows(idx.len(), self.cols, per_row)
+    }
+
+    /// Splits into `parts` contiguous row blocks of near-equal size.
+    pub fn split_rows(&self, parts: usize) -> Vec<SparseMat> {
+        assert!(parts > 0, "split_rows: need at least one part");
+        let mut out = Vec::with_capacity(parts);
+        let base = self.rows / parts;
+        let extra = self.rows % parts;
+        let mut start = 0;
+        for p in 0..parts {
+            let len = base + usize::from(p < extra);
+            out.push(self.row_block(start, start + len));
+            start += len;
+        }
+        out
+    }
+}
+
+impl SparseRow<'_> {
+    /// Number of non-zeros in the row.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Iterator over `(column, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.indices.iter().zip(self.values).map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Dot product with a dense vector of the full column dimension.
+    pub fn dot_dense(&self, x: &[f64]) -> f64 {
+        self.iter().map(|(c, v)| v * x[c]).sum()
+    }
+
+    /// Sparse-row × dense-matrix product: `out = row * B` where `B` is the
+    /// broadcast in-memory matrix of Section 3.3. `out` must be zeroed by
+    /// the caller (or the result is accumulated).
+    pub fn mul_mat_into(&self, b: &Mat, out: &mut [f64]) {
+        assert_eq!(out.len(), b.cols(), "mul_mat_into: output length mismatch");
+        for (c, v) in self.iter() {
+            vector::axpy(v, b.row(c), out);
+        }
+    }
+
+    /// Convenience wrapper allocating the output of [`Self::mul_mat_into`].
+    pub fn mul_mat(&self, b: &Mat) -> Vec<f64> {
+        let mut out = vec![0.0; b.cols()];
+        self.mul_mat_into(b, &mut out);
+        out
+    }
+
+    /// Squared Euclidean norm of the row.
+    pub fn norm2_sq(&self) -> f64 {
+        vector::norm2_sq(self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseMat {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 0 3 4 ]
+        SparseMat::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (2, 2, 4.0)])
+    }
+
+    #[test]
+    fn construction_sorts_and_drops_zeros() {
+        let m = SparseMat::from_rows(1, 4, vec![vec![(3, 1.0), (1, 2.0), (2, 0.0)]]);
+        assert_eq!(m.nnz(), 2);
+        let r = m.row(0);
+        assert_eq!(r.indices, &[1, 3]);
+        assert_eq!(r.values, &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn duplicate_columns_are_summed() {
+        let m = SparseMat::from_rows(1, 3, vec![vec![(1, 2.0), (1, 3.0)]]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.row(0).values, &[5.0]);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = sample();
+        let d = m.to_dense();
+        let back = SparseMat::from_dense(&d);
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn mul_dense_matches_dense_product() {
+        let m = sample();
+        let b = Mat::from_rows(&[&[1.0, 2.0], &[0.0, 1.0], &[3.0, 0.0]]);
+        let sparse_product = m.mul_dense(&b);
+        let dense_product = m.to_dense().matmul(&b);
+        assert!(sparse_product.approx_eq(&dense_product, 1e-12));
+    }
+
+    #[test]
+    fn col_means_touch_nonzeros_only() {
+        let m = sample();
+        assert_eq!(m.col_means(), vec![1.0 / 3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn frobenius_of_stored_values() {
+        assert_eq!(sample().frobenius_sq(), 1.0 + 4.0 + 9.0 + 16.0);
+    }
+
+    #[test]
+    fn row_block_preserves_content() {
+        let m = sample();
+        let b = m.row_block(1, 3);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.row(0).nnz(), 0);
+        assert_eq!(b.row(1).indices, &[1, 2]);
+    }
+
+    #[test]
+    fn split_rows_partitions_everything() {
+        let m = sample();
+        let parts = m.split_rows(2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts.iter().map(SparseMat::rows).sum::<usize>(), 3);
+        assert_eq!(parts.iter().map(SparseMat::nnz).sum::<usize>(), m.nnz());
+        let rejoined = Mat::vcat(&parts.iter().map(SparseMat::to_dense).collect::<Vec<_>>());
+        assert!(rejoined.approx_eq(&m.to_dense(), 0.0));
+    }
+
+    #[test]
+    fn select_rows_copies_requested() {
+        let m = sample();
+        let s = m.select_rows(&[2, 2, 0]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(0).indices, &[1, 2]);
+        assert_eq!(s.row(2).indices, &[0, 2]);
+    }
+
+    #[test]
+    fn sparse_row_products() {
+        let m = sample();
+        let b = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let r = m.row(2);
+        assert_eq!(r.mul_mat(&b), vec![4.0, 7.0]);
+        assert_eq!(r.dot_dense(&[1.0, 1.0, 1.0]), 7.0);
+        assert_eq!(r.norm2_sq(), 25.0);
+    }
+
+    #[test]
+    fn density_and_sizes() {
+        let m = sample();
+        assert!((m.density() - 4.0 / 9.0).abs() < 1e-12);
+        assert_eq!(m.size_bytes(), (4 * 12 + 4 * 8) as u64);
+    }
+
+    #[test]
+    fn empty_matrix_is_sane() {
+        let m = SparseMat::from_rows(0, 5, vec![]);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.col_means(), vec![0.0; 5]);
+        assert_eq!(m.density(), 0.0);
+    }
+}

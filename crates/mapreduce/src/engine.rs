@@ -1,0 +1,254 @@
+//! Job execution: map stage, combine, shuffle, reduce stage.
+
+use std::collections::BTreeMap;
+
+use dcluster::{SimCluster, StageOptions};
+
+use crate::job::{Emitter, MapReduceJob};
+use linalg::bytes::ByteSized;
+
+/// Per-job byte and record counters (the Hadoop counters the paper quotes).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobStats {
+    /// Bytes emitted by mappers before combining ("map output bytes") —
+    /// charged to the simulated local disk as the spill.
+    pub map_emit_bytes: u64,
+    /// Records emitted by mappers before combining.
+    pub map_emit_records: usize,
+    /// Bytes crossing the network after per-mapper combining.
+    pub shuffle_bytes: u64,
+    /// Number of distinct shuffle keys.
+    pub distinct_keys: usize,
+}
+
+/// Sorted `(key, output)` pairs a job produces.
+pub type JobOutput<J> =
+    Vec<(<J as MapReduceJob>::Key, <J as MapReduceJob>::Output)>;
+
+/// A reducer's slice of grouped key/value lists.
+type ReduceChunk<J> =
+    Vec<(<J as MapReduceJob>::Key, Vec<<J as MapReduceJob>::Value>)>;
+
+/// Executes [`MapReduceJob`]s on a simulated cluster with Hadoop-flavoured
+/// overheads.
+#[derive(Debug, Clone, Copy)]
+pub struct MapReduceEngine<'a> {
+    cluster: &'a SimCluster,
+    /// Flat virtual job-initialization cost (Hadoop: several seconds).
+    job_overhead_secs: f64,
+    /// Per-task virtual slot launch cost.
+    task_overhead_secs: f64,
+}
+
+impl<'a> MapReduceEngine<'a> {
+    /// Engine with Hadoop-like default overheads (6 s per job, 1 s per
+    /// task), the regime in which the paper observes "the overheads of the
+    /// Hadoop framework and job initialization have a larger relative
+    /// impact in the smaller case".
+    pub fn new(cluster: &'a SimCluster) -> Self {
+        MapReduceEngine { cluster, job_overhead_secs: 6.0, task_overhead_secs: 1.0 }
+    }
+
+    /// Overrides both overhead knobs.
+    pub fn with_overheads(mut self, job_secs: f64, task_secs: f64) -> Self {
+        self.job_overhead_secs = job_secs;
+        self.task_overhead_secs = task_secs;
+        self
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &'a SimCluster {
+        self.cluster
+    }
+
+    /// Runs a job over row partitions with the given reduce parallelism.
+    /// Outputs come back sorted by key (as Hadoop delivers them).
+    pub fn run_job<J: MapReduceJob>(
+        &self,
+        name: &str,
+        job: &J,
+        partitions: &[J::Input],
+        reducers: usize,
+    ) -> (JobOutput<J>, JobStats) {
+        assert!(reducers > 0, "run_job: need at least one reducer");
+        self.cluster.advance_time(self.job_overhead_secs);
+
+        // ---- Map stage (with per-mapper combine, inside the timed task).
+        type MapOut<K, V> = (Vec<(K, V)>, u64, usize);
+        let map_tasks: Vec<_> = partitions
+            .iter()
+            .map(|p| {
+                move || -> MapOut<J::Key, J::Value> {
+                    let combiner = |k: &J::Key, vs: Vec<J::Value>| job.combine(k, vs);
+                    let mut emitter = Emitter::with_combiner(&combiner);
+                    job.map(p, &mut emitter);
+                    let (pairs, bytes, records) = emitter.into_parts();
+                    // Per-mapper grouping + combine.
+                    let mut grouped: BTreeMap<J::Key, Vec<J::Value>> = BTreeMap::new();
+                    for (k, v) in pairs {
+                        grouped.entry(k).or_default().push(v);
+                    }
+                    let mut combined = Vec::new();
+                    for (k, vs) in grouped {
+                        for v in job.combine(&k, vs) {
+                            combined.push((k.clone(), v));
+                        }
+                    }
+                    (combined, bytes, records)
+                }
+            })
+            .collect();
+        let map_outputs = self.cluster.run_stage(
+            StageOptions::new(format!("{name}/map")).with_task_overhead(self.task_overhead_secs),
+            map_tasks,
+        );
+
+        let mut stats = JobStats::default();
+        let mut all_pairs: Vec<(J::Key, J::Value)> = Vec::new();
+        for (pairs, bytes, records) in map_outputs {
+            stats.map_emit_bytes += bytes;
+            stats.map_emit_records += records;
+            stats.shuffle_bytes +=
+                pairs.iter().map(|(k, v)| k.size_bytes() + v.size_bytes()).sum::<u64>();
+            all_pairs.extend(pairs);
+        }
+        // Mapper spill to local disk at pre-combine size; shuffle over the
+        // network at post-combine size.
+        self.cluster.charge_dfs_write(stats.map_emit_bytes);
+        self.cluster.charge_network(stats.shuffle_bytes);
+
+        // ---- Sort & group (Hadoop's merge sort).
+        let mut grouped: BTreeMap<J::Key, Vec<J::Value>> = BTreeMap::new();
+        for (k, v) in all_pairs {
+            grouped.entry(k).or_default().push(v);
+        }
+        stats.distinct_keys = grouped.len();
+
+        // ---- Reduce stage: contiguous key ranges per reducer.
+        let entries: Vec<(J::Key, Vec<J::Value>)> = grouped.into_iter().collect();
+        let chunk = entries.len().div_ceil(reducers).max(1);
+        let mut chunks: Vec<ReduceChunk<J>> = Vec::new();
+        let mut it = entries.into_iter().peekable();
+        while it.peek().is_some() {
+            chunks.push(it.by_ref().take(chunk).collect());
+        }
+        let reduce_tasks: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                move || -> Vec<(J::Key, J::Output)> {
+                    chunk.into_iter().map(|(k, vs)| (k.clone(), job.reduce(k, vs))).collect()
+                }
+            })
+            .collect();
+        let reduce_outputs = self.cluster.run_stage(
+            StageOptions::new(format!("{name}/reduce"))
+                .with_task_overhead(self.task_overhead_secs),
+            reduce_tasks,
+        );
+
+        (reduce_outputs.into_iter().flatten().collect(), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcluster::ClusterConfig;
+
+    /// Word-count over integer "documents": key = value % modulus.
+    struct ModCount {
+        modulus: u64,
+    }
+
+    impl MapReduceJob for ModCount {
+        type Input = Vec<u64>;
+        type Key = u64;
+        type Value = u64;
+        type Output = u64;
+
+        fn map(&self, partition: &Vec<u64>, emitter: &mut Emitter<u64, u64>) {
+            for &x in partition {
+                emitter.emit(x % self.modulus, 1);
+            }
+        }
+
+        fn combine(&self, _key: &u64, values: Vec<u64>) -> Vec<u64> {
+            vec![values.iter().sum()]
+        }
+
+        fn reduce(&self, _key: u64, values: Vec<u64>) -> u64 {
+            values.iter().sum()
+        }
+    }
+
+    fn cluster() -> SimCluster {
+        SimCluster::new(ClusterConfig::paper_cluster())
+    }
+
+    #[test]
+    fn counts_are_correct_and_sorted() {
+        let c = cluster();
+        let engine = MapReduceEngine::new(&c).with_overheads(0.0, 0.0);
+        let parts: Vec<Vec<u64>> = vec![(0..50).collect(), (50..100).collect()];
+        let (out, stats) = engine.run_job("modcount", &ModCount { modulus: 3 }, &parts, 2);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], (0, 34)); // 0,3,…,99
+        assert_eq!(out[1], (1, 33));
+        assert_eq!(out[2], (2, 33));
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "outputs sorted by key");
+        assert_eq!(stats.map_emit_records, 100);
+        assert_eq!(stats.distinct_keys, 3);
+    }
+
+    #[test]
+    fn combiner_shrinks_shuffle_but_not_map_output() {
+        let c = cluster();
+        let engine = MapReduceEngine::new(&c).with_overheads(0.0, 0.0);
+        let parts: Vec<Vec<u64>> = vec![(0..1000).collect()];
+        let (_, stats) = engine.run_job("modcount", &ModCount { modulus: 2 }, &parts, 1);
+        // 1000 emitted records of 16 B each, combined to 2 per mapper.
+        assert_eq!(stats.map_emit_bytes, 16_000);
+        assert_eq!(stats.shuffle_bytes, 32);
+    }
+
+    #[test]
+    fn bytes_are_charged_to_cluster_meters() {
+        let c = cluster();
+        let engine = MapReduceEngine::new(&c).with_overheads(0.0, 0.0);
+        let parts: Vec<Vec<u64>> = vec![(0..100).collect()];
+        let (_, stats) = engine.run_job("modcount", &ModCount { modulus: 5 }, &parts, 1);
+        let m = c.metrics();
+        assert_eq!(m.dfs_bytes_written, stats.map_emit_bytes);
+        assert_eq!(m.network_bytes, stats.shuffle_bytes);
+        assert_eq!(m.intermediate_bytes, stats.map_emit_bytes + stats.shuffle_bytes);
+    }
+
+    #[test]
+    fn job_overhead_advances_virtual_clock() {
+        let c = cluster();
+        let engine = MapReduceEngine::new(&c); // defaults: 6 s job, 1 s task
+        let parts: Vec<Vec<u64>> = vec![vec![1, 2, 3]];
+        let _ = engine.run_job("tiny", &ModCount { modulus: 2 }, &parts, 1);
+        // ≥ 6 s job init + 1 s map task + 1 s reduce task.
+        assert!(c.metrics().virtual_time_secs >= 8.0);
+    }
+
+    #[test]
+    fn many_reducers_with_few_keys() {
+        let c = cluster();
+        let engine = MapReduceEngine::new(&c).with_overheads(0.0, 0.0);
+        let parts: Vec<Vec<u64>> = vec![(0..10).collect()];
+        let (out, _) = engine.run_job("modcount", &ModCount { modulus: 2 }, &parts, 16);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_produces_no_output() {
+        let c = cluster();
+        let engine = MapReduceEngine::new(&c).with_overheads(0.0, 0.0);
+        let parts: Vec<Vec<u64>> = vec![vec![]];
+        let (out, stats) = engine.run_job("modcount", &ModCount { modulus: 2 }, &parts, 4);
+        assert!(out.is_empty());
+        assert_eq!(stats.map_emit_bytes, 0);
+    }
+}

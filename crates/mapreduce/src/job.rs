@@ -1,0 +1,152 @@
+//! Job definition: the user-facing mapper/combiner/reducer traits.
+
+use std::collections::BTreeMap;
+
+use linalg::bytes::ByteSized;
+
+/// How many buffered records trigger an in-memory spill-combine.
+///
+/// Hadoop mappers don't hold their full output in memory either: the
+/// output buffer is combined and spilled when it fills. The emitted byte
+/// and record counters are unaffected — they meter what the mapper
+/// *produced*, which is what the paper's intermediate-data numbers count.
+const SPILL_THRESHOLD: usize = 65_536;
+
+type CombineFn<'a, K, V> = &'a dyn Fn(&K, Vec<V>) -> Vec<V>;
+
+/// Collects the `(key, value)` pairs a mapper emits and meters their wire
+/// size at emission time — the "map output bytes" Hadoop counter.
+pub struct Emitter<'a, K, V> {
+    pairs: Vec<(K, V)>,
+    bytes: u64,
+    records: usize,
+    combiner: Option<CombineFn<'a, K, V>>,
+}
+
+impl<K: ByteSized + Ord + Clone, V: ByteSized> Emitter<'_, K, V> {
+    /// Creates an empty emitter with no spill combining.
+    pub fn new() -> Self {
+        Emitter { pairs: Vec::new(), bytes: 0, records: 0, combiner: None }
+    }
+
+    /// Creates an emitter that compacts its buffer through `combiner`
+    /// whenever it exceeds the spill threshold (what the engine uses).
+    pub fn with_combiner(combiner: CombineFn<'_, K, V>) -> Emitter<'_, K, V> {
+        Emitter { pairs: Vec::new(), bytes: 0, records: 0, combiner: Some(combiner) }
+    }
+
+    /// Emits one pair.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.bytes += key.size_bytes() + value.size_bytes();
+        self.records += 1;
+        self.pairs.push((key, value));
+        if self.combiner.is_some() && self.pairs.len() >= SPILL_THRESHOLD {
+            self.compact();
+        }
+    }
+
+    /// Total bytes emitted so far (pre-combine).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of records emitted so far (pre-combine).
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Spill-combine the buffered pairs in place.
+    fn compact(&mut self) {
+        let Some(combiner) = self.combiner else { return };
+        let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        for (k, v) in self.pairs.drain(..) {
+            grouped.entry(k).or_default().push(v);
+        }
+        for (k, vs) in grouped {
+            for v in combiner(&k, vs) {
+                self.pairs.push((k.clone(), v));
+            }
+        }
+    }
+
+    /// Consumes the emitter, returning (possibly spill-combined) pairs and
+    /// the pre-combine byte/record counters.
+    pub(crate) fn into_parts(self) -> (Vec<(K, V)>, u64, usize) {
+        (self.pairs, self.bytes, self.records)
+    }
+}
+
+impl<K: ByteSized + Ord + Clone, V: ByteSized> Default for Emitter<'_, K, V> {
+    fn default() -> Self {
+        Emitter::new()
+    }
+}
+
+/// A MapReduce job over row-partitioned input.
+///
+/// Implementations are shared read-only across map tasks (`Sync`); any
+/// broadcast state — the paper's in-memory `CM` matrix, the mean vector —
+/// lives in the job struct, mirroring Hadoop's distributed-cache pattern.
+pub trait MapReduceJob: Sync {
+    /// One input partition (e.g. a block of matrix rows).
+    type Input: Sync;
+    /// Shuffle key. `Ord + Clone` because Hadoop sorts keys between map
+    /// and reduce (and spills re-insert combined pairs).
+    type Key: Ord + Clone + Send + ByteSized;
+    /// Shuffle value.
+    type Value: Send + ByteSized;
+    /// Per-key reducer output.
+    type Output: Send;
+
+    /// Processes one partition, emitting intermediate pairs.
+    ///
+    /// Emit per record for a Mahout-style mapper; accumulate in locals and
+    /// emit once at the end for the paper's stateful-combiner pattern.
+    fn map(&self, partition: &Self::Input, emitter: &mut Emitter<'_, Self::Key, Self::Value>);
+
+    /// Per-mapper combiner: folds this mapper's values for one key before
+    /// the shuffle. The default keeps the values as-is (no combiner).
+    fn combine(&self, _key: &Self::Key, values: Vec<Self::Value>) -> Vec<Self::Value> {
+        values
+    }
+
+    /// Reduces all (post-combine) values for one key into an output.
+    fn reduce(&self, key: Self::Key, values: Vec<Self::Value>) -> Self::Output;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_counts_bytes_and_records() {
+        let mut e: Emitter<'_, u32, f64> = Emitter::new();
+        assert_eq!(e.bytes(), 0);
+        e.emit(1, 2.0);
+        e.emit(2, 3.0);
+        assert_eq!(e.records(), 2);
+        assert_eq!(e.bytes(), 2 * (4 + 8));
+        let (pairs, bytes, records) = e.into_parts();
+        assert_eq!(pairs, vec![(1, 2.0), (2, 3.0)]);
+        assert_eq!(bytes, 24);
+        assert_eq!(records, 2);
+    }
+
+    #[test]
+    fn spill_combine_bounds_memory_but_not_counters() {
+        let combine = |_k: &u32, vs: Vec<f64>| vec![vs.iter().sum::<f64>()];
+        let mut e = Emitter::with_combiner(&combine);
+        let n = SPILL_THRESHOLD * 2 + 10;
+        for i in 0..n {
+            e.emit((i % 3) as u32, 1.0);
+        }
+        // Counters reflect every emission…
+        assert_eq!(e.records(), n);
+        assert_eq!(e.bytes(), (n as u64) * 12);
+        // …but the buffer was compacted down to a few combined pairs.
+        let (pairs, _, _) = e.into_parts();
+        assert!(pairs.len() < SPILL_THRESHOLD, "buffer was not compacted: {}", pairs.len());
+        let total: f64 = pairs.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, n as f64);
+    }
+}

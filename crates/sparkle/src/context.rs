@@ -1,0 +1,99 @@
+//! The driver-side entry point, analogous to `SparkContext`.
+
+use std::sync::Arc;
+
+use dcluster::SimCluster;
+
+use crate::rdd::Rdd;
+
+/// Driver context: creates RDDs on a simulated cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct SparkleContext<'a> {
+    cluster: &'a SimCluster,
+    /// Virtual per-task launch overhead. Spark tasks launch in
+    /// milliseconds — three orders of magnitude below Hadoop slots, which
+    /// is half the story of the MapReduce-vs-Spark columns of Table 2.
+    task_overhead_secs: f64,
+}
+
+impl<'a> SparkleContext<'a> {
+    /// Context with Spark-like defaults (5 ms task overhead).
+    pub fn new(cluster: &'a SimCluster) -> Self {
+        SparkleContext { cluster, task_overhead_secs: 0.005 }
+    }
+
+    /// Overrides the per-task overhead.
+    pub fn with_task_overhead(mut self, secs: f64) -> Self {
+        self.task_overhead_secs = secs;
+        self
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &'a SimCluster {
+        self.cluster
+    }
+
+    /// Per-task overhead used for stages launched from this context.
+    pub fn task_overhead_secs(&self) -> f64 {
+        self.task_overhead_secs
+    }
+
+    /// Distributes a collection across `partitions` partitions.
+    pub fn parallelize<T: Send + Sync>(&self, data: Vec<T>, partitions: usize) -> Rdd<'a, T> {
+        assert!(partitions > 0, "parallelize: need at least one partition");
+        let n = data.len();
+        let base = n / partitions;
+        let extra = n % partitions;
+        let mut parts = Vec::with_capacity(partitions);
+        let mut it = data.into_iter();
+        for p in 0..partitions {
+            let len = base + usize::from(p < extra);
+            parts.push(Arc::new(it.by_ref().take(len).collect::<Vec<T>>()));
+        }
+        Rdd::from_parts(self.cluster, self.task_overhead_secs, parts)
+    }
+
+    /// Builds an RDD from pre-partitioned data (how a row-partitioned
+    /// matrix enters the engine).
+    pub fn from_partitions<T: Send + Sync>(&self, parts: Vec<Vec<T>>) -> Rdd<'a, T> {
+        assert!(!parts.is_empty(), "from_partitions: need at least one partition");
+        Rdd::from_parts(
+            self.cluster,
+            self.task_overhead_secs,
+            parts.into_iter().map(Arc::new).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcluster::ClusterConfig;
+
+    #[test]
+    fn parallelize_balances_partitions() {
+        let c = SimCluster::new(ClusterConfig::paper_cluster());
+        let ctx = SparkleContext::new(&c);
+        let rdd = ctx.parallelize((0..10).collect(), 4);
+        assert_eq!(rdd.num_partitions(), 4);
+        let sizes: Vec<usize> = rdd.partition_sizes();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn parallelize_with_more_partitions_than_elements() {
+        let c = SimCluster::new(ClusterConfig::paper_cluster());
+        let ctx = SparkleContext::new(&c);
+        let rdd = ctx.parallelize(vec![1, 2], 5);
+        assert_eq!(rdd.num_partitions(), 5);
+        assert_eq!(rdd.count(), 2);
+    }
+
+    #[test]
+    fn from_partitions_preserves_layout() {
+        let c = SimCluster::new(ClusterConfig::paper_cluster());
+        let ctx = SparkleContext::new(&c);
+        let rdd = ctx.from_partitions(vec![vec![1, 2], vec![3]]);
+        assert_eq!(rdd.partition_sizes(), vec![2, 1]);
+    }
+}

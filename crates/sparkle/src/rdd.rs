@@ -1,0 +1,432 @@
+//! Resilient distributed datasets (eager, simulated).
+
+use std::sync::Arc;
+
+use dcluster::{SimCluster, StageOptions};
+use linalg::bytes::ByteSized;
+
+/// A partitioned in-memory dataset bound to a simulated cluster.
+///
+/// Cloning is cheap (partitions are shared `Arc`s) — the pattern for
+/// iterative algorithms is to build the input RDD once, `persist` it, and
+/// run one narrow stage per iteration against it, exactly how sPCA-Spark
+/// keeps `Y` cached across EM iterations.
+#[derive(Debug, Clone)]
+pub struct Rdd<'a, T> {
+    cluster: &'a SimCluster,
+    task_overhead_secs: f64,
+    partitions: Vec<Arc<Vec<T>>>,
+    /// Bytes that do not fit in aggregate cluster memory and are re-read
+    /// from disk by every stage over this RDD (0 unless `persist` finds the
+    /// dataset oversized).
+    spill_bytes: u64,
+}
+
+impl<'a, T: Send + Sync> Rdd<'a, T> {
+    pub(crate) fn from_parts(
+        cluster: &'a SimCluster,
+        task_overhead_secs: f64,
+        partitions: Vec<Arc<Vec<T>>>,
+    ) -> Self {
+        Rdd { cluster, task_overhead_secs, partitions, spill_bytes: 0 }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Element count per partition.
+    pub fn partition_sizes(&self) -> Vec<usize> {
+        self.partitions.iter().map(|p| p.len()).collect()
+    }
+
+    /// Total number of elements. Free — the layout is known to the driver.
+    pub fn count(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// The cluster this RDD lives on.
+    pub fn cluster(&self) -> &'a SimCluster {
+        self.cluster
+    }
+
+    fn stage_options(&self, label: &str) -> StageOptions {
+        StageOptions::new(label).with_task_overhead(self.task_overhead_secs)
+    }
+
+    /// Charges the per-stage disk penalty for the cached-but-spilled
+    /// fraction, if any.
+    fn charge_spill(&self) {
+        if self.spill_bytes > 0 {
+            self.cluster.charge_dfs_read(self.spill_bytes);
+        }
+    }
+
+    /// Runs one task per partition, each producing a new output partition.
+    /// The fundamental narrow transformation; everything else builds on it.
+    pub fn map_partitions<U, F>(&self, label: &str, f: F) -> Rdd<'a, U>
+    where
+        U: Send + Sync,
+        F: Fn(&[T]) -> Vec<U> + Sync,
+    {
+        self.charge_spill();
+        let f = &f;
+        let tasks: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|p| {
+                let p = Arc::clone(p);
+                move || f(&p)
+            })
+            .collect();
+        let outputs = self.cluster.run_stage(self.stage_options(label), tasks);
+        Rdd {
+            cluster: self.cluster,
+            task_overhead_secs: self.task_overhead_secs,
+            partitions: outputs.into_iter().map(Arc::new).collect(),
+            spill_bytes: 0,
+        }
+    }
+
+    /// Element-wise map.
+    pub fn map<U, F>(&self, label: &str, f: F) -> Rdd<'a, U>
+    where
+        U: Send + Sync,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.map_partitions(label, |part| part.iter().map(&f).collect())
+    }
+
+    /// Keeps the elements satisfying the predicate.
+    pub fn filter<F>(&self, label: &str, f: F) -> Rdd<'a, T>
+    where
+        T: Clone,
+        F: Fn(&T) -> bool + Sync,
+    {
+        self.map_partitions(label, |part| part.iter().filter(|t| f(t)).cloned().collect())
+    }
+
+    /// Accumulator-style aggregation (Spark `aggregate` / the paper's
+    /// Algorithm 5 accumulators): each task folds its partition into a
+    /// fresh local value (`init` + `fold`), then the per-task partials —
+    /// and only those — cross the network to the driver, where `merge`
+    /// combines them.
+    ///
+    /// Returns the merged value together with the number of accumulator
+    /// bytes that travelled, so callers can report it (sPCA's 131 MB of
+    /// intermediate data on Tweets is exactly this number).
+    pub fn aggregate<A, FI, FF, FM>(
+        &self,
+        label: &str,
+        init: FI,
+        fold: FF,
+        merge: FM,
+    ) -> (A, u64)
+    where
+        A: Send + ByteSized,
+        FI: Fn() -> A + Sync,
+        FF: Fn(&mut A, &T) + Sync,
+        FM: Fn(&mut A, A),
+    {
+        self.charge_spill();
+        let init = &init;
+        let fold = &fold;
+        let tasks: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|p| {
+                let p = Arc::clone(p);
+                move || {
+                    let mut acc = init();
+                    for t in p.iter() {
+                        fold(&mut acc, t);
+                    }
+                    acc
+                }
+            })
+            .collect();
+        let partials = self.cluster.run_stage(self.stage_options(label), tasks);
+
+        let bytes: u64 = partials.iter().map(ByteSized::size_bytes).sum();
+        self.cluster.charge_network(bytes);
+
+        let mut it = partials.into_iter();
+        let mut merged = it.next().unwrap_or_else(init);
+        for p in it {
+            merge(&mut merged, p);
+        }
+        (merged, bytes)
+    }
+
+    /// Copies every element to the driver, charging the transfer.
+    pub fn collect(&self) -> Vec<T>
+    where
+        T: Clone + ByteSized,
+    {
+        self.charge_spill();
+        let mut out = Vec::with_capacity(self.count());
+        for p in &self.partitions {
+            out.extend(p.iter().cloned());
+        }
+        let bytes: u64 = out.iter().map(ByteSized::size_bytes).sum();
+        self.cluster.charge_network(bytes);
+        out
+    }
+
+    /// Marks the RDD as cached and accounts for the fraction that does not
+    /// fit in the cluster's aggregate memory: that spill is re-read from
+    /// disk by every subsequent stage over this RDD. Returns the dataset's
+    /// size in bytes.
+    ///
+    /// This is the paper's point that sPCA's small footprint "allows for
+    /// the analysis of much larger datasets in the limited aggregate memory
+    /// of the cluster".
+    pub fn persist(&mut self) -> u64
+    where
+        T: ByteSized,
+    {
+        let total: u64 = self
+            .partitions
+            .iter()
+            .map(|p| p.iter().map(ByteSized::size_bytes).sum::<u64>())
+            .sum();
+        let memory = self.cluster.config().total_memory();
+        self.spill_bytes = total.saturating_sub(memory);
+        total
+    }
+
+    /// Spill bytes charged per stage (0 if the dataset fits in memory).
+    pub fn spill_bytes(&self) -> u64 {
+        self.spill_bytes
+    }
+
+    /// Concatenates two RDDs on the same cluster (partition lists are
+    /// appended; no data moves).
+    pub fn union(&self, other: &Rdd<'a, T>) -> Rdd<'a, T> {
+        assert!(
+            std::ptr::eq(self.cluster, other.cluster),
+            "union: RDDs live on different clusters"
+        );
+        let mut partitions = self.partitions.clone();
+        partitions.extend(other.partitions.iter().cloned());
+        Rdd {
+            cluster: self.cluster,
+            task_overhead_secs: self.task_overhead_secs,
+            partitions,
+            spill_bytes: self.spill_bytes + other.spill_bytes,
+        }
+    }
+
+    /// Bernoulli sample of the elements with probability `fraction`,
+    /// seeded — the primitive behind sPCA-SG's warm-up sample.
+    pub fn sample(&self, label: &str, fraction: f64, seed: u64) -> Rdd<'a, T>
+    where
+        T: Clone,
+    {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be a probability");
+        // One independent stream per partition so results do not depend on
+        // partition iteration order.
+        let counter = std::sync::atomic::AtomicU64::new(0);
+        self.map_partitions(label, move |part| {
+            let pidx = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let mut rng = linalg::Prng::seed_from_u64(seed ^ (pidx.wrapping_mul(0x9e37)));
+            part.iter().filter(|_| rng.uniform() < fraction).cloned().collect()
+        })
+    }
+
+    /// Zips two RDDs with identical partitioning, partition by partition
+    /// (Spark's `zipPartitions`) — the join pattern Mahout's Bt job uses
+    /// to align `Q` rows with input rows.
+    pub fn zip_partitions<U, V, F>(&self, label: &str, other: &Rdd<'a, U>, f: F) -> Rdd<'a, V>
+    where
+        U: Send + Sync,
+        V: Send + Sync,
+        F: Fn(&[T], &[U]) -> Vec<V> + Sync,
+    {
+        assert_eq!(
+            self.num_partitions(),
+            other.num_partitions(),
+            "zip_partitions: partition counts differ"
+        );
+        self.charge_spill();
+        other.charge_spill();
+        let f = &f;
+        let tasks: Vec<_> = self
+            .partitions
+            .iter()
+            .zip(&other.partitions)
+            .map(|(a, b)| {
+                let a = Arc::clone(a);
+                let b = Arc::clone(b);
+                move || f(&a, &b)
+            })
+            .collect();
+        let outputs = self.cluster.run_stage(self.stage_options(label), tasks);
+        Rdd {
+            cluster: self.cluster,
+            task_overhead_secs: self.task_overhead_secs,
+            partitions: outputs.into_iter().map(Arc::new).collect(),
+            spill_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SparkleContext;
+    use dcluster::ClusterConfig;
+
+    fn cluster() -> SimCluster {
+        SimCluster::new(ClusterConfig::paper_cluster())
+    }
+
+    #[test]
+    fn map_and_collect_roundtrip() {
+        let c = cluster();
+        let ctx = SparkleContext::new(&c);
+        let rdd = ctx.parallelize((0_u64..100).collect(), 8);
+        let doubled = rdd.map("double", |x| x * 2);
+        let out = doubled.collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let c = cluster();
+        let ctx = SparkleContext::new(&c);
+        let rdd = ctx.parallelize((0_u64..20).collect(), 3);
+        let evens = rdd.filter("evens", |x| x % 2 == 0);
+        assert_eq!(evens.count(), 10);
+    }
+
+    #[test]
+    fn aggregate_sums_partials_and_charges_network() {
+        let c = cluster();
+        let ctx = SparkleContext::new(&c);
+        let rdd = ctx.parallelize((1_u64..=100).collect(), 4);
+        let (sum, bytes) = rdd.aggregate(
+            "sum",
+            || 0_u64,
+            |acc, x| *acc += x,
+            |acc, other| *acc += other,
+        );
+        assert_eq!(sum, 5050);
+        // 4 partials of 8 bytes each.
+        assert_eq!(bytes, 32);
+        assert_eq!(c.metrics().network_bytes, 32);
+    }
+
+    #[test]
+    fn aggregate_of_empty_rdd_returns_init() {
+        let c = cluster();
+        let ctx = SparkleContext::new(&c);
+        let rdd = ctx.parallelize(Vec::<u64>::new(), 2);
+        let (sum, _) = rdd.aggregate("sum", || 7_u64, |a, x| *a += x, |a, b| *a += b);
+        assert_eq!(sum, 7 + 7, "two empty partials merge into init+init");
+    }
+
+    #[test]
+    fn collect_charges_transfer_bytes() {
+        let c = cluster();
+        let ctx = SparkleContext::new(&c);
+        let rdd = ctx.parallelize((0_u64..10).collect(), 2);
+        let _ = rdd.collect();
+        assert_eq!(c.metrics().network_bytes, 80);
+    }
+
+    #[test]
+    fn persist_detects_oversized_dataset_and_charges_spill() {
+        let small = SimCluster::new(
+            ClusterConfig::paper_cluster().with_nodes(1).with_memory_per_node(100),
+        );
+        let ctx = SparkleContext::new(&small);
+        let mut rdd = ctx.parallelize((0_u64..50).collect(), 2); // 400 B
+        let total = rdd.persist();
+        assert_eq!(total, 400);
+        assert_eq!(rdd.spill_bytes(), 300);
+        let before = small.metrics().dfs_bytes_read;
+        let _ = rdd.map("touch", |x| *x);
+        assert_eq!(small.metrics().dfs_bytes_read - before, 300);
+    }
+
+    #[test]
+    fn persist_fits_in_memory_means_no_spill() {
+        let c = cluster();
+        let ctx = SparkleContext::new(&c);
+        let mut rdd = ctx.parallelize((0_u64..50).collect(), 2);
+        rdd.persist();
+        assert_eq!(rdd.spill_bytes(), 0);
+        let _ = rdd.map("touch", |x| *x);
+        assert_eq!(c.metrics().dfs_bytes_read, 0);
+    }
+
+    #[test]
+    fn map_partitions_sees_whole_partition() {
+        let c = cluster();
+        let ctx = SparkleContext::new(&c);
+        let rdd = ctx.parallelize((0_u64..12).collect(), 3);
+        let sums = rdd.map_partitions("psum", |part| vec![part.iter().sum::<u64>()]);
+        assert_eq!(sums.count(), 3);
+        let total: u64 = sums.collect().iter().sum();
+        assert_eq!(total, 66);
+    }
+
+    #[test]
+    fn union_concatenates_partitions() {
+        let c = cluster();
+        let ctx = SparkleContext::new(&c);
+        let a = ctx.parallelize((0_u64..5).collect(), 2);
+        let b = ctx.parallelize((5_u64..8).collect(), 1);
+        let u = a.union(&b);
+        assert_eq!(u.num_partitions(), 3);
+        assert_eq!(u.collect(), (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sample_is_seeded_and_roughly_proportional() {
+        let c = cluster();
+        let ctx = SparkleContext::new(&c);
+        let rdd = ctx.parallelize((0_u64..10_000).collect(), 4);
+        let s1 = rdd.sample("s", 0.2, 9);
+        let s2 = rdd.sample("s", 0.2, 9);
+        assert_eq!(s1.collect(), s2.collect(), "same seed, same sample");
+        let count = s1.count() as f64;
+        assert!((count / 10_000.0 - 0.2).abs() < 0.03, "got fraction {}", count / 10_000.0);
+        let s3 = rdd.sample("s", 0.2, 10);
+        assert_ne!(s1.collect(), s3.collect(), "different seed, different sample");
+    }
+
+    #[test]
+    fn zip_partitions_aligns_by_partition() {
+        let c = cluster();
+        let ctx = SparkleContext::new(&c);
+        let a = ctx.from_partitions(vec![vec![1_u64, 2], vec![3]]);
+        let b = ctx.from_partitions(vec![vec![10_u64, 20], vec![30]]);
+        let z = a.zip_partitions("zip", &b, |xs, ys| {
+            xs.iter().zip(ys).map(|(x, y)| x + y).collect::<Vec<u64>>()
+        });
+        assert_eq!(z.collect(), vec![11, 22, 33]);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition counts differ")]
+    fn zip_partitions_rejects_mismatched_layout() {
+        let c = cluster();
+        let ctx = SparkleContext::new(&c);
+        let a = ctx.parallelize((0_u64..4).collect(), 2);
+        let b = ctx.parallelize((0_u64..4).collect(), 4);
+        let _ = a.zip_partitions("zip", &b, |x, _| x.to_vec());
+    }
+
+    #[test]
+    fn stages_are_recorded_with_labels() {
+        let c = cluster();
+        let ctx = SparkleContext::new(&c);
+        let rdd = ctx.parallelize((0_u64..4).collect(), 2);
+        let _ = rdd.map("step-one", |x| x + 1).map("step-two", |x| x * 2);
+        let labels: Vec<String> = c.metrics().stages.iter().map(|s| s.label.clone()).collect();
+        assert_eq!(labels, vec!["step-one".to_string(), "step-two".to_string()]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: fit sPCA on a synthetic sparse dataset and inspect the
+//! result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spca_repro::prelude::*;
+
+fn main() {
+    // 1. A seeded synthetic dataset: 20,000 tweet-like documents over a
+    //    4,000-word vocabulary (sparse binary term matrix).
+    let mut rng = Prng::seed_from_u64(42);
+    let y = spca_repro::datasets::tweets::generate(20_000, 4_000, &mut rng);
+    println!(
+        "dataset: {} x {}, {} non-zeros ({:.4}% dense)",
+        y.rows(),
+        y.cols(),
+        y.nnz(),
+        100.0 * y.density()
+    );
+
+    // 2. A simulated cluster shaped like the paper's testbed
+    //    (8 nodes x 8 cores).
+    let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+
+    // 3. Fit 10 principal components with sPCA on the Spark-like engine.
+    let config = SpcaConfig::new(10).with_max_iters(8).with_seed(7);
+    let run = Spca::new(config).fit_spark(&cluster, &y).expect("sPCA fit");
+
+    println!("\nEM progress:");
+    for it in &run.iterations {
+        println!(
+            "  iteration {:>2}: reconstruction error {:.4}, ss {:.5}, t = {:>6.1}s (simulated)",
+            it.iteration, it.error, it.ss, it.virtual_time_secs
+        );
+    }
+
+    // 4. The fitted model: components, projection, reconstruction.
+    let model = &run.model;
+    println!(
+        "\nmodel: C is {} x {}, noise variance ss = {:.5}",
+        model.input_dim(),
+        model.output_dim(),
+        model.noise_variance()
+    );
+
+    let projected = model.transform_sparse(&y).expect("projection");
+    println!(
+        "projected the {}-dimensional rows down to {} latent dimensions",
+        model.input_dim(),
+        projected.cols()
+    );
+
+    // 5. What did the distributed execution cost?
+    let metrics = cluster.metrics();
+    println!("\nsimulated execution:");
+    println!("  virtual time     : {:.1} s", run.virtual_time_secs);
+    println!("  intermediate data: {} bytes", run.intermediate_bytes);
+    println!("  driver peak      : {} bytes", metrics.driver_peak_bytes);
+    println!("  stages executed  : {}", metrics.stages.len());
+}

@@ -1,0 +1,110 @@
+//! PCA as the front end of clustering — the paper's motivation that PCA
+//! "is a key step in many other machine learning algorithms that do not
+//! perform well with high-dimensional data such as k-means clustering",
+//! and that "the principal components explain the principal terms in a
+//! set of documents".
+//!
+//! Fits sPCA on a Tweets-like term matrix with planted topics, then:
+//! 1. lists the top-weighted vocabulary per component;
+//! 2. runs a small k-means in the 6-dimensional *latent* space and scores
+//!    it against the planted topic labels — clustering in 1,200
+//!    dimensions of sparse binary data directly is exactly what the paper
+//!    says does not work well.
+//!
+//! ```text
+//! cargo run --release --example tweets_topics
+//! ```
+
+use spca_repro::prelude::*;
+
+fn main() {
+    // Strongly topical corpus: 6 topics, high affinity.
+    let spec = lowrank::LowRankSpec {
+        rows: 10_000,
+        cols: 1_200,
+        topics: 6,
+        words_per_row: 12.0,
+        topic_affinity: 0.9,
+        zipf_exponent: 1.0,
+    };
+    let mut rng = Prng::seed_from_u64(123);
+    let (y, labels) = lowrank::sparse_lowrank_labeled(&spec, &mut rng);
+    println!("corpus: {} documents, vocabulary {}", y.rows(), y.cols());
+
+    let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+    let run = Spca::new(SpcaConfig::new(6).with_max_iters(12).with_seed(9))
+        .fit_spark(&cluster, &y)
+        .expect("fit");
+    let model = &run.model;
+
+    // Top-weighted vocabulary entries per component ("principal terms").
+    println!("\ntop words (column ids) per principal component:");
+    let c = model.components();
+    for comp in 0..model.output_dim() {
+        let mut weighted: Vec<(usize, f64)> =
+            (0..c.rows()).map(|w| (w, c[(w, comp)].abs())).collect();
+        weighted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top: Vec<String> = weighted[..8].iter().map(|(w, _)| w.to_string()).collect();
+        println!("  component {comp}: words [{}]", top.join(", "));
+    }
+
+    // Project to latent space, then k-means there.
+    let x = model.transform_sparse(&y).expect("projection");
+    let assignments = kmeans(&x, spec.topics, 25, 77);
+    let purity = cluster_purity(&assignments, &labels, spec.topics);
+    println!(
+        "\nk-means over the {}-dimensional latent space: purity {:.1}% against \
+         the planted topics",
+        model.output_dim(),
+        100.0 * purity
+    );
+    println!("(random assignment would score ~{:.1}%)", 100.0 / spec.topics as f64);
+    println!("simulated fit time: {:.1} s", run.virtual_time_secs);
+    assert!(purity > 0.5, "latent k-means should beat chance decisively");
+}
+
+/// Plain Lloyd's k-means on dense rows.
+fn kmeans(x: &linalg::Mat, k: usize, iters: usize, seed: u64) -> Vec<usize> {
+    let mut rng = Prng::seed_from_u64(seed);
+    let picks = rng.sample_indices(x.rows(), k);
+    let mut centers: Vec<Vec<f64>> = picks.iter().map(|&r| x.row(r).to_vec()).collect();
+    let mut assign = vec![0usize; x.rows()];
+    for _ in 0..iters {
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            assign[r] = (0..k)
+                .min_by(|&a, &b| {
+                    let da = sq_dist(row, &centers[a]);
+                    let db = sq_dist(row, &centers[b]);
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+        }
+        let mut sums = vec![vec![0.0; x.cols()]; k];
+        let mut counts = vec![0usize; k];
+        for r in 0..x.rows() {
+            linalg::vector::axpy(1.0, x.row(r), &mut sums[assign[r]]);
+            counts[assign[r]] += 1;
+        }
+        for ((center, sum), count) in centers.iter_mut().zip(sums).zip(counts) {
+            if count > 0 {
+                *center = sum.into_iter().map(|v| v / count as f64).collect();
+            }
+        }
+    }
+    assign
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Fraction of documents whose cluster's majority label matches their own.
+fn cluster_purity(assign: &[usize], labels: &[usize], k: usize) -> f64 {
+    let mut counts = vec![vec![0usize; k]; k];
+    for (&a, &l) in assign.iter().zip(labels) {
+        counts[a][l] += 1;
+    }
+    let correct: usize = counts.iter().map(|c| c.iter().max().copied().unwrap_or(0)).sum();
+    correct as f64 / assign.len() as f64
+}

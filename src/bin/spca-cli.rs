@@ -1,0 +1,205 @@
+//! `spca-cli` — command-line front end for the sPCA reproduction.
+//!
+//! ```text
+//! spca-cli generate tweets 20000 4000 --seed 1 -o tweets.sm
+//! spca-cli info -i tweets.sm
+//! spca-cli fit -i tweets.sm -o model.txt -d 10 --engine spark --iters 8
+//! spca-cli transform -i tweets.sm -m model.txt -o latent.dm
+//! spca-cli likelihood -i tweets.sm -m model.txt
+//! ```
+//!
+//! Matrices use the `spca-sparse`/`spca-dense` text formats of
+//! [`linalg::io`]; models use [`spca_core::PcaModel`]'s text format.
+
+use std::process::ExitCode;
+
+use dcluster::{ClusterConfig, SimCluster};
+use linalg::{io as mio, Prng, SparseMat};
+use spca_core::model::PcaModel;
+use spca_core::{likelihood, Spca, SpcaConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  spca-cli generate <tweets|biotext|diabetes|images|lowrank> <rows> <cols>
+           [--seed N] -o FILE
+  spca-cli info -i FILE
+  spca-cli fit -i DATA -o MODEL [-d N] [--engine spark|mapreduce]
+           [--iters N] [--seed N] [--nodes N] [--partitions N]
+  spca-cli transform -i DATA -m MODEL -o OUT
+  spca-cli likelihood -i DATA -m MODEL";
+
+/// Minimal flag parser: positional arguments plus `--flag value` pairs.
+struct Args<'a> {
+    positional: Vec<&'a str>,
+    flags: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix('-') {
+                let name = name.strip_prefix('-').unwrap_or(name);
+                let value =
+                    it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.push((name, value.as_str()));
+            } else {
+                positional.push(a.as_str());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.flag(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn numeric<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+}
+
+fn run(raw: &[String]) -> Result<(), String> {
+    let command = raw.first().map(String::as_str).ok_or("no command given")?;
+    let args = Args::parse(&raw[1..])?;
+    match command {
+        "generate" => generate(&args),
+        "info" => info(&args),
+        "fit" => fit(&args),
+        "transform" => transform(&args),
+        "likelihood" => likelihood_cmd(&args),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load_data(args: &Args<'_>) -> Result<SparseMat, String> {
+    let path = args.required("i")?;
+    mio::load_sparse(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_model(args: &Args<'_>) -> Result<PcaModel, String> {
+    let path = args.required("m")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    PcaModel::from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn generate(args: &Args<'_>) -> Result<(), String> {
+    let [kind, rows, cols] = args.positional[..] else {
+        return Err("generate needs: <kind> <rows> <cols>".into());
+    };
+    let rows: usize = rows.parse().map_err(|e| format!("rows: {e}"))?;
+    let cols: usize = cols.parse().map_err(|e| format!("cols: {e}"))?;
+    let seed: u64 = args.numeric("seed", 42)?;
+    let out = args.required("o")?;
+
+    let mut rng = Prng::seed_from_u64(seed);
+    let m = match kind {
+        "tweets" => datasets::tweets::generate(rows, cols, &mut rng),
+        "biotext" => datasets::biotext::generate(rows, cols, &mut rng),
+        "diabetes" => datasets::diabetes::generate_sparse(rows, cols, &mut rng),
+        "images" => datasets::images::generate_sparse(rows, cols, &mut rng),
+        "lowrank" => {
+            let spec = datasets::LowRankSpec {
+                rows,
+                cols,
+                ..datasets::LowRankSpec::small_test()
+            };
+            datasets::sparse_lowrank(&spec, &mut rng)
+        }
+        other => return Err(format!("unknown dataset kind {other:?}")),
+    };
+    mio::save_sparse(out, &m).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}: {} x {} with {} non-zeros", m.rows(), m.cols(), m.nnz());
+    Ok(())
+}
+
+fn info(args: &Args<'_>) -> Result<(), String> {
+    let m = load_data(args)?;
+    println!("rows     : {}", m.rows());
+    println!("columns  : {}", m.cols());
+    println!("non-zeros: {}", m.nnz());
+    println!("density  : {:.6}%", 100.0 * m.density());
+    let means = m.col_means();
+    let max_mean = means.iter().cloned().fold(0.0_f64, f64::max);
+    println!("max column mean: {max_mean:.4}");
+    Ok(())
+}
+
+fn fit(args: &Args<'_>) -> Result<(), String> {
+    let y = load_data(args)?;
+    let out = args.required("o")?;
+    let d: usize = args.numeric("d", 10)?;
+    let iters: usize = args.numeric("iters", 10)?;
+    let seed: u64 = args.numeric("seed", 0x5bca)?;
+    let nodes: usize = args.numeric("nodes", 8)?;
+    let engine = args.flag("engine").unwrap_or("spark");
+
+    let cluster = SimCluster::new(ClusterConfig::paper_cluster().with_nodes(nodes));
+    let mut config = SpcaConfig::new(d).with_max_iters(iters).with_seed(seed);
+    if let Some(parts) = args.flag("partitions") {
+        config = config.with_partitions(parts.parse().map_err(|e| format!("--partitions: {e}"))?);
+    }
+
+    let run = match engine {
+        "spark" => Spca::new(config).fit_spark(&cluster, &y),
+        "mapreduce" | "mr" => Spca::new(config).fit_mapreduce(&cluster, &y),
+        other => return Err(format!("unknown engine {other:?} (use spark|mapreduce)")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    std::fs::write(out, run.model.to_text()).map_err(|e| format!("{out}: {e}"))?;
+    println!("fit {} components on the {engine} engine:", run.model.output_dim());
+    for it in &run.iterations {
+        println!(
+            "  iter {:>2}: error {:.4}  ss {:.5}  t={:.1}s",
+            it.iteration, it.error, it.ss, it.virtual_time_secs
+        );
+    }
+    println!("simulated time    : {:.1} s", run.virtual_time_secs);
+    println!("intermediate data : {} bytes", run.intermediate_bytes);
+    println!("model written to  : {out}");
+    Ok(())
+}
+
+fn transform(args: &Args<'_>) -> Result<(), String> {
+    let y = load_data(args)?;
+    let model = load_model(args)?;
+    let out = args.required("o")?;
+    let x = model.transform_sparse(&y).map_err(|e| e.to_string())?;
+    mio::save_dense(out, &x).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}: {} x {} latent coordinates", x.rows(), x.cols());
+    Ok(())
+}
+
+fn likelihood_cmd(args: &Args<'_>) -> Result<(), String> {
+    let y = load_data(args)?;
+    let model = load_model(args)?;
+    let ll = likelihood::avg_log_likelihood(&y, &model).map_err(|e| e.to_string())?;
+    println!("average log-likelihood per row: {ll:.6}");
+    Ok(())
+}

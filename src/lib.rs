@@ -1,0 +1,32 @@
+//! Umbrella crate for the sPCA reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the root-level
+//! examples and integration tests can exercise the full public API the way
+//! a downstream user would:
+//!
+//! ```
+//! use spca_repro::prelude::*;
+//!
+//! let mut rng = Prng::seed_from_u64(7);
+//! let data = lowrank::sparse_lowrank(&lowrank::LowRankSpec::small_test(), &mut rng);
+//! assert!(data.rows() > 0);
+//! ```
+
+pub use baselines;
+pub use dcluster;
+pub use datasets;
+pub use linalg;
+pub use mapreduce;
+pub use sparkle;
+pub use spca_core;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use baselines::{mahout_ssvd::MahoutPca, mllib_pca::MllibPca};
+    pub use baselines::{MahoutConfig, MllibConfig};
+    pub use datasets::{biotext, diabetes, images, lowrank, tweets};
+    pub use dcluster::{ClusterConfig, SimCluster};
+    pub use linalg::{Mat, Prng, SparseMat};
+    pub use spca_core::config::SmartGuess;
+    pub use spca_core::{PcaModel, Spca, SpcaConfig, SpcaRun};
+}

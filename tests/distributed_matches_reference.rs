@@ -1,0 +1,105 @@
+//! The paper's central correctness claim, made executable: "our
+//! optimization ideas do not change any theoretical properties of PPCA".
+//!
+//! The two distributed sPCA implementations (Spark-like and MapReduce)
+//! must produce *numerically identical* EM iterates to the dense
+//! single-machine reference (Algorithm 1) from the same seed — mean
+//! propagation, on-demand X, job consolidation and all.
+
+use dcluster::{ClusterConfig, SimCluster};
+use linalg::{Prng, SparseMat};
+use spca_core::{ppca, Spca, SpcaConfig};
+
+fn test_matrix() -> SparseMat {
+    let mut rng = Prng::seed_from_u64(2024);
+    let spec = datasets::LowRankSpec {
+        rows: 300,
+        cols: 80,
+        topics: 4,
+        words_per_row: 10.0,
+        topic_affinity: 0.8,
+        zipf_exponent: 1.0,
+    };
+    datasets::sparse_lowrank(&spec, &mut rng)
+}
+
+#[test]
+fn spark_equals_dense_reference() {
+    let y = test_matrix();
+    let iters = 4;
+    let seed = 99;
+
+    let (reference, _) = ppca::fit_dense(&y.to_dense(), 5, iters, seed).unwrap();
+
+    let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+    let config = SpcaConfig::new(5)
+        .with_max_iters(iters)
+        .with_rel_tolerance(None)
+        .with_seed(seed);
+    let spark = Spca::new(config).fit_spark(&cluster, &y).unwrap();
+
+    let diff = spark.model.components().max_abs_diff(reference.components());
+    assert!(diff < 1e-8, "Spark C deviates from Algorithm 1 by {diff}");
+    assert!(
+        (spark.model.noise_variance() - reference.noise_variance()).abs() < 1e-10,
+        "ss diverged: {} vs {}",
+        spark.model.noise_variance(),
+        reference.noise_variance()
+    );
+}
+
+#[test]
+fn mapreduce_equals_dense_reference() {
+    let y = test_matrix();
+    let iters = 4;
+    let seed = 7;
+
+    let (reference, _) = ppca::fit_dense(&y.to_dense(), 4, iters, seed).unwrap();
+
+    let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+    let config = SpcaConfig::new(4)
+        .with_max_iters(iters)
+        .with_rel_tolerance(None)
+        .with_seed(seed);
+    let mr = Spca::new(config).fit_mapreduce(&cluster, &y).unwrap();
+
+    let diff = mr.model.components().max_abs_diff(reference.components());
+    assert!(diff < 1e-8, "MapReduce C deviates from Algorithm 1 by {diff}");
+}
+
+#[test]
+fn partition_count_does_not_change_the_result() {
+    // Distributed determinism: 1, 4 or 64 partitions — same model up to
+    // floating-point merge order.
+    let y = test_matrix();
+    let run_with = |parts: usize| {
+        let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+        let config = SpcaConfig::new(4)
+            .with_max_iters(3)
+            .with_rel_tolerance(None)
+            .with_seed(5)
+            .with_partitions(parts);
+        Spca::new(config).fit_spark(&cluster, &y).unwrap()
+    };
+    let single = run_with(1);
+    let four = run_with(4);
+    let many = run_with(64);
+    assert!(single.model.components().max_abs_diff(four.model.components()) < 1e-7);
+    assert!(single.model.components().max_abs_diff(many.model.components()) < 1e-7);
+}
+
+#[test]
+fn same_seed_same_run_different_seed_different_run() {
+    let y = test_matrix();
+    let fit = |seed: u64| {
+        let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+        let config =
+            SpcaConfig::new(3).with_max_iters(2).with_rel_tolerance(None).with_seed(seed);
+        Spca::new(config).fit_spark(&cluster, &y).unwrap()
+    };
+    let a = fit(1);
+    let b = fit(1);
+    let c = fit(2);
+    assert!(a.model.components().approx_eq(b.model.components(), 0.0), "runs must be bitwise-reproducible");
+    assert!(!a.model.components().approx_eq(c.model.components(), 1e-6));
+}

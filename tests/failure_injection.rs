@@ -1,0 +1,64 @@
+//! Failure injection through the full sPCA stack: the paper picks
+//! MapReduce/Spark over MPI precisely for "transparent handling of
+//! failures" — so a fit under injected task failures must produce exactly
+//! the same model, just later.
+
+use dcluster::{ClusterConfig, SimCluster};
+use linalg::Prng;
+use spca_core::{Spca, SpcaConfig};
+
+fn data() -> linalg::SparseMat {
+    let mut rng = Prng::seed_from_u64(50);
+    datasets::sparse_lowrank(&datasets::LowRankSpec::small_test(), &mut rng)
+}
+
+#[test]
+fn spark_fit_is_failure_transparent() {
+    let y = data();
+    let config = SpcaConfig::new(3).with_max_iters(3).with_rel_tolerance(None).with_seed(4);
+
+    let healthy = SimCluster::new(ClusterConfig::paper_cluster());
+    let clean = Spca::new(config.clone()).fit_spark(&healthy, &y).unwrap();
+
+    let flaky =
+        SimCluster::new(ClusterConfig::paper_cluster().with_task_failure_rate(0.25));
+    let faulty = Spca::new(config).fit_spark(&flaky, &y).unwrap();
+
+    assert!(
+        clean.model.components().approx_eq(faulty.model.components(), 0.0),
+        "task retries must not change the fitted model at all"
+    );
+    assert!(
+        faulty.virtual_time_secs >= clean.virtual_time_secs,
+        "retries cost time: {} vs {}",
+        clean.virtual_time_secs,
+        faulty.virtual_time_secs
+    );
+}
+
+#[test]
+fn mapreduce_fit_is_failure_transparent() {
+    let y = data();
+    let config = SpcaConfig::new(3).with_max_iters(2).with_rel_tolerance(None).with_seed(4);
+
+    let healthy = SimCluster::new(ClusterConfig::paper_cluster());
+    let clean = Spca::new(config.clone()).fit_mapreduce(&healthy, &y).unwrap();
+
+    let flaky =
+        SimCluster::new(ClusterConfig::paper_cluster().with_task_failure_rate(0.25));
+    let faulty = Spca::new(config).fit_mapreduce(&flaky, &y).unwrap();
+
+    assert!(clean.model.components().approx_eq(faulty.model.components(), 0.0));
+    assert!(faulty.virtual_time_secs > clean.virtual_time_secs);
+}
+
+#[test]
+fn heavy_failure_rates_still_complete() {
+    let y = data();
+    let brutal =
+        SimCluster::new(ClusterConfig::paper_cluster().with_task_failure_rate(0.9));
+    let run = Spca::new(SpcaConfig::new(2).with_max_iters(2).with_rel_tolerance(None))
+        .fit_spark(&brutal, &y)
+        .unwrap();
+    assert_eq!(run.model.output_dim(), 2);
+}

@@ -1,0 +1,152 @@
+//! Cross-engine behavioural claims from Section 5, tested end to end on
+//! the simulated platforms.
+
+use baselines::{MahoutConfig, MahoutPca, MllibConfig, MllibPca};
+use dcluster::{ClusterConfig, SimCluster};
+use linalg::{Prng, SparseMat};
+use spca_core::config::SmartGuess;
+use spca_core::{Spca, SpcaConfig};
+
+fn dataset(rows: usize, cols: usize) -> SparseMat {
+    let mut rng = Prng::seed_from_u64(88);
+    let spec = datasets::LowRankSpec {
+        rows,
+        cols,
+        topics: 6,
+        words_per_row: 9.0,
+        topic_affinity: 0.8,
+        zipf_exponent: 1.0,
+    };
+    datasets::sparse_lowrank(&spec, &mut rng)
+}
+
+#[test]
+fn spark_is_faster_than_mapreduce_on_the_same_fit() {
+    // Table 2's platform column: same algorithm, same data — the
+    // disk-based platform pays job overheads and DFS I/O every iteration.
+    let y = dataset(2_000, 400);
+    let config = SpcaConfig::new(5).with_max_iters(4).with_rel_tolerance(None);
+
+    let c_spark = SimCluster::new(ClusterConfig::paper_cluster());
+    let spark = Spca::new(config.clone()).fit_spark(&c_spark, &y).unwrap();
+    let c_mr = SimCluster::new(ClusterConfig::paper_cluster());
+    let mr = Spca::new(config).fit_mapreduce(&c_mr, &y).unwrap();
+
+    assert!(
+        spark.virtual_time_secs * 3.0 < mr.virtual_time_secs,
+        "Spark {}s should be well under MapReduce {}s",
+        spark.virtual_time_secs,
+        mr.virtual_time_secs
+    );
+    // And the models still agree (same math, different platform).
+    assert!(spark.model.components().max_abs_diff(mr.model.components()) < 1e-8);
+}
+
+#[test]
+fn mapreduce_routes_intermediate_data_through_the_dfs() {
+    let y = dataset(2_000, 400);
+    let config = SpcaConfig::new(4).with_max_iters(3).with_rel_tolerance(None);
+
+    let c_mr = SimCluster::new(ClusterConfig::paper_cluster());
+    let _ = Spca::new(config.clone()).fit_mapreduce(&c_mr, &y).unwrap();
+    assert!(c_mr.metrics().dfs_bytes_written > 0, "MR shuffles spill through the DFS");
+
+    let c_spark = SimCluster::new(ClusterConfig::paper_cluster());
+    let _ = Spca::new(config).fit_spark(&c_spark, &y).unwrap();
+    assert_eq!(
+        c_spark.metrics().dfs_bytes_written,
+        0,
+        "Spark accumulators stay off the DFS when the RDD fits in memory"
+    );
+}
+
+#[test]
+fn spca_beats_mahout_on_time_and_intermediate_data() {
+    let y = dataset(8_000, 600);
+
+    let c1 = SimCluster::new(ClusterConfig::paper_cluster());
+    let spca = Spca::new(SpcaConfig::new(5).with_max_iters(3).with_rel_tolerance(None))
+        .fit_mapreduce(&c1, &y)
+        .unwrap();
+
+    let c2 = SimCluster::new(ClusterConfig::paper_cluster());
+    let mahout = MahoutPca::new(MahoutConfig::new(5).with_max_iters(3))
+        .fit(&c2, &y)
+        .unwrap();
+
+    assert!(
+        mahout.intermediate_bytes > 2 * spca.intermediate_bytes,
+        "mahout {} B vs spca {} B",
+        mahout.intermediate_bytes,
+        spca.intermediate_bytes
+    );
+}
+
+#[test]
+fn mllib_wins_on_small_dense_dimensionality() {
+    // The Images regime of Table 2: D = 64, dense-ish rows — MLlib's one
+    // deterministic pass beats iterative sPCA.
+    let mut rng = Prng::seed_from_u64(5);
+    let y = datasets::images::generate_sparse(5_000, 64, &mut rng);
+
+    let c1 = SimCluster::new(ClusterConfig::paper_cluster());
+    let mllib = MllibPca::new(MllibConfig::new(8)).fit(&c1, &y).unwrap();
+    let c2 = SimCluster::new(ClusterConfig::paper_cluster());
+    let spca = Spca::new(SpcaConfig::new(8).with_max_iters(10).with_rel_tolerance(None))
+        .fit_spark(&c2, &y)
+        .unwrap();
+
+    assert!(
+        mllib.virtual_time_secs < spca.virtual_time_secs,
+        "MLlib {}s should beat sPCA {}s at D=64",
+        mllib.virtual_time_secs,
+        spca.virtual_time_secs
+    );
+}
+
+#[test]
+fn smart_guess_starts_from_higher_accuracy() {
+    let y = dataset(4_000, 500);
+    let base = SpcaConfig::new(5).with_max_iters(3).with_rel_tolerance(None).with_seed(3);
+
+    let c1 = SimCluster::new(ClusterConfig::paper_cluster());
+    let cold = Spca::new(base.clone()).fit_spark(&c1, &y).unwrap();
+    let c2 = SimCluster::new(ClusterConfig::paper_cluster());
+    let warm = Spca::new(
+        base.with_smart_guess(SmartGuess { sample_fraction: 0.1, iterations: 4 }),
+    )
+    .fit_spark(&c2, &y)
+    .unwrap();
+
+    assert!(
+        warm.iterations[0].error < cold.iterations[0].error,
+        "smart guess first-iteration error {} should beat cold start {}",
+        warm.iterations[0].error,
+        cold.iterations[0].error
+    );
+}
+
+#[test]
+fn more_cores_reduce_virtual_time() {
+    // Table 4 end to end: same fit on 16 vs 64 virtual cores.
+    let y = dataset(20_000, 800);
+    let fit = |nodes: usize| {
+        let cluster =
+            SimCluster::new(ClusterConfig::paper_cluster().with_nodes(nodes));
+        Spca::new(
+            SpcaConfig::new(5)
+                .with_max_iters(3)
+                .with_rel_tolerance(None)
+                .with_partitions(64),
+        )
+        .fit_spark(&cluster, &y)
+        .unwrap()
+        .virtual_time_secs
+    };
+    let t2 = fit(2);
+    let t8 = fit(8);
+    assert!(
+        t8 < t2 * 0.55,
+        "4x the cores should cut virtual time well below half: {t2}s → {t8}s"
+    );
+}

@@ -1,0 +1,113 @@
+//! End-to-end statistical correctness: every PCA implementation in the
+//! repository must recover the principal subspace of the data, agreeing
+//! with the exact SVD.
+
+use dcluster::{ClusterConfig, SimCluster};
+use linalg::decomp::{qr_thin, svd_jacobi};
+use linalg::{Mat, Prng, SparseMat};
+
+use baselines::{mahout_ssvd, mllib_pca, svd_bidiag, svd_lanczos};
+use spca_core::{Spca, SpcaConfig};
+
+/// Cosine of the largest principal angle between two subspaces.
+fn alignment(a: &Mat, b: &Mat) -> f64 {
+    let qa = qr_thin(a).q;
+    let qb = qr_thin(b).q;
+    let overlap = qa.matmul_tn(&qb);
+    *svd_jacobi(&overlap).unwrap().s.last().unwrap()
+}
+
+fn data() -> (SparseMat, Mat) {
+    let mut rng = Prng::seed_from_u64(404);
+    let spec = datasets::LowRankSpec {
+        rows: 500,
+        cols: 120,
+        topics: 3,
+        words_per_row: 14.0,
+        topic_affinity: 0.9,
+        zipf_exponent: 1.0,
+    };
+    let y = datasets::sparse_lowrank(&spec, &mut rng);
+    // Exact top-3 right singular subspace of the centered matrix.
+    let mut yc = y.to_dense();
+    yc.sub_row_vector(&y.col_means());
+    let svd = svd_jacobi(&yc).unwrap();
+    let mut top = Mat::zeros(y.cols(), 3);
+    for j in 0..3 {
+        for r in 0..y.cols() {
+            top[(r, j)] = svd.vt[(j, r)];
+        }
+    }
+    (y, top)
+}
+
+#[test]
+fn spca_spark_recovers_svd_subspace() {
+    let (y, truth) = data();
+    let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+    let run = Spca::new(SpcaConfig::new(3).with_max_iters(25).with_rel_tolerance(None))
+        .fit_spark(&cluster, &y)
+        .unwrap();
+    let a = alignment(run.model.components(), &truth);
+    assert!(a > 0.98, "sPCA-Spark alignment {a}");
+}
+
+#[test]
+fn mahout_recovers_svd_subspace() {
+    let (y, truth) = data();
+    let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+    let run = mahout_ssvd::MahoutPca::new(
+        mahout_ssvd::MahoutConfig::new(3).with_max_iters(3),
+    )
+    .fit(&cluster, &y)
+    .unwrap();
+    let a = alignment(run.model.components(), &truth);
+    // SSVD is a randomized approximation; it tracks the subspace but not
+    // to the exactness of the deterministic methods.
+    assert!(a > 0.95, "Mahout alignment {a}");
+}
+
+#[test]
+fn mllib_recovers_svd_subspace() {
+    let (y, truth) = data();
+    let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+    let run = mllib_pca::MllibPca::new(mllib_pca::MllibConfig::new(3))
+        .fit(&cluster, &y)
+        .unwrap();
+    let a = alignment(run.model.components(), &truth);
+    assert!(a > 0.999, "MLlib alignment {a} (deterministic method should be exact)");
+}
+
+#[test]
+fn svd_bidiag_recovers_svd_subspace() {
+    let (y, truth) = data();
+    let model = svd_bidiag::fit_sparse(&y, 3).unwrap();
+    let a = alignment(model.components(), &truth);
+    assert!(a > 0.999, "SVD-Bidiag alignment {a}");
+}
+
+#[test]
+fn svd_lanczos_recovers_svd_subspace() {
+    let (y, truth) = data();
+    let model = svd_lanczos::fit_implicit(&y, 3, 20, 5).unwrap();
+    let a = alignment(model.components(), &truth);
+    assert!(a > 0.999, "SVD-Lanczos alignment {a}");
+}
+
+#[test]
+fn all_methods_agree_pairwise() {
+    // The five implementations approach the same subspace, so they must
+    // also agree with each other — a consistency web across every crate.
+    let (y, _) = data();
+    let cluster = SimCluster::new(ClusterConfig::paper_cluster());
+    let spca = Spca::new(SpcaConfig::new(3).with_max_iters(25).with_rel_tolerance(None))
+        .fit_spark(&cluster, &y)
+        .unwrap();
+    let mllib = mllib_pca::MllibPca::new(mllib_pca::MllibConfig::new(3))
+        .fit(&cluster, &y)
+        .unwrap();
+    let lanczos = svd_lanczos::fit_implicit(&y, 3, 20, 5).unwrap();
+
+    assert!(alignment(spca.model.components(), mllib.model.components()) > 0.98);
+    assert!(alignment(mllib.model.components(), lanczos.components()) > 0.999);
+}
