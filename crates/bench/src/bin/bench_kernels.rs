@@ -1,0 +1,213 @@
+//! Self-contained kernel benchmark: seed-naive vs blocked vs
+//! blocked+threaded at the paper's sPCA shapes.
+//!
+//! No external harness — each variant is timed with `Instant`, best of
+//! several repetitions, and the results are written as hand-rolled JSON.
+//!
+//! Usage:
+//!   bench_kernels                  # full shapes, writes BENCH_kernels.json
+//!   bench_kernels --smoke          # small shapes, quick CI sanity run
+//!   bench_kernels --out FILE.json  # override the output path
+
+use std::time::Instant;
+
+use linalg::kernels::{self, naive};
+use linalg::{Prng, SparseMat, WorkerPool};
+
+/// Times `f` best-of-`reps` (minimum wall time, the usual noise filter for
+/// single-machine microbenchmarks).
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let v = f();
+        let secs = start.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+        out = Some(v);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+struct KernelResult {
+    kernel: &'static str,
+    shape: String,
+    naive_secs: f64,
+    blocked_secs: f64,
+    threaded_secs: f64,
+    max_abs_diff: f64,
+}
+
+impl KernelResult {
+    fn speedup_blocked(&self) -> f64 {
+        self.naive_secs / self.blocked_secs.max(1e-12)
+    }
+    fn speedup_threaded(&self) -> f64 {
+        self.naive_secs / self.threaded_secs.max(1e-12)
+    }
+}
+
+fn random_sparse(rng: &mut Prng, rows: usize, cols: usize, density: f64) -> SparseMat {
+    let target = ((rows * cols) as f64 * density) as usize;
+    let mut triplets = Vec::with_capacity(target);
+    for _ in 0..target {
+        triplets.push((rng.index(rows), rng.index(cols) as u32, rng.normal()));
+    }
+    SparseMat::from_triplets(rows, cols, &triplets)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+
+    // sPCA's dominant shapes (paper Section 5): the N×d latent pass feeding
+    // the YtX/XtX reduction, and the sparse Y·CM recompute.
+    let (n_rows, d_cols, d_small, reps) = if smoke { (512, 128, 16, 3) } else { (8192, 1000, 32, 5) };
+
+    let serial = WorkerPool::new(1);
+    let global = WorkerPool::global();
+
+    let mut rng = Prng::seed_from_u64(2015);
+    let mut results: Vec<KernelResult> = Vec::new();
+
+    // matmul_tn: YtX-shaped reduction, A (N×D)ᵀ · X (N×d).
+    {
+        let a = rng.normal_mat(n_rows, d_cols);
+        let b = rng.normal_mat(n_rows, d_small);
+        let (t_naive, reference) = best_of(reps, || naive::matmul_tn(&a, &b));
+        let (t_blocked, blocked) = best_of(reps, || kernels::matmul_tn_with_pool(&serial, &a, &b));
+        let (t_threaded, threaded) = best_of(reps, || kernels::matmul_tn_with_pool(global, &a, &b));
+        results.push(KernelResult {
+            kernel: "matmul_tn",
+            shape: format!("({n_rows}x{d_cols})^T * ({n_rows}x{d_small})"),
+            naive_secs: t_naive,
+            blocked_secs: t_blocked,
+            threaded_secs: t_threaded,
+            max_abs_diff: blocked.max_abs_diff(&reference).max(threaded.max_abs_diff(&reference)),
+        });
+    }
+
+    // sparse_mul_dense: the Y·CM recompute, ~1% dense.
+    {
+        let y = random_sparse(&mut rng, n_rows, d_cols, 0.01);
+        let c = rng.normal_mat(d_cols, d_small);
+        let (t_naive, reference) = best_of(reps, || naive::sparse_mul_dense(&y, &c));
+        let (t_blocked, blocked) =
+            best_of(reps, || kernels::sparse_mul_dense_with_pool(&serial, &y, &c));
+        let (t_threaded, threaded) =
+            best_of(reps, || kernels::sparse_mul_dense_with_pool(global, &y, &c));
+        results.push(KernelResult {
+            kernel: "sparse_mul_dense",
+            shape: format!("sparse({n_rows}x{d_cols}, 1%) * ({d_cols}x{d_small})"),
+            naive_secs: t_naive,
+            blocked_secs: t_blocked,
+            threaded_secs: t_threaded,
+            max_abs_diff: blocked.max_abs_diff(&reference).max(threaded.max_abs_diff(&reference)),
+        });
+    }
+
+    // matmul: driver-side C·M⁻¹-shaped product scaled up, (N×d)·(d×D).
+    {
+        let a = rng.normal_mat(n_rows / 4, d_small);
+        let b = rng.normal_mat(d_small, d_cols);
+        let (t_naive, reference) = best_of(reps, || naive::matmul(&a, &b));
+        let (t_blocked, blocked) = best_of(reps, || kernels::matmul_with_pool(&serial, &a, &b));
+        let (t_threaded, threaded) = best_of(reps, || kernels::matmul_with_pool(global, &a, &b));
+        results.push(KernelResult {
+            kernel: "matmul",
+            shape: format!("({}x{d_small}) * ({d_small}x{d_cols})", n_rows / 4),
+            naive_secs: t_naive,
+            blocked_secs: t_blocked,
+            threaded_secs: t_threaded,
+            max_abs_diff: blocked.max_abs_diff(&reference).max(threaded.max_abs_diff(&reference)),
+        });
+    }
+
+    // matmul_nt: Gram-shaped product, (m×k)·(n×k)ᵀ.
+    {
+        let m = n_rows / 8;
+        let a = rng.normal_mat(m, d_cols);
+        let b = rng.normal_mat(m, d_cols);
+        let (t_naive, reference) = best_of(reps, || naive::matmul_nt(&a, &b));
+        let (t_blocked, blocked) = best_of(reps, || kernels::matmul_nt_with_pool(&serial, &a, &b));
+        let (t_threaded, threaded) = best_of(reps, || kernels::matmul_nt_with_pool(global, &a, &b));
+        results.push(KernelResult {
+            kernel: "matmul_nt",
+            shape: format!("({m}x{d_cols}) * ({m}x{d_cols})^T"),
+            naive_secs: t_naive,
+            blocked_secs: t_blocked,
+            threaded_secs: t_threaded,
+            max_abs_diff: blocked.max_abs_diff(&reference).max(threaded.max_abs_diff(&reference)),
+        });
+    }
+
+    // matvec: (N×D)·x.
+    {
+        let a = rng.normal_mat(n_rows, d_cols);
+        let x = rng.normal_vec(d_cols);
+        let diff = |u: &[f64], v: &[f64]| {
+            u.iter().zip(v).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max)
+        };
+        let (t_naive, reference) = best_of(reps, || naive::matvec(&a, &x));
+        let (t_blocked, blocked) = best_of(reps, || kernels::matvec_with_pool(&serial, &a, &x));
+        let (t_threaded, threaded) = best_of(reps, || kernels::matvec_with_pool(global, &a, &x));
+        results.push(KernelResult {
+            kernel: "matvec",
+            shape: format!("({n_rows}x{d_cols}) * x"),
+            naive_secs: t_naive,
+            blocked_secs: t_blocked,
+            threaded_secs: t_threaded,
+            max_abs_diff: diff(&blocked, &reference).max(diff(&threaded, &reference)),
+        });
+    }
+
+    // Report + hand-rolled JSON.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"mode\": \"{}\",\n", if smoke { "smoke" } else { "full" }));
+    json.push_str(&format!("  \"pool_workers\": {},\n", global.workers()));
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        println!(
+            "{:>18} {:40} naive {:>9.4}s  blocked {:>9.4}s ({:.2}x)  threaded {:>9.4}s ({:.2}x)  maxdiff {:.2e}",
+            r.kernel,
+            r.shape,
+            r.naive_secs,
+            r.blocked_secs,
+            r.speedup_blocked(),
+            r.threaded_secs,
+            r.speedup_threaded(),
+            r.max_abs_diff,
+        );
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"naive_secs\": {:.6e}, \"blocked_secs\": {:.6e}, \"threaded_secs\": {:.6e}, \"speedup_blocked\": {:.3}, \"speedup_threaded\": {:.3}, \"max_abs_diff\": {:.3e}}}{}\n",
+            r.kernel,
+            r.shape,
+            r.naive_secs,
+            r.blocked_secs,
+            r.threaded_secs,
+            r.speedup_blocked(),
+            r.speedup_threaded(),
+            r.max_abs_diff,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("wrote {out_path}");
+
+    for r in &results {
+        assert!(
+            r.max_abs_diff <= 1e-9,
+            "{}: kernel disagrees with the naive reference ({:.3e})",
+            r.kernel,
+            r.max_abs_diff
+        );
+    }
+}

@@ -238,7 +238,11 @@ mod tests {
     #[test]
     fn consolidation_wins_on_bytes_and_time() {
         let y = data();
-        let r = intermediate_data(cluster, &y, 10, 8, 1).unwrap();
+        // A small cluster keeps aggregate disk bandwidth low, so the
+        // deterministic DFS charge for the materialized X dominates host
+        // timing noise in the virtual-time comparison.
+        let small = || SimCluster::new(ClusterConfig::paper_cluster().with_nodes(2));
+        let r = intermediate_data(small, &y, 10, 8, 1).unwrap();
         assert!(
             r.without_bytes > 2 * r.with_bytes,
             "materialized X must ship more bytes: {:?}",

@@ -1,14 +1,21 @@
 //! The simulated cluster: real task execution, virtual accounting.
+//!
+//! Task execution runs on the persistent [`linalg::WorkerPool`] — the same
+//! pool the blocked kernels use — instead of spawning a thread scope per
+//! stage. The pool returns results in submission order and the virtual
+//! clock is advanced from per-task wall durations exactly as before, so
+//! the accounting model is unchanged by the substrate swap.
 
 use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use linalg::WorkerPool;
 
 use crate::config::ClusterConfig;
-use std::sync::atomic::{AtomicU64, Ordering};
 use crate::metrics::{Metrics, MetricsSnapshot, StageRecord};
 use crate::scheduler::makespan;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Errors surfaced by the cluster.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,22 +75,39 @@ impl StageOptions {
 pub struct SimCluster {
     cfg: ClusterConfig,
     metrics: Mutex<Metrics>,
-    host_threads: usize,
+    /// Persistent host-thread pool shared with the linalg kernels.
+    pool: Arc<WorkerPool>,
     /// Counter feeding the deterministic failure-injection hash.
     failure_counter: AtomicU64,
 }
 
 impl SimCluster {
-    /// Creates a cluster with the given hardware description.
+    /// Creates a cluster with the given hardware description, running its
+    /// stages on the process-wide [`WorkerPool::global`] pool.
     pub fn new(cfg: ClusterConfig) -> Self {
-        let host_threads =
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        SimCluster::new_with_pool(cfg, WorkerPool::global().clone())
+    }
+
+    /// Creates a cluster running its stages on a specific pool. Results are
+    /// identical whatever the pool size — only host wall time changes.
+    pub fn new_with_pool(cfg: ClusterConfig, pool: Arc<WorkerPool>) -> Self {
         SimCluster {
             cfg,
             metrics: Mutex::new(Metrics::default()),
-            host_threads,
+            pool,
             failure_counter: AtomicU64::new(0),
         }
+    }
+
+    /// The host-thread pool this cluster executes on.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    fn metrics_lock(&self) -> MutexGuard<'_, Metrics> {
+        // Metrics are plain data; a panic mid-update can't leave them in a
+        // state worth refusing to read.
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Deterministic per-task failure decision (splitmix64 hash of a
@@ -105,10 +129,10 @@ impl SimCluster {
         &self.cfg
     }
 
-    /// Runs a distributed stage: executes every task (really, on host
-    /// threads), measures per-task durations, and advances the virtual
-    /// clock by the LPT makespan of those durations on the cluster's
-    /// virtual cores. Results come back in task order.
+    /// Runs a distributed stage: executes every task (really, on the
+    /// shared worker pool), measures per-task durations, and advances the
+    /// virtual clock by the LPT makespan of those durations on the
+    /// cluster's virtual cores. Results come back in task order.
     pub fn run_stage<T, F>(&self, opts: StageOptions, tasks: Vec<F>) -> Vec<T>
     where
         T: Send,
@@ -116,7 +140,7 @@ impl SimCluster {
     {
         let n = tasks.len();
         if n == 0 {
-            self.metrics.lock().snapshot.stages.push(StageRecord {
+            self.metrics_lock().snapshot.stages.push(StageRecord {
                 label: opts.label,
                 tasks: 0,
                 compute_secs: 0.0,
@@ -125,40 +149,24 @@ impl SimCluster {
             return Vec::new();
         }
 
-        let workers = self.host_threads.min(n).max(1);
-        let (task_tx, task_rx) = crossbeam::channel::unbounded();
-        for item in tasks.into_iter().enumerate() {
-            task_tx.send(item).expect("queue is open");
-        }
-        drop(task_tx);
-
-        let (res_tx, res_rx) = crossbeam::channel::unbounded();
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                let task_rx = task_rx.clone();
-                let res_tx = res_tx.clone();
-                s.spawn(move || {
-                    while let Ok((i, task)) = task_rx.recv() {
+        let timed: Vec<(f64, T)> = self.pool.run(
+            tasks
+                .into_iter()
+                .map(|task| {
+                    move || {
                         let start = Instant::now();
                         let out = task();
-                        let secs = start.elapsed().as_secs_f64();
-                        if res_tx.send((i, secs, out)).is_err() {
-                            break;
-                        }
+                        (start.elapsed().as_secs_f64(), out)
                     }
-                });
-            }
-            drop(res_tx);
-        });
-
-        let mut durations = vec![0.0_f64; n];
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        while let Ok((i, secs, out)) = res_rx.recv() {
-            durations[i] = secs;
-            slots[i] = Some(out);
+                })
+                .collect(),
+        );
+        let mut durations = Vec::with_capacity(n);
+        let mut results = Vec::with_capacity(n);
+        for (secs, out) in timed {
+            durations.push(secs);
+            results.push(out);
         }
-        let results: Vec<T> =
-            slots.into_iter().map(|s| s.expect("every task produced a result")).collect();
 
         let cpu_secs: f64 = durations.iter().sum();
         // Failure injection: a failed first attempt is re-executed — same
@@ -178,7 +186,7 @@ impl SimCluster {
             .collect();
         let compute_secs = makespan(&with_overhead, self.cfg.total_cores());
 
-        let mut m = self.metrics.lock();
+        let mut m = self.metrics_lock();
         m.advance(compute_secs);
         m.snapshot.stages.push(StageRecord { label: opts.label, tasks: n, compute_secs, cpu_secs });
         results
@@ -191,7 +199,7 @@ impl SimCluster {
         let start = Instant::now();
         let out = f();
         let secs = start.elapsed().as_secs_f64();
-        let mut m = self.metrics.lock();
+        let mut m = self.metrics_lock();
         m.advance(secs);
         m.snapshot.stages.push(StageRecord {
             label: label.into(),
@@ -219,7 +227,7 @@ impl SimCluster {
     /// Meters `bytes` crossing the network (shuffle traffic) and advances
     /// the clock by the transfer time at aggregate bandwidth.
     pub fn charge_network(&self, bytes: u64) {
-        let mut m = self.metrics.lock();
+        let mut m = self.metrics_lock();
         m.snapshot.network_bytes += bytes;
         m.snapshot.intermediate_bytes += bytes;
         let secs = bytes as f64 / self.network_bw();
@@ -228,7 +236,7 @@ impl SimCluster {
 
     /// Meters `bytes` written to the distributed filesystem.
     pub fn charge_dfs_write(&self, bytes: u64) {
-        let mut m = self.metrics.lock();
+        let mut m = self.metrics_lock();
         m.snapshot.dfs_bytes_written += bytes;
         m.snapshot.intermediate_bytes += bytes;
         let secs = bytes as f64 / self.disk_bw();
@@ -241,7 +249,7 @@ impl SimCluster {
     /// how sPCA's per-iteration `CM` matrix is charged.
     pub fn charge_broadcast(&self, bytes: u64) {
         let total = bytes.saturating_mul(self.cfg.nodes as u64);
-        let mut m = self.metrics.lock();
+        let mut m = self.metrics_lock();
         m.snapshot.network_bytes += total;
         m.snapshot.intermediate_bytes += total;
         let secs = total as f64 / self.network_bw();
@@ -250,7 +258,7 @@ impl SimCluster {
 
     /// Meters `bytes` read back from the distributed filesystem.
     pub fn charge_dfs_read(&self, bytes: u64) {
-        let mut m = self.metrics.lock();
+        let mut m = self.metrics_lock();
         m.snapshot.dfs_bytes_read += bytes;
         let secs = bytes as f64 / self.disk_bw();
         m.advance(secs);
@@ -259,14 +267,14 @@ impl SimCluster {
     /// Advances the virtual clock by a flat amount (job-initialization
     /// overheads and the like).
     pub fn advance_time(&self, secs: f64) {
-        self.metrics.lock().advance(secs);
+        self.metrics_lock().advance(secs);
     }
 
     /// Tracks a driver-side allocation against the configured driver
     /// memory. The returned guard releases the bytes on drop; peak usage is
     /// recorded for Figure 8.
     pub fn alloc_driver(&self, bytes: u64) -> Result<DriverAlloc<'_>, ClusterError> {
-        let mut m = self.metrics.lock();
+        let mut m = self.metrics_lock();
         let in_use = m.snapshot.driver_bytes;
         if in_use + bytes > self.cfg.driver_memory {
             return Err(ClusterError::DriverOom {
@@ -282,13 +290,13 @@ impl SimCluster {
 
     /// Copy of all metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.lock().snapshot.clone()
+        self.metrics_lock().snapshot.clone()
     }
 
     /// Resets clock, meters, and stage history (driver-live bytes are kept,
     /// since guards may still be outstanding).
     pub fn reset_metrics(&self) {
-        let mut m = self.metrics.lock();
+        let mut m = self.metrics_lock();
         let live = m.snapshot.driver_bytes;
         m.snapshot = MetricsSnapshot { driver_bytes: live, driver_peak_bytes: live, ..Default::default() };
     }
@@ -299,7 +307,7 @@ impl fmt::Debug for SimCluster {
         f.debug_struct("SimCluster")
             .field("nodes", &self.cfg.nodes)
             .field("cores_per_node", &self.cfg.cores_per_node)
-            .field("host_threads", &self.host_threads)
+            .field("pool_workers", &self.pool.workers())
             .finish()
     }
 }
@@ -320,7 +328,7 @@ impl DriverAlloc<'_> {
 
 impl Drop for DriverAlloc<'_> {
     fn drop(&mut self) {
-        let mut m = self.cluster.metrics.lock();
+        let mut m = self.cluster.metrics_lock();
         m.snapshot.driver_bytes = m.snapshot.driver_bytes.saturating_sub(self.bytes);
     }
 }
@@ -376,6 +384,35 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(c.metrics().stages.len(), 1);
         assert_eq!(c.metrics().virtual_time_secs, 0.0);
+    }
+
+    #[test]
+    fn stage_results_identical_across_pool_sizes() {
+        // The determinism contract: only host wall time may depend on the
+        // pool; stage outputs must be bit-for-bit identical on 1, 2, and 8
+        // workers.
+        let run_with = |workers: usize| {
+            let c = SimCluster::new_with_pool(
+                ClusterConfig::paper_cluster().with_nodes(2).with_cores_per_node(2),
+                Arc::new(WorkerPool::new(workers)),
+            );
+            assert_eq!(c.pool().workers(), workers.max(1));
+            let tasks: Vec<_> = (0..48u64)
+                .map(|i| {
+                    move || {
+                        // Nontrivial float reduction: order-sensitive if the
+                        // substrate ever reassigned work by worker count.
+                        (0..200).map(|k| ((i * 200 + k) as f64).sqrt()).sum::<f64>().to_bits()
+                    }
+                })
+                .collect();
+            c.run_stage(StageOptions::new("det"), tasks)
+        };
+        let one = run_with(1);
+        let two = run_with(2);
+        let eight = run_with(8);
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
     }
 
     #[test]
@@ -482,7 +519,7 @@ mod tests {
 
     #[test]
     fn stage_results_survive_host_oversubscription() {
-        // More tasks than host threads: the queue must drain fully.
+        // More tasks than pool workers: the queue must drain fully.
         let c = small_cluster();
         let tasks: Vec<_> = (0..200).map(|i| move || i).collect();
         let out = c.run_stage(StageOptions::new("many"), tasks);

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use crate::cluster::SimCluster;
 
@@ -25,19 +25,23 @@ impl Dfs {
         Dfs::default()
     }
 
+    fn files(&self) -> MutexGuard<'_, HashMap<String, u64>> {
+        // The ledger is plain data; ignore poisoning.
+        self.files.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Records a file of `bytes` and charges the write to the cluster.
     /// Overwrites any previous file of the same name.
     pub fn put(&self, cluster: &SimCluster, name: impl Into<String>, bytes: u64) {
         cluster.charge_dfs_write(bytes);
-        self.files.lock().insert(name.into(), bytes);
+        self.files().insert(name.into(), bytes);
     }
 
     /// Charges a full read of the named file and returns its size.
     /// Panics if the file does not exist — that is an engine bug.
     pub fn get(&self, cluster: &SimCluster, name: &str) -> u64 {
         let bytes = *self
-            .files
-            .lock()
+            .files()
             .get(name)
             .unwrap_or_else(|| panic!("dfs: no such file {name:?}"));
         cluster.charge_dfs_read(bytes);
@@ -46,22 +50,22 @@ impl Dfs {
 
     /// Size of the named file without charging a read.
     pub fn stat(&self, name: &str) -> Option<u64> {
-        self.files.lock().get(name).copied()
+        self.files().get(name).copied()
     }
 
     /// Total bytes currently stored.
     pub fn total_bytes(&self) -> u64 {
-        self.files.lock().values().sum()
+        self.files().values().sum()
     }
 
     /// Number of stored files.
     pub fn file_count(&self) -> usize {
-        self.files.lock().len()
+        self.files().len()
     }
 
     /// Removes a file, returning its size if it existed.
     pub fn delete(&self, name: &str) -> Option<u64> {
-        self.files.lock().remove(name)
+        self.files().remove(name)
     }
 }
 

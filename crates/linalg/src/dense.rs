@@ -2,14 +2,15 @@
 //!
 //! In sPCA the dense matrices are the *small* ones — `C` (D×d), `M`, `XtX`
 //! (d×d), `YtX` (D×d) — which the paper deliberately keeps in the memory of
-//! every node (Section 3.3). The products below are plain triple loops in
-//! i-k-j order (cache-friendly for row-major data); at d ≤ a few hundred and
-//! D ≤ a few tens of thousands that is more than adequate and keeps the
-//! crate dependency-free.
+//! every node (Section 3.3). All products delegate to the blocked,
+//! optionally multi-threaded kernels in [`crate::kernels`]; small matrices
+//! stay on the sequential blocked path, large ones fan out on the shared
+//! [`crate::pool::WorkerPool`] with bit-for-bit deterministic splits.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use crate::kernels;
 use crate::vector;
 
 /// Dense row-major matrix of `f64`.
@@ -119,85 +120,51 @@ impl Mat {
         (self.data.len() * std::mem::size_of::<f64>()) as u64
     }
 
-    /// Matrix transpose into a fresh matrix.
+    /// Matrix transpose into a fresh matrix, tiled so both the reads and
+    /// the writes stay within a cache-line-sized block (the seed's j-strided
+    /// writes missed on every element for large matrices).
     pub fn transpose(&self) -> Mat {
+        const TILE: usize = 32;
         let mut t = Mat::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                t[(j, i)] = self[(i, j)];
+        for i0 in (0..self.rows).step_by(TILE) {
+            let i1 = (i0 + TILE).min(self.rows);
+            for j0 in (0..self.cols).step_by(TILE) {
+                let j1 = (j0 + TILE).min(self.cols);
+                for i in i0..i1 {
+                    let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    for j in j0..j1 {
+                        t.data[j * self.rows + i] = row[j];
+                    }
+                }
             }
         }
         t
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other` (blocked kernel, threaded when large).
     pub fn matmul(&self, other: &Mat) -> Mat {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul: inner dimensions differ ({}x{} * {}x{})",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Mat::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                vector::axpy(a_ik, other.row(k), out_row);
-            }
-        }
-        out
+        kernels::matmul(self, other)
     }
 
     /// Product `self' * other` without materializing the transpose.
     ///
     /// This is Equation (2) of the paper: `A'B = Σ_r (A_r)' ⊗ B_r`, a sum of
     /// rank-1 updates that only ever touches one row of each operand — the
-    /// access pattern that makes the distributed `YtX` job feasible.
+    /// access pattern that makes the distributed `YtX` job feasible. The
+    /// kernel fuses four rows per pass and reduces fixed row chunks on the
+    /// worker pool.
     pub fn matmul_tn(&self, other: &Mat) -> Mat {
-        assert_eq!(
-            self.rows, other.rows,
-            "matmul_tn: row counts differ ({} vs {})",
-            self.rows, other.rows
-        );
-        let mut out = Mat::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a_ri) in a_row.iter().enumerate() {
-                if a_ri == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                vector::axpy(a_ri, b_row, out_row);
-            }
-        }
-        out
+        kernels::matmul_tn(self, other)
     }
 
-    /// Product `self * other'`.
+    /// Product `self * other'` (register-tiled kernel, threaded when large).
     pub fn matmul_nt(&self, other: &Mat) -> Mat {
-        assert_eq!(
-            self.cols, other.cols,
-            "matmul_nt: column counts differ ({} vs {})",
-            self.cols, other.cols
-        );
-        let mut out = Mat::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                out[(i, j)] = vector::dot(a_row, other.row(j));
-            }
-        }
-        out
+        kernels::matmul_nt(self, other)
     }
 
     /// Matrix–vector product `self * x`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(self.cols, x.len(), "matvec: dimension mismatch");
-        (0..self.rows).map(|i| vector::dot(self.row(i), x)).collect()
+        kernels::matvec(self, x)
     }
 
     /// Row-vector–matrix product `x' * self`, returned as a plain vector.

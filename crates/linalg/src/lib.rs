@@ -15,7 +15,11 @@
 //!   and Lanczos bidiagonalization for sparse SVD. These cover the
 //!   decompositions behind every method analyzed in Section 2 / Table 1.
 //! * [`rng::Prng`] — a seeded RNG with Box–Muller normal deviates, the
-//!   `normrnd` of the paper's pseudocode.
+//!   `normrnd` of the paper's pseudocode (std-only xoshiro256++, so the
+//!   workspace builds fully offline).
+//! * [`kernels`] — cache-blocked, multi-threaded product kernels with a
+//!   bit-for-bit determinism contract, running on the persistent
+//!   [`pool::WorkerPool`] shared with the simulated cluster's stages.
 //!
 //! The numeric scalar is `f64` throughout; the paper's workloads are
 //! communication-bound, so there is nothing to gain from `f32` here.
@@ -24,8 +28,10 @@ pub mod bytes;
 pub mod dense;
 pub mod error;
 pub mod io;
+pub mod kernels;
 pub mod norms;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 pub mod sparse;
 pub mod vector;
@@ -35,6 +41,7 @@ pub mod decomp;
 pub use bytes::ByteSized;
 pub use dense::Mat;
 pub use error::LinalgError;
+pub use pool::WorkerPool;
 pub use rng::Prng;
 pub use sparse::{SparseMat, SparseRow};
 

@@ -1,0 +1,325 @@
+//! Persistent worker pool — the one parallel substrate of the reproduction.
+//!
+//! Every layer that fans work out — the blocked kernels in
+//! [`crate::kernels`], `dcluster`'s simulated stages (and through those the
+//! `sparkle` RDD stages and `mapreduce` map/reduce waves), and driver-side
+//! products — submits to the same pool instead of spawning threads per
+//! call. Threads are spawned once ([`WorkerPool::new`], or lazily for the
+//! process-wide [`WorkerPool::global`]) and pull tasks from a shared
+//! work queue.
+//!
+//! # Determinism contract
+//!
+//! [`WorkerPool::run`] returns results **in submission order**, whatever
+//! order tasks finish in, so a batch of deterministic tasks yields an
+//! identical result vector on pools of 1, 2, or 64 workers. Callers that
+//! reduce across tasks (e.g. the chunked `matmul_tn` kernel) are required
+//! to pick split points from the *problem size only* — never from the
+//! worker count — and to merge partials in index order; that is what makes
+//! kernel output bit-for-bit independent of parallelism.
+//!
+//! # Nested submission
+//!
+//! A task running on a pool worker may itself call [`WorkerPool::run`]
+//! (a simulated stage whose tasks call a parallel kernel, say). This can
+//! never deadlock: the submitting thread does not sleep while the queue is
+//! non-empty — it pulls and executes queued tasks itself until its batch
+//! completes, so at least one thread is always making progress on the
+//! oldest incomplete batch.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+
+/// A queued unit of work. Closures are lifetime-erased by [`WorkerPool::run`],
+/// which is sound because `run` never returns before every task it enqueued
+/// has finished executing.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Task>>,
+    /// Signalled when tasks are enqueued or shutdown begins.
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Completion state for one `run` batch.
+struct BatchState<T> {
+    /// Tasks not yet finished.
+    remaining: usize,
+    /// Result slots, in submission order.
+    results: Vec<Option<T>>,
+    /// First panic payload observed, re-raised on the submitting thread.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+struct Batch<T> {
+    state: Mutex<BatchState<T>>,
+    done: Condvar,
+}
+
+/// Ignore lock poisoning: panics inside tasks are caught before any batch
+/// lock is taken, and a poisoned queue would only ever hold plain data.
+fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Fixed-size pool of worker threads draining a shared FIFO work queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("spca-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, workers, handles }
+    }
+
+    /// The process-wide pool, spawned on first use and sized to the host's
+    /// available parallelism. Kernels and simulated clusters default to
+    /// this pool, so driver-side products and distributed stages share one
+    /// set of threads.
+    pub fn global() -> &'static Arc<WorkerPool> {
+        static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            Arc::new(WorkerPool::new(n))
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every task to completion and returns their results **in
+    /// submission order**. The calling thread participates in execution, so
+    /// a 1-worker pool (or a pool whose workers are all busy) still makes
+    /// progress. If any task panics, the first panic is re-raised here
+    /// after the whole batch has finished.
+    pub fn run<'env, T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'env,
+        F: FnOnce() -> T + Send + 'env,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            // One task: nothing to overlap, skip the queue round-trip.
+            let mut tasks = tasks;
+            return vec![tasks.pop().expect("len checked")()];
+        }
+
+        let batch: Arc<Batch<T>> = Arc::new(Batch {
+            state: Mutex::new(BatchState {
+                remaining: n,
+                results: (0..n).map(|_| None).collect(),
+                panic: None,
+            }),
+            done: Condvar::new(),
+        });
+
+        {
+            let mut queue = lock_unpoisoned(&self.shared.queue);
+            for (i, task) in tasks.into_iter().enumerate() {
+                let batch = Arc::clone(&batch);
+                let erased: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                    let out = catch_unwind(AssertUnwindSafe(task));
+                    let mut st = lock_unpoisoned(&batch.state);
+                    match out {
+                        Ok(v) => st.results[i] = Some(v),
+                        Err(p) => {
+                            if st.panic.is_none() {
+                                st.panic = Some(p);
+                            }
+                        }
+                    }
+                    st.remaining -= 1;
+                    if st.remaining == 0 {
+                        batch.done.notify_all();
+                    }
+                });
+                // SAFETY: the closure (and everything it borrows from 'env)
+                // is only invoked before this function returns — we block
+                // below until `remaining == 0`, and a task is only counted
+                // done after it has fully run. Nothing retains the closure
+                // afterwards: the queue hands ownership to the executing
+                // thread, which drops it on completion.
+                let erased: Task = unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(erased)
+                };
+                queue.push_back(erased);
+            }
+            self.shared.available.notify_all();
+        }
+
+        // Work-conserving wait: drain the queue ourselves (our own batch's
+        // tasks or anyone else's — progress either way, and the nested-run
+        // no-deadlock guarantee), then sleep until the batch completes.
+        loop {
+            let task = lock_unpoisoned(&self.shared.queue).pop_front();
+            match task {
+                Some(t) => t(),
+                None => break,
+            }
+        }
+        let mut st = lock_unpoisoned(&batch.state);
+        while st.remaining > 0 {
+            st = batch
+                .done
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some(p) = st.panic.take() {
+            drop(st);
+            resume_unwind(p);
+        }
+        st.results.iter_mut().map(|slot| slot.take().expect("task completed")).collect()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut queue = lock_unpoisoned(&shared.queue);
+            loop {
+                if let Some(t) = queue.pop_front() {
+                    break Some(t);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match task {
+            Some(t) => t(),
+            None => return,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("workers", &self.workers).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<_> = (0..100).map(|i| move || i * i).collect();
+        let out = pool.run(tasks);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn identical_results_for_any_worker_count() {
+        let compute = |pool: &WorkerPool| {
+            let tasks: Vec<_> = (0..64u64)
+                .map(|i| move || (0..1000).fold(i, |acc, k| acc.wrapping_mul(31).wrapping_add(k)))
+                .collect();
+            pool.run(tasks)
+        };
+        let one = compute(&WorkerPool::new(1));
+        let two = compute(&WorkerPool::new(2));
+        let eight = compute(&WorkerPool::new(8));
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn borrowed_environment_is_usable() {
+        let pool = WorkerPool::new(2);
+        let data: Vec<u64> = (0..1000).collect();
+        let chunks: Vec<&[u64]> = data.chunks(100).collect();
+        let sums = pool.run(chunks.iter().map(|c| move || c.iter().sum::<u64>()).collect());
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn nested_runs_do_not_deadlock() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let outer: Vec<_> = (0..8)
+            .map(|i| {
+                let pool = Arc::clone(&pool);
+                move || {
+                    let inner: Vec<_> = (0..8).map(|j| move || i * 10 + j).collect();
+                    pool.run(inner).into_iter().sum::<i32>()
+                }
+            })
+            .collect();
+        let sums = pool.run(outer);
+        assert_eq!(sums.len(), 8);
+        assert_eq!(sums[0], (0..8).sum::<i32>());
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<i32> = pool.run(Vec::<fn() -> i32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panic_in_task_propagates_after_batch_completes() {
+        let pool = WorkerPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("boom")),
+            Box::new(|| 3),
+        ];
+        let r = catch_unwind(AssertUnwindSafe(|| pool.run(tasks)));
+        assert!(r.is_err(), "panic must propagate to the submitter");
+        // The pool must remain usable afterwards.
+        let ok = pool.run((0..4).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(ok, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = WorkerPool::global();
+        let b = WorkerPool::global();
+        assert!(Arc::ptr_eq(a, b));
+        assert!(a.workers() >= 1);
+    }
+}

@@ -6,19 +6,31 @@
 //! estimator) draws from a [`Prng`] so experiments are reproducible from a
 //! single `u64` seed.
 //!
-//! Normal deviates use the Box–Muller transform on top of `rand`'s uniform
-//! stream; the `rand_distr` crate is intentionally not a dependency.
-
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+//! The generator is a self-contained xoshiro256++ with a splitmix64 seed
+//! expander — no external crates, so the workspace builds fully offline.
+//! Normal deviates use the Box–Muller transform on top of the uniform
+//! stream.
 
 use crate::dense::Mat;
 
+/// One step of the splitmix64 sequence (also used as the seed expander —
+/// its output is equidistributed, so any `u64` seed yields a good state).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Deterministic pseudo-random generator used throughout the reproduction.
+///
+/// xoshiro256++ (Blackman & Vigna): 256 bits of state, period 2²⁵⁶−1,
+/// passes BigCrush; more than adequate for a simulation harness.
 #[derive(Debug, Clone)]
 pub struct Prng {
-    inner: StdRng,
+    state: [u64; 4],
     /// Second deviate cached by Box–Muller.
     spare_normal: Option<f64>,
 }
@@ -26,25 +38,50 @@ pub struct Prng {
 impl Prng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        Prng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Prng { state, spare_normal: None }
+    }
+
+    /// Next raw 64-bit output of the xoshiro256++ sequence.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; used to give each dataset /
     /// algorithm / iteration its own stream without correlation.
     pub fn fork(&mut self, salt: u64) -> Self {
-        let s = self.inner.random::<u64>() ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         Prng::seed_from_u64(s)
     }
 
     /// Uniform deviate in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 high bits → the standard dyadic-rational mapping onto [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "index bound must be positive");
-        self.inner.random_range(0..bound)
+        // Lemire's multiply-shift; the bias at simulation scales (bound far
+        // below 2⁶⁴) is unmeasurable.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
     }
 
     /// Standard normal deviate (mean 0, variance 1) via Box–Muller.
@@ -87,10 +124,12 @@ impl Prng {
     /// smart-guess sample (Section 5.2).
     pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
         assert!(k <= n, "cannot sample {k} distinct indices from {n}");
-        // Partial Fisher-Yates over an index vector; O(n) memory is fine at
-        // the scales this reproduction runs at.
+        // Fisher–Yates over an index vector; O(n) memory is fine at the
+        // scales this reproduction runs at.
         let mut idx: Vec<usize> = (0..n).collect();
-        idx.shuffle(&mut self.inner);
+        for i in (1..n).rev() {
+            idx.swap(i, self.index(i + 1));
+        }
         idx.truncate(k);
         idx
     }
@@ -178,6 +217,25 @@ mod tests {
         // Forking again with a different salt gives a different stream.
         let mut child2 = parent.fork(2);
         assert_ne!(x, child2.uniform());
+    }
+
+    #[test]
+    fn uniform_stays_in_unit_interval() {
+        let mut rng = Prng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u), "got {u}");
+        }
+    }
+
+    #[test]
+    fn index_covers_small_ranges() {
+        let mut rng = Prng::seed_from_u64(13);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.index(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues must appear");
     }
 
     #[test]

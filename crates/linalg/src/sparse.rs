@@ -130,18 +130,10 @@ impl SparseMat {
         (self.nnz() * 12 + self.indptr.len() * 8) as u64
     }
 
-    /// Product `self * B` with a dense matrix, iterating non-zeros only.
+    /// Product `self * B` with a dense matrix, iterating non-zeros only
+    /// (pairwise-fused kernel, row-parallel on the worker pool when large).
     pub fn mul_dense(&self, b: &Mat) -> Mat {
-        assert_eq!(self.cols, b.rows(), "mul_dense: inner dimensions differ");
-        let mut out = Mat::zeros(self.rows, b.cols());
-        for r in 0..self.rows {
-            let row = self.row(r);
-            let out_row = out.row_mut(r);
-            for (&c, &v) in row.indices.iter().zip(row.values) {
-                vector::axpy(v, b.row(c as usize), out_row);
-            }
-        }
-        out
+        crate::kernels::sparse_mul_dense(self, b)
     }
 
     /// Column sums (Σ over rows of each column), touching non-zeros only.

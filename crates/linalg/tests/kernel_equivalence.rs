@@ -1,0 +1,218 @@
+//! Kernel equivalence suite: the blocked/threaded kernels in
+//! [`linalg::kernels`] against the seed's naive loops, preserved verbatim
+//! in [`linalg::kernels::naive`].
+//!
+//! Three tiers of guarantees:
+//!
+//! * **Exact** on structured inputs — small-integer-valued matrices sum
+//!   exactly in any association order (all intermediate values are
+//!   integers far below 2⁵³), so blocked and naive results must be
+//!   bit-for-bit equal.
+//! * **≤ 1e-12** max-abs-diff on random inputs, where reassociation is
+//!   allowed to perturb the last bits.
+//! * **Bitwise deterministic across pool sizes** — the `_with_pool`
+//!   variants must return identical bytes on 1, 2, and 8 workers.
+
+use linalg::kernels::{self, naive};
+use linalg::{Mat, Prng, SparseMat, WorkerPool};
+
+/// Shapes that exercise every path: empty, zero-dim, 1×1, remainder rows
+/// around the 4-row/2-row/4-col micro-kernel groups, and sizes large
+/// enough to cross the parallel-dispatch threshold.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (0, 0, 0),
+    (0, 3, 2),
+    (3, 0, 2),
+    (3, 2, 0),
+    (1, 1, 1),
+    (2, 2, 2),
+    (4, 4, 4),
+    (5, 3, 7),
+    (6, 1, 5),
+    (7, 8, 9),
+    (8, 5, 6),
+    (9, 9, 2),
+    (13, 11, 10),
+    (33, 17, 21),
+    (130, 70, 50),
+];
+
+/// Integer-valued matrix in [-4, 4]: every product and partial sum is an
+/// integer well below 2^53, so any summation order gives the same f64.
+fn int_mat(rng: &mut Prng, rows: usize, cols: usize) -> Mat {
+    let mut m = Mat::zeros(rows, cols);
+    for v in m.data_mut() {
+        *v = rng.index(9) as f64 - 4.0;
+    }
+    m
+}
+
+fn random_sparse(rng: &mut Prng, rows: usize, cols: usize, density: f64, int: bool) -> SparseMat {
+    let mut triplets = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.uniform() < density {
+                let v = if int { rng.index(9) as f64 - 4.0 } else { rng.normal() };
+                if v != 0.0 {
+                    triplets.push((r, c as u32, v));
+                }
+            }
+        }
+    }
+    SparseMat::from_triplets(rows, cols, &triplets)
+}
+
+fn assert_bits_eq(a: &Mat, b: &Mat, what: &str) {
+    assert_eq!(a.rows(), b.rows(), "{what}: row mismatch");
+    assert_eq!(a.cols(), b.cols(), "{what}: col mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits() || (*x == 0.0 && *y == 0.0),
+            "{what}: element {i} differs: {x:?} vs {y:?}"
+        );
+    }
+}
+
+#[test]
+fn structured_inputs_match_naive_exactly() {
+    // Integer-valued inputs: exact equality (up to the sign of zero, which
+    // the kernels' zero-skip may normalize) on every shape.
+    for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let mut rng = Prng::seed_from_u64(case as u64);
+        let a = int_mat(&mut rng, m, k);
+        let b = int_mat(&mut rng, k, n);
+        assert_bits_eq(&kernels::matmul(&a, &b), &naive::matmul(&a, &b), "matmul");
+
+        let at = int_mat(&mut rng, m, k);
+        let bt = int_mat(&mut rng, m, n);
+        assert_bits_eq(&kernels::matmul_tn(&at, &bt), &naive::matmul_tn(&at, &bt), "matmul_tn");
+
+        let bn = int_mat(&mut rng, n, k);
+        assert_bits_eq(&kernels::matmul_nt(&a, &bn), &naive::matmul_nt(&a, &bn), "matmul_nt");
+
+        let x: Vec<f64> = (0..k).map(|_| rng.index(9) as f64 - 4.0).collect();
+        let mv = kernels::matvec(&a, &x);
+        let mv_ref = naive::matvec(&a, &x);
+        assert_eq!(mv.len(), mv_ref.len());
+        for (u, v) in mv.iter().zip(&mv_ref) {
+            assert!(u.to_bits() == v.to_bits() || (*u == 0.0 && *v == 0.0), "matvec");
+        }
+
+        let y = random_sparse(&mut rng, m, k, 0.3, true);
+        let c = int_mat(&mut rng, k, n);
+        assert_bits_eq(
+            &kernels::sparse_mul_dense(&y, &c),
+            &naive::sparse_mul_dense(&y, &c),
+            "sparse_mul_dense",
+        );
+
+        let t = int_mat(&mut rng, m, n);
+        assert_bits_eq(&t.transpose(), &naive::transpose(&t), "transpose");
+    }
+}
+
+#[test]
+fn random_inputs_match_naive_to_1e12() {
+    for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let mut rng = Prng::seed_from_u64(1000 + case as u64);
+        let a = rng.normal_mat(m, k);
+        let b = rng.normal_mat(k, n);
+        assert!(kernels::matmul(&a, &b).max_abs_diff(&naive::matmul(&a, &b)) <= 1e-12);
+
+        let at = rng.normal_mat(m, k);
+        let bt = rng.normal_mat(m, n);
+        assert!(kernels::matmul_tn(&at, &bt).max_abs_diff(&naive::matmul_tn(&at, &bt)) <= 1e-12);
+
+        let bn = rng.normal_mat(n, k);
+        assert!(kernels::matmul_nt(&a, &bn).max_abs_diff(&naive::matmul_nt(&a, &bn)) <= 1e-12);
+
+        let x = rng.normal_vec(k);
+        for (u, v) in kernels::matvec(&a, &x).iter().zip(&naive::matvec(&a, &x)) {
+            assert!((u - v).abs() <= 1e-12);
+        }
+
+        let y = random_sparse(&mut rng, m, k, 0.3, false);
+        let c = rng.normal_mat(k, n);
+        assert!(
+            kernels::sparse_mul_dense(&y, &c).max_abs_diff(&naive::sparse_mul_dense(&y, &c))
+                <= 1e-12
+        );
+    }
+}
+
+#[test]
+fn all_zero_rows_are_harmless() {
+    // The zero-skip fast paths must not desynchronize the blocked loops.
+    let mut rng = Prng::seed_from_u64(99);
+    let mut a = rng.normal_mat(11, 6);
+    for j in 0..6 {
+        a[(0, j)] = 0.0;
+        a[(4, j)] = 0.0; // inside a 4-row group
+        a[(10, j)] = 0.0; // remainder row
+    }
+    let b = rng.normal_mat(11, 5);
+    assert!(kernels::matmul_tn(&a, &b).max_abs_diff(&naive::matmul_tn(&a, &b)) <= 1e-12);
+    let b2 = rng.normal_mat(6, 5);
+    assert!(kernels::matmul(&a, &b2).max_abs_diff(&naive::matmul(&a, &b2)) <= 1e-12);
+
+    // A sparse matrix with explicit empty rows.
+    let y = SparseMat::from_triplets(5, 6, &[(1, 2, 3.0), (3, 0, -1.0), (3, 5, 2.0)]);
+    assert!(
+        kernels::sparse_mul_dense(&y, &b2).max_abs_diff(&naive::sparse_mul_dense(&y, &b2))
+            <= 1e-12
+    );
+}
+
+#[test]
+fn large_products_cross_the_parallel_threshold_and_still_match() {
+    // 400×120 × 400×80: ~7.7 Mflops > PAR_MIN_FLOPS, so the chunked
+    // reduction path runs; the single-chunk seed ordering is the oracle.
+    let mut rng = Prng::seed_from_u64(2024);
+    let a = rng.normal_mat(400, 120);
+    let b = rng.normal_mat(400, 80);
+    assert!(kernels::matmul_tn(&a, &b).max_abs_diff(&naive::matmul_tn(&a, &b)) <= 1e-12);
+
+    let c = rng.normal_mat(300, 90);
+    let d = rng.normal_mat(90, 70);
+    assert!(kernels::matmul(&c, &d).max_abs_diff(&naive::matmul(&c, &d)) <= 1e-12);
+
+    let y = random_sparse(&mut rng, 3000, 500, 0.02, false);
+    let e = rng.normal_mat(500, 32);
+    assert!(
+        kernels::sparse_mul_dense(&y, &e).max_abs_diff(&naive::sparse_mul_dense(&y, &e)) <= 1e-12
+    );
+}
+
+#[test]
+fn kernels_are_bitwise_deterministic_across_pool_sizes() {
+    let pools = [WorkerPool::new(1), WorkerPool::new(2), WorkerPool::new(8)];
+    let mut rng = Prng::seed_from_u64(7777);
+    let a = rng.normal_mat(400, 120);
+    let b = rng.normal_mat(400, 80);
+    let am = rng.normal_mat(300, 90);
+    let bm = rng.normal_mat(90, 70);
+    let ant = rng.normal_mat(200, 60);
+    let bnt = rng.normal_mat(150, 60);
+    let x = rng.normal_vec(120);
+    let y = random_sparse(&mut rng, 3000, 500, 0.02, false);
+    let c = rng.normal_mat(500, 32);
+
+    let tn: Vec<Mat> = pools.iter().map(|p| kernels::matmul_tn_with_pool(p, &a, &b)).collect();
+    let mm: Vec<Mat> = pools.iter().map(|p| kernels::matmul_with_pool(p, &am, &bm)).collect();
+    let nt: Vec<Mat> = pools.iter().map(|p| kernels::matmul_nt_with_pool(p, &ant, &bnt)).collect();
+    let mv: Vec<Vec<f64>> = pools.iter().map(|p| kernels::matvec_with_pool(p, &a, &x)).collect();
+    let sd: Vec<Mat> =
+        pools.iter().map(|p| kernels::sparse_mul_dense_with_pool(p, &y, &c)).collect();
+
+    for i in 1..pools.len() {
+        assert_bits_eq(&tn[0], &tn[i], "matmul_tn across pools");
+        assert_bits_eq(&mm[0], &mm[i], "matmul across pools");
+        assert_bits_eq(&nt[0], &nt[i], "matmul_nt across pools");
+        assert_bits_eq(&sd[0], &sd[i], "sparse_mul_dense across pools");
+        assert_eq!(
+            mv[0].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            mv[i].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "matvec across pools"
+        );
+    }
+}

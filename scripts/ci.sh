@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: offline build, full test suite, and a smoke run of the
+# kernel benchmark (which asserts kernel-vs-naive agreement internally).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo test -q --release --offline --workspace
+cargo run --release --offline -p spca-bench --bin bench_kernels -- --smoke --out /tmp/BENCH_kernels_smoke.json
+echo "ci: all gates passed"
