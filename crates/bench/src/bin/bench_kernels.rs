@@ -8,6 +8,7 @@
 //!   bench_kernels                  # full shapes, writes BENCH_kernels.json
 //!   bench_kernels --smoke          # small shapes, quick CI sanity run
 //!   bench_kernels --out FILE.json  # override the output path
+//!   bench_kernels --trace T.json   # also write a Chrome trace_event file
 
 use std::time::Instant;
 
@@ -59,6 +60,14 @@ fn random_sparse(rng: &mut Prng, rows: usize, cols: usize, density: f64) -> Spar
 }
 
 fn main() {
+    let _trace = spca_bench::cli::trace_args(
+        "bench_kernels",
+        "Kernel microbenchmark: seed-naive vs blocked vs blocked+threaded",
+        &[
+            ("--smoke", "Small shapes (quick CI sanity run)"),
+            ("--out FILE", "Results JSON path (default BENCH_kernels.json)"),
+        ],
+    );
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let out_path = args

@@ -10,6 +10,7 @@ use spca_bench::{data, fresh_cluster, ideal_error, Table, D_COMPONENTS};
 use spca_core::{accuracy, Spca, SpcaConfig};
 
 fn main() {
+    let _trace = spca_bench::cli::trace_args("fig4_accuracy_biotext", "Figure 4: accuracy vs time on Bio-Text, sPCA-MapReduce vs Mahout-PCA", &[]);
     println!("=== Figure 4: accuracy (% of ideal) vs time, Bio-Text ===\n");
     let y = data::biotext(40_000, 8_000, 2);
     let d = D_COMPONENTS;

@@ -12,6 +12,7 @@ use spca_core::config::SmartGuess;
 use spca_core::{accuracy, Spca, SpcaConfig};
 
 fn main() {
+    let _trace = spca_bench::cli::trace_args("fig5_accuracy_tweets", "Figure 5: accuracy vs time on Tweets, sPCA-Spark vs MLlib-PCA", &[]);
     println!("=== Figure 5: accuracy (% of ideal) vs time, Tweets ===\n");
     let y = data::tweets(150_000, 8_000, 1);
     let d = D_COMPONENTS;

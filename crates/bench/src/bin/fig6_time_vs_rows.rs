@@ -12,6 +12,7 @@ use spca_bench::{data, fmt_secs, fresh_cluster, ideal_error, target_error, Table
 use spca_core::{Spca, SpcaConfig};
 
 fn main() {
+    let _trace = spca_bench::cli::trace_args("fig6_time_vs_rows", "Figure 6: time to 95% of ideal accuracy vs number of rows", &[]);
     println!("=== Figure 6: time to 95% of ideal accuracy vs #rows (D = 4000) ===\n");
     let cols = 4_000;
     let mut table = Table::new(&["Rows", "sPCA-MapReduce (s)", "Mahout-PCA (s)", "ratio"]);

@@ -11,6 +11,7 @@ use spca_bench::{data, fmt_secs, fresh_cluster, ideal_error, target_error, Table
 use spca_core::{Spca, SpcaConfig};
 
 fn main() {
+    let _trace = spca_bench::cli::trace_args("fig7_time_vs_cols", "Figure 7: time to 95% of ideal accuracy vs number of columns", &[]);
     let cluster_probe = fresh_cluster();
     let cap = cluster_probe.config().driver_memory;
     let fail_d = ((cap / 16) as f64).sqrt() as usize;

@@ -11,6 +11,7 @@ use spca_bench::{data, fmt_bytes, fresh_cluster, Table, D_COMPONENTS};
 use spca_core::{Spca, SpcaConfig};
 
 fn main() {
+    let _trace = spca_bench::cli::trace_args("fig8_driver_memory", "Figure 8: peak driver memory vs number of columns", &[]);
     let cap = fresh_cluster().config().driver_memory;
     println!("=== Figure 8: peak driver memory vs #columns (N = 20000) ===");
     println!("(driver memory cap: {})\n", fmt_bytes(cap));

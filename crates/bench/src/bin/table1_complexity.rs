@@ -23,6 +23,7 @@ fn exponent(small: f64, large: f64) -> f64 {
 }
 
 fn main() {
+    let _trace = spca_bench::cli::trace_args("table1_complexity", "Table 1: measured scaling vs the complexity analysis", &[]);
     println!("=== Table 1: measured scaling vs the paper's complexity analysis ===\n");
     let d = 10;
 

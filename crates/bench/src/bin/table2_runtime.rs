@@ -23,6 +23,7 @@ struct Case {
 }
 
 fn main() {
+    let _trace = spca_bench::cli::trace_args("table2_runtime", "Table 2: running time to 95% of ideal accuracy", &[]);
     println!("=== Table 2: running time (simulated seconds) to 95% of ideal accuracy ===");
     println!("(paper: Tweets 1.26B rows / Bio-Text 8.2M / Diabetes 353 / Images 160M;");
     println!(" reproduction runs scaled replicas — compare shapes, not absolutes)\n");

@@ -49,6 +49,7 @@ impl ByteSized for SmallMat {
 }
 
 fn main() {
+    let _trace = spca_bench::cli::trace_args("table3_optimizations", "Table 3: per-optimization ablation", &[]);
     println!("=== Table 3: per-optimization ablation (virtual seconds) ===\n");
     let rows = 100_000;
     let cols = 2_000;

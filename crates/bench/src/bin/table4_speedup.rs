@@ -8,6 +8,7 @@ use spca_bench::{data, fmt_secs, Table, D_COMPONENTS};
 use spca_core::{Spca, SpcaConfig};
 
 fn main() {
+    let _trace = spca_bench::cli::trace_args("table4_speedup", "Table 4: sPCA-Spark speedup vs cluster size", &[]);
     println!("=== Table 4: sPCA-Spark speedup vs cluster size (Tweets 100K x 8K) ===\n");
     let y = data::tweets(100_000, 8_000, 1);
     let d = D_COMPONENTS;

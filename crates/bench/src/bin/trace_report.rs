@@ -1,0 +1,90 @@
+//! One small sPCA run on *both* engines with full tracing, printed as a
+//! hierarchical text report and (optionally) exported as Chrome-trace
+//! JSON — the quickest way to see the run → iteration → stage span tree
+//! and compare sPCA-on-Spark with sPCA-on-MapReduce side by side in both
+//! clock domains.
+//!
+//! Usage:
+//!   trace_report                   # print the text report
+//!   trace_report --trace T.json    # also write the Chrome trace file
+
+use dcluster::SimCluster;
+use spca_bench::{data, fmt_bytes, fmt_secs, fresh_cluster, Table};
+use spca_core::{Spca, SpcaConfig};
+
+fn stage_table(label: &str, cluster: &SimCluster) {
+    let metrics = cluster.metrics();
+    let cores = cluster.config().total_cores();
+    println!("\n-- stages: {label} --");
+    let mut table = Table::new(&["Stage", "Tasks", "Virtual (s)", "CPU (s)", "Utilization"]);
+    for s in &metrics.stages {
+        table.row(&[
+            s.label.clone(),
+            s.tasks.to_string(),
+            format!("{:.4}", s.compute_secs),
+            format!("{:.4}", s.cpu_secs),
+            format!("{:.1}%", 100.0 * s.utilization(cores)),
+        ]);
+    }
+    table.print();
+    println!(
+        "{label}: {} virtual s, {} intermediate ({} network, {} DFS written), {} clock violations",
+        fmt_secs(metrics.virtual_time_secs),
+        fmt_bytes(metrics.intermediate_bytes),
+        fmt_bytes(metrics.network_bytes),
+        fmt_bytes(metrics.dfs_bytes_written),
+        metrics.clock_violations,
+    );
+}
+
+fn main() {
+    let trace = spca_bench::cli::trace_args(
+        "trace_report",
+        "Trace one small sPCA run on both engines and print the span-tree report",
+        &[],
+    );
+    // With no --trace flag, still collect (for the text report) — install
+    // a collector ourselves.
+    let collector = match trace.collector() {
+        Some(c) => c.clone(),
+        None => obs::install_new(),
+    };
+
+    let y = data::tweets(4_000, 800, 1);
+    let config = SpcaConfig::new(8).with_max_iters(3).with_partitions(16).with_seed(7);
+
+    let spark_cluster = fresh_cluster();
+    let spark_run =
+        Spca::new(config.clone()).fit_spark(&spark_cluster, &y).expect("sPCA-Spark run");
+    let mr_cluster = fresh_cluster();
+    let mr_run =
+        Spca::new(config).fit_mapreduce(&mr_cluster, &y).expect("sPCA-MapReduce run");
+
+    println!("=== trace report: sPCA-Spark vs sPCA-MapReduce (4000 x 800, d=8) ===");
+    println!(
+        "Spark: {} virtual s over {} iterations; MapReduce: {} virtual s over {} iterations",
+        fmt_secs(spark_run.virtual_time_secs),
+        spark_run.iterations.len(),
+        fmt_secs(mr_run.virtual_time_secs),
+        mr_run.iterations.len(),
+    );
+
+    stage_table("sPCA-Spark", &spark_cluster);
+    stage_table("sPCA-MapReduce", &mr_cluster);
+
+    println!("\n-- span tree (virtual + host clock domains) --");
+    let spark_reg = spark_cluster.registry();
+    let mr_reg = mr_cluster.registry();
+    let report = obs::report::text_report(
+        &collector.events(),
+        &[
+            ("sPCA-Spark cluster", &spark_reg),
+            ("sPCA-MapReduce cluster", &mr_reg),
+            ("collector", collector.registry()),
+        ],
+    );
+    print!("{report}");
+
+    assert_eq!(collector.nesting_violations(), 0, "span nesting must be well-formed");
+    // The TraceGuard exports on drop when --trace was given.
+}

@@ -1,0 +1,85 @@
+//! Shared command-line handling for the experiment binaries.
+//!
+//! Every bench binary accepts `--trace FILE` (write a Chrome
+//! `trace_event` JSON of the run, loadable in `chrome://tracing` or
+//! <https://ui.perfetto.dev>) and `--help`. Binaries with extra flags pass
+//! them in for the help text and parse them themselves.
+
+use std::sync::Arc;
+
+/// Installs a trace collector when `--trace FILE` was given and, on drop,
+/// exports the collected events to that file and prints a short summary.
+pub struct TraceGuard {
+    path: Option<String>,
+    collector: Option<Arc<obs::Collector>>,
+}
+
+impl TraceGuard {
+    /// True when `--trace` was requested.
+    pub fn is_tracing(&self) -> bool {
+        self.collector.is_some()
+    }
+
+    /// The installed collector, if tracing.
+    pub fn collector(&self) -> Option<&Arc<obs::Collector>> {
+        self.collector.as_ref()
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        let (Some(path), Some(c)) = (&self.path, &self.collector) else {
+            return;
+        };
+        let _ = obs::uninstall();
+        let json = obs::export::export_collector(c);
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!(
+                "wrote {} trace events to {path} (open in chrome://tracing or ui.perfetto.dev)",
+                c.len()
+            ),
+            Err(e) => eprintln!("failed to write trace to {path}: {e}"),
+        }
+        if c.dropped() > 0 {
+            eprintln!("warning: {} events dropped (buffer full)", c.dropped());
+        }
+        if c.nesting_violations() > 0 {
+            eprintln!("warning: {} span-nesting violations", c.nesting_violations());
+        }
+        let metrics = c.registry().render();
+        if !metrics.is_empty() {
+            eprintln!("collector metrics:\n{metrics}");
+        }
+    }
+}
+
+/// Parses the shared flags. Prints help (listing `extra_flags` too) and
+/// exits on `--help`/`-h`; exits with an error if `--trace` is missing its
+/// argument. Returns a guard that must stay alive for the whole run.
+pub fn trace_args(binary: &str, about: &str, extra_flags: &[(&str, &str)]) -> TraceGuard {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{about}\n");
+        println!("Usage: {binary} [OPTIONS]\n");
+        println!("Options:");
+        for (flag, help) in extra_flags {
+            println!("  {flag:<18} {help}");
+        }
+        println!("  {:<18} {}", "--trace FILE", "Write a Chrome trace_event JSON trace of the run");
+        println!("  {:<18} {}", "", "(open in chrome://tracing or https://ui.perfetto.dev)");
+        println!("  {:<18} {}", "--help", "Show this help");
+        std::process::exit(0);
+    }
+    let path = match args.iter().position(|a| a == "--trace") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) => Some(p.clone()),
+            None => {
+                eprintln!("error: --trace requires a file path");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let collector = path.as_ref().map(|_| obs::install_new());
+    TraceGuard { path, collector }
+}

@@ -11,6 +11,7 @@
 //! DESIGN.md §1) on the simulated cluster, sweeping sizes over the same
 //! axes. Absolute numbers differ; the comparisons are about *shape*.
 
+pub mod cli;
 pub mod plot;
 
 use dcluster::{ClusterConfig, SimCluster};

@@ -62,6 +62,15 @@ pub fn run_em(
     let start_time = cluster.metrics().virtual_time_secs;
     let start_intermediate = cluster.metrics().intermediate_bytes;
 
+    let _run_host_span = obs::span_lazy("run", || format!("run_em N={n} D={d_in} d={d}"));
+    if obs::enabled() {
+        cluster.trace_begin(
+            "run",
+            "run_em",
+            vec![("N", (n as u64).into()), ("D", (d_in as u64).into()), ("d", (d as u64).into())],
+        );
+    }
+
     // The driver holds C, CM, YtX and scratch — all O(D·d). This is the
     // whole point of Figure 8: sPCA's driver memory does not grow with D².
     let driver_bytes = 4 * (d_in * d * 8) as u64 + (d_in * 8) as u64;
@@ -78,29 +87,42 @@ pub fn run_em(
     let mut prev_error = f64::INFINITY;
 
     for iter in 1..=config.max_iters {
+        if obs::enabled() {
+            cluster.trace_begin("iteration", &format!("iteration {iter}"), Vec::new());
+        }
+        let _iter_host_span = obs::span_lazy("iteration", || format!("em iteration {iter}"));
+
         // Lines 6–8 (driver): M, CM = C·M⁻¹, Xm = Ym·CM.
-        let mut m = c.matmul_tn(&c);
-        m.add_diag(ss);
-        let m_inv = Lu::new(&m)?.inverse();
-        let cm = c.matmul(&m_inv);
-        let xm = cm.vecmat(&mean);
+        let (m_inv, cm, xm) = {
+            let _s = obs::span("driver", "em driver update");
+            let mut m = c.matmul_tn(&c);
+            m.add_diag(ss);
+            let m_inv = Lu::new(&m)?.inverse();
+            let cm = c.matmul(&m_inv);
+            let xm = cm.vecmat(&mean);
+            (m_inv, cm, xm)
+        };
 
         // Line 9 (distributed): consolidated XtX/YtX pass.
         let partial = jobs.ytx_job(&cm, &xm);
         debug_assert_eq!(partial.rows_seen as usize, n, "YtXJob must see every row");
 
         // Line 10 (driver): XtX += N·ss·M⁻¹.
-        let mut xtx = partial.xtx.clone();
-        xtx.add_scaled(n as f64 * ss, &m_inv);
-        // Driver-side assembly of the dense YtX.
-        let ytx = partial.finalize_ytx(&mean);
+        let (c_new, ss2) = {
+            let _s = obs::span("driver", "em driver assemble");
+            let mut xtx = partial.xtx.clone();
+            xtx.add_scaled(n as f64 * ss, &m_inv);
+            // Driver-side assembly of the dense YtX.
+            let ytx = partial.finalize_ytx(&mean);
 
-        // Line 11: C = YtX / XtX.
-        let c_new = solve_spd_right(&xtx, &ytx)?;
+            // Line 11: C = YtX / XtX.
+            let c_new = solve_spd_right(&xtx, &ytx)?;
 
-        // Line 12: ss2 = tr(XtX·C'C).
-        let ctc = c_new.matmul_tn(&c_new);
-        let ss2 = xtx.matmul(&ctc).trace();
+            // Line 12: ss2 = tr(XtX·C'C).
+            let ctc = c_new.matmul_tn(&c_new);
+            let ss2 = xtx.matmul(&ctc).trace();
+            (c_new, ss2)
+        };
 
         // Line 13 (distributed): ss3.
         let part = jobs.ss3_job(&cm, &xm, &c_new);
@@ -120,6 +142,20 @@ pub fn run_em(
             virtual_time_secs: cluster.metrics().virtual_time_secs - start_time,
         });
 
+        // Convergence telemetry: the paper's 1 − ss·N·D/‖Y−mean‖²_F
+        // objective plus the sampled error, plotted against virtual time.
+        if obs::enabled() {
+            let objective = 1.0 - ss * (n as f64) * (d_in as f64) / ss1;
+            cluster.trace_counter("em.error", error);
+            cluster.trace_counter("em.ss", ss);
+            cluster.trace_counter("em.objective", objective);
+            cluster.trace_end(
+                "iteration",
+                &format!("iteration {iter}"),
+                vec![("error", error.into()), ("objective", objective.into())],
+            );
+        }
+
         // STOP_CONDITION.
         if let Some(target) = config.target_error {
             if error <= target {
@@ -134,6 +170,9 @@ pub fn run_em(
         prev_error = error;
     }
 
+    if obs::enabled() {
+        cluster.trace_end("run", "run_em", vec![("iterations", (iterations.len() as u64).into())]);
+    }
     let end = cluster.metrics();
     Ok(SpcaRun {
         model: PcaModel::new(c, mean, ss),

@@ -224,6 +224,9 @@ impl EmJobs for MrJobs<'_> {
 
 /// Fits sPCA on the MapReduce engine.
 pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<SpcaRun> {
+    if obs::enabled() {
+        cluster.set_trace_label("sPCA-MR");
+    }
     let partitions = config
         .partitions
         .unwrap_or_else(|| cluster.config().total_cores())
@@ -234,6 +237,10 @@ pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<S
     // is charged to this run (the paper counts the warm-up delay).
     let warm_time = cluster.metrics().virtual_time_secs;
     let warm_bytes = cluster.metrics().intermediate_bytes;
+    let tracing_init = obs::enabled() && config.smart_guess.is_some();
+    if tracing_init {
+        cluster.trace_begin("init", "init", Vec::new());
+    }
     let init_state = match &config.smart_guess {
         Some(sg) => {
             let want = ((y.rows() as f64) * sg.sample_fraction).ceil() as usize;
@@ -253,6 +260,9 @@ pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<S
         }
         None => init::random_init(y.cols(), config.components, config.seed),
     };
+    if tracing_init {
+        cluster.trace_end("init", "init", vec![("kind", "smart-guess".into())]);
+    }
     let warm_elapsed = cluster.metrics().virtual_time_secs - warm_time;
     let warm_intermediate = cluster.metrics().intermediate_bytes - warm_bytes;
 

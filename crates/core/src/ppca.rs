@@ -46,7 +46,9 @@ pub fn fit_dense(y: &Mat, d: usize, iterations: usize, seed: u64) -> Result<(Pca
 
     let mut trace = PpcaTrace { c_history: Vec::new(), ss_history: Vec::new() };
 
-    for _ in 0..iterations {
+    let _run_span = obs::span_lazy("run", || format!("ppca::fit_dense N={n} D={d_in} d={d}"));
+    for iter in 0..iterations {
+        let _iter_span = obs::span_lazy("iteration", || format!("ppca iteration {}", iter + 1));
         // Line 6: M = C'C + ss·I.
         let mut m = c.matmul_tn(&c);
         m.add_diag(ss);
@@ -74,6 +76,7 @@ pub fn fit_dense(y: &Mat, d: usize, iterations: usize, seed: u64) -> Result<(Pca
 
         trace.c_history.push(c.clone());
         trace.ss_history.push(ss);
+        obs::host_counter("ppca.ss", ss);
     }
 
     Ok((PcaModel::new(c, mean, ss), trace))

@@ -193,6 +193,9 @@ pub fn transform(
 
 /// Fits sPCA on the Spark-like engine.
 pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<SpcaRun> {
+    if obs::enabled() {
+        cluster.set_trace_label("sPCA-Spark");
+    }
     let ctx = SparkleContext::new(cluster);
     let partitions = config
         .partitions
@@ -210,10 +213,17 @@ pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<S
     // timeline.
     let warm_time = cluster.metrics().virtual_time_secs;
     let warm_bytes = cluster.metrics().intermediate_bytes;
+    if obs::enabled() {
+        cluster.trace_begin("init", "init", Vec::new());
+    }
     let init_state = match &config.smart_guess {
         Some(sg) => init::smart_guess_init(cluster, y, config, sg)?,
         None => init::random_init(y.cols(), config.components, config.seed),
     };
+    if obs::enabled() {
+        let kind = if config.smart_guess.is_some() { "smart-guess" } else { "random" };
+        cluster.trace_end("init", "init", vec![("kind", kind.into())]);
+    }
     let warm_elapsed = cluster.metrics().virtual_time_secs - warm_time;
     let warm_intermediate = cluster.metrics().intermediate_bytes - warm_bytes;
 

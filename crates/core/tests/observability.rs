@@ -1,0 +1,202 @@
+//! Cross-engine observability properties.
+//!
+//! Three invariants of the tracing/metrics layer, checked over real
+//! workloads rather than unit fixtures:
+//!
+//! 1. **Byte accounting** — `intermediate_bytes` always equals
+//!    `network_bytes + dfs_bytes_written`, no matter how MapReduce jobs,
+//!    sparkle stages, broadcasts and DFS traffic interleave on one
+//!    cluster. This is the paper's "intermediate data" measure (Table 3),
+//!    so an off-by-one here silently skews a headline result.
+//! 2. **Span well-formedness** — after a full sPCA run on both engines
+//!    every begin has a matching end, properly nested per (pid, tid), and
+//!    the Chrome-trace export is valid JSON.
+//! 3. **Clock monotonicity** — backwards `advance_time` is dropped and
+//!    counted in `clock_violations` instead of corrupting virtual time.
+
+use std::sync::{Mutex, MutexGuard};
+
+use dcluster::{ClusterConfig, Dfs, SimCluster};
+use linalg::Prng;
+use mapreduce::{Emitter, MapReduceEngine, MapReduceJob};
+use sparkle::SparkleContext;
+use spca_core::{Spca, SpcaConfig};
+
+/// The obs collector is process-global; tests that install one must not
+/// overlap (cargo runs `#[test]`s on parallel threads).
+static COLLECTOR_LOCK: Mutex<()> = Mutex::new(());
+
+fn collector_guard() -> MutexGuard<'static, ()> {
+    COLLECTOR_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn small_cluster() -> SimCluster {
+    SimCluster::new(ClusterConfig::paper_cluster().with_nodes(2).with_cores_per_node(2))
+}
+
+fn assert_byte_invariant(cluster: &SimCluster, context: &str) {
+    let m = cluster.metrics();
+    assert_eq!(
+        m.intermediate_bytes,
+        m.network_bytes + m.dfs_bytes_written,
+        "{context}: intermediate {} != network {} + dfs written {}",
+        m.intermediate_bytes,
+        m.network_bytes,
+        m.dfs_bytes_written
+    );
+}
+
+/// A trivial word-count-shaped job: keys 0..buckets, one f64 per row.
+struct SumJob {
+    buckets: usize,
+}
+
+impl MapReduceJob for SumJob {
+    type Input = Vec<f64>;
+    type Key = u32;
+    type Value = f64;
+    type Output = f64;
+
+    fn map(&self, partition: &Vec<f64>, emitter: &mut Emitter<'_, u32, f64>) {
+        for (i, v) in partition.iter().enumerate() {
+            emitter.emit((i % self.buckets) as u32, *v);
+        }
+    }
+
+    fn combine(&self, _key: &u32, values: Vec<f64>) -> Vec<f64> {
+        vec![values.iter().sum()]
+    }
+
+    fn reduce(&self, _key: u32, values: Vec<f64>) -> f64 {
+        values.iter().sum()
+    }
+}
+
+#[test]
+fn intermediate_bytes_equals_network_plus_dfs_under_interleaving() {
+    let cluster = small_cluster();
+    let hdfs = Dfs::new();
+    let mut rng = Prng::seed_from_u64(42);
+
+    for round in 0..40 {
+        match rng.index(5) {
+            // MapReduce job: shuffles over the network AND spills the
+            // pre-combine map output to the DFS.
+            0 => {
+                let engine = MapReduceEngine::new(&cluster);
+                let parts: Vec<Vec<f64>> =
+                    (0..4).map(|_| (0..32).map(|_| rng.normal()).collect()).collect();
+                let buckets = 1 + rng.index(6);
+                let (_out, stats) = engine.run_job("sumJob", &SumJob { buckets }, &parts, 2);
+                assert!(stats.shuffle_bytes > 0);
+            }
+            // Sparkle aggregate: accumulator partials cross the network.
+            1 => {
+                let ctx = SparkleContext::new(&cluster);
+                let n = 16 + rng.index(64);
+                let rdd = ctx.parallelize((0..n).map(|i| i as f64).collect(), 4);
+                let (sum, bytes) = rdd.aggregate(
+                    "sumStage",
+                    || 0.0f64,
+                    |acc, v| *acc += v,
+                    |acc, p| *acc += p,
+                );
+                assert!(sum >= 0.0 && bytes > 0);
+            }
+            // Sparkle collect: everything to the driver over the network.
+            2 => {
+                let ctx = SparkleContext::new(&cluster);
+                let n = 8 + rng.index(32);
+                let rdd = ctx.parallelize(vec![1.0f64; n], 2);
+                let collected = rdd.collect();
+                assert_eq!(collected.len(), n);
+            }
+            // Broadcast: driver value fanned out to every node.
+            3 => {
+                cluster.charge_broadcast(64 + rng.index(4096) as u64);
+            }
+            // DFS round trip.
+            _ => {
+                let name = format!("file-{round}");
+                let bytes = 8 * (16 + rng.index(64) as u64);
+                hdfs.put(&cluster, name.clone(), bytes);
+                assert_eq!(hdfs.get(&cluster, &name), bytes);
+            }
+        }
+        assert_byte_invariant(&cluster, &format!("after round {round}"));
+    }
+
+    let end = cluster.metrics();
+    assert!(end.network_bytes > 0 && end.dfs_bytes_written > 0);
+    assert_eq!(end.clock_violations, 0);
+}
+
+#[test]
+fn byte_invariant_survives_reset() {
+    let cluster = small_cluster();
+    cluster.charge_network(1000);
+    cluster.charge_dfs_write(500);
+    assert_byte_invariant(&cluster, "before reset");
+    cluster.reset_metrics();
+    let m = cluster.metrics();
+    assert_eq!((m.intermediate_bytes, m.network_bytes, m.dfs_bytes_written), (0, 0, 0));
+    cluster.charge_dfs_write(77);
+    assert_byte_invariant(&cluster, "after reset");
+}
+
+#[test]
+fn spans_nest_well_formed_across_both_engines() {
+    let _guard = collector_guard();
+    let collector = obs::install_new();
+
+    let y = datasets::tweets::generate(400, 120, &mut Prng::seed_from_u64(9));
+    let config = SpcaConfig::new(4).with_max_iters(2).with_partitions(4).with_seed(9);
+
+    let spark_cluster = small_cluster();
+    Spca::new(config.clone()).fit_spark(&spark_cluster, &y).expect("spark run");
+    let mr_cluster = small_cluster();
+    Spca::new(config).fit_mapreduce(&mr_cluster, &y).expect("mapreduce run");
+
+    let collector = obs::uninstall().unwrap_or(collector);
+    let events = collector.events();
+    assert!(!events.is_empty(), "tracing produced no events");
+    assert_eq!(collector.nesting_violations(), 0);
+    let violations = obs::validate_nesting(&events);
+    assert!(violations.is_empty(), "nesting violations: {violations:?}");
+
+    // Both engines appear as distinct virtual processes, and the export
+    // is valid Chrome-trace JSON.
+    let json = obs::export::export_collector(&collector);
+    obs::json::validate(&json).expect("chrome trace export must be valid JSON");
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("sPCA-Spark"), "spark cluster process label missing");
+    assert!(json.contains("sPCA-MR"), "mapreduce cluster process label missing");
+    assert_byte_invariant(&spark_cluster, "spark after traced run");
+    assert_byte_invariant(&mr_cluster, "mapreduce after traced run");
+}
+
+#[test]
+fn tracing_disabled_is_inert_and_runs_unchanged() {
+    let _guard = collector_guard();
+    assert!(obs::uninstall().is_none() || !obs::enabled());
+
+    let y = datasets::tweets::generate(300, 100, &mut Prng::seed_from_u64(3));
+    let config = SpcaConfig::new(3).with_max_iters(2).with_partitions(4).with_seed(3);
+    let cluster = small_cluster();
+    let run = Spca::new(config).fit_spark(&cluster, &y).expect("untraced run");
+    assert_eq!(run.iterations.len(), 2);
+    assert!(!obs::enabled(), "run must not have installed a collector");
+    assert_byte_invariant(&cluster, "untraced run");
+}
+
+#[test]
+fn backwards_clock_is_dropped_and_counted() {
+    let cluster = small_cluster();
+    cluster.advance_time(2.0);
+    cluster.advance_time(-5.0);
+    cluster.advance_time(f64::NAN);
+    cluster.advance_time(1.0);
+    let m = cluster.metrics();
+    assert_eq!(m.clock_violations, 2);
+    assert!((m.virtual_time_secs - 3.0).abs() < 1e-12, "time corrupted: {}", m.virtual_time_secs);
+}

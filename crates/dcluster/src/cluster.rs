@@ -5,6 +5,16 @@
 //! stage. The pool returns results in submission order and the virtual
 //! clock is advanced from per-task wall durations exactly as before, so
 //! the accounting model is unchanged by the substrate swap.
+//!
+//! # Tracing
+//!
+//! When an [`obs`] collector is installed, each cluster lazily allocates a
+//! *virtual process* in the trace (one pid per simulated cluster clock,
+//! named via [`SimCluster::set_trace_label`]) and emits stage spans,
+//! byte-meter counter series, and driver spans on the **virtual** time
+//! axis, while stage execution also appears as host-wall-time spans on the
+//! caller's thread track. With no collector, every site reduces to one
+//! relaxed atomic load.
 
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -30,6 +40,11 @@ pub enum ClusterError {
         /// Configured driver memory.
         limit: u64,
     },
+}
+
+/// Ignore lock poisoning on plain-data mutexes.
+fn lock_plain<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl fmt::Display for ClusterError {
@@ -79,6 +94,19 @@ pub struct SimCluster {
     pool: Arc<WorkerPool>,
     /// Counter feeding the deterministic failure-injection hash.
     failure_counter: AtomicU64,
+    /// Binding of this cluster to a virtual trace process.
+    trace: Mutex<TraceBinding>,
+}
+
+/// Lazily-established link between a cluster and the installed collector:
+/// the virtual pid is allocated on first use and re-allocated whenever a
+/// *different* collector is installed (tests install fresh ones).
+#[derive(Default)]
+struct TraceBinding {
+    /// Process label shown in trace viewers (empty → `"cluster"`).
+    label: String,
+    /// `(collector identity, allocated virtual pid)`.
+    bound: Option<(usize, u32)>,
 }
 
 impl SimCluster {
@@ -96,12 +124,109 @@ impl SimCluster {
             metrics: Mutex::new(Metrics::default()),
             pool,
             failure_counter: AtomicU64::new(0),
+            trace: Mutex::new(TraceBinding::default()),
         }
     }
 
     /// The host-thread pool this cluster executes on.
     pub fn pool(&self) -> &Arc<WorkerPool> {
         &self.pool
+    }
+
+    /// The registry backing this cluster's byte meters and stage stats.
+    pub fn registry(&self) -> Arc<obs::registry::Registry> {
+        Arc::clone(self.metrics_lock().registry())
+    }
+
+    /// Names this cluster's virtual process in exported traces (e.g.
+    /// `"sPCA-Spark"`). Renames in place if the pid is already allocated.
+    pub fn set_trace_label(&self, label: impl Into<String>) {
+        let label = label.into();
+        let mut tb = lock_plain(&self.trace);
+        tb.label = label.clone();
+        if let (Some((key, pid)), Some(c)) = (tb.bound, obs::collector()) {
+            if Arc::as_ptr(&c) as usize == key {
+                c.set_process_label(pid, &label);
+            }
+        }
+    }
+
+    /// The virtual clock in whole microseconds (the trace time unit).
+    pub fn virtual_time_us(&self) -> u64 {
+        (self.metrics_lock().virtual_time_secs * 1e6) as u64
+    }
+
+    /// Runs `f` with the installed collector and this cluster's virtual
+    /// pid, allocating or re-binding the pid first if needed. No-op (and
+    /// one atomic load) when tracing is disabled. Never called with the
+    /// metrics lock held — `trace` and `metrics` are never nested.
+    fn with_trace<R>(&self, f: impl FnOnce(&obs::Collector, u32) -> R) -> Option<R> {
+        if !obs::enabled() {
+            return None;
+        }
+        let c = obs::collector()?;
+        let key = Arc::as_ptr(&c) as usize;
+        let pid = {
+            let mut tb = lock_plain(&self.trace);
+            match tb.bound {
+                Some((k, pid)) if k == key => pid,
+                _ => {
+                    let label = if tb.label.is_empty() { "cluster" } else { tb.label.as_str() };
+                    let pid = c.alloc_virtual_pid(label);
+                    tb.bound = Some((key, pid));
+                    pid
+                }
+            }
+        };
+        Some(f(&c, pid))
+    }
+
+    /// Opens a span on this cluster's virtual clock at the current virtual
+    /// time. Pair with [`Self::trace_end`]; nesting is checked by the
+    /// collector.
+    pub fn trace_begin(
+        &self,
+        cat: &'static str,
+        name: &str,
+        args: Vec<(&'static str, obs::ArgValue)>,
+    ) {
+        if !obs::enabled() {
+            return;
+        }
+        let ts = self.virtual_time_us();
+        self.with_trace(|c, pid| c.begin_virtual(pid, cat, name, ts, args));
+    }
+
+    /// Closes the innermost open virtual span (see [`Self::trace_begin`]).
+    pub fn trace_end(
+        &self,
+        cat: &'static str,
+        name: &str,
+        args: Vec<(&'static str, obs::ArgValue)>,
+    ) {
+        if !obs::enabled() {
+            return;
+        }
+        let ts = self.virtual_time_us();
+        self.with_trace(|c, pid| c.end_virtual(pid, cat, name, ts, args));
+    }
+
+    /// Emits a counter sample on this cluster's virtual clock.
+    pub fn trace_counter(&self, name: &str, value: f64) {
+        if !obs::enabled() {
+            return;
+        }
+        let ts = self.virtual_time_us();
+        self.with_trace(|c, pid| c.counter(pid, name, ts, value));
+    }
+
+    /// Emits an instant event on this cluster's virtual clock.
+    pub fn trace_instant(&self, cat: &'static str, name: &str) {
+        if !obs::enabled() {
+            return;
+        }
+        let ts = self.virtual_time_us();
+        self.with_trace(|c, pid| c.instant(pid, cat, name, ts, Vec::new()));
     }
 
     fn metrics_lock(&self) -> MutexGuard<'_, Metrics> {
@@ -140,7 +265,7 @@ impl SimCluster {
     {
         let n = tasks.len();
         if n == 0 {
-            self.metrics_lock().snapshot.stages.push(StageRecord {
+            self.metrics_lock().stages.push(StageRecord {
                 label: opts.label,
                 tasks: 0,
                 compute_secs: 0.0,
@@ -149,6 +274,7 @@ impl SimCluster {
             return Vec::new();
         }
 
+        let _host_span = obs::span_lazy("stage", || format!("stage:{}", opts.label));
         let timed: Vec<(f64, T)> = self.pool.run(
             tasks
                 .into_iter()
@@ -186,9 +312,38 @@ impl SimCluster {
             .collect();
         let compute_secs = makespan(&with_overhead, self.cfg.total_cores());
 
-        let mut m = self.metrics_lock();
-        m.advance(compute_secs);
-        m.snapshot.stages.push(StageRecord { label: opts.label, tasks: n, compute_secs, cpu_secs });
+        let record = StageRecord { label: opts.label, tasks: n, compute_secs, cpu_secs };
+        let utilization = record.utilization(self.cfg.total_cores());
+        let (begin_us, end_us);
+        {
+            let mut m = self.metrics_lock();
+            begin_us = (m.virtual_time_secs * 1e6) as u64;
+            m.advance(compute_secs);
+            end_us = (m.virtual_time_secs * 1e6) as u64;
+            m.registry().histogram("stage.utilization").record(utilization);
+            m.stages.push(record.clone());
+        }
+        if obs::enabled() {
+            self.with_trace(|c, pid| {
+                c.begin_virtual(
+                    pid,
+                    "stage",
+                    &record.label,
+                    begin_us,
+                    vec![
+                        ("tasks", (n as u64).into()),
+                        ("cpu_secs", record.cpu_secs.into()),
+                    ],
+                );
+                c.end_virtual(
+                    pid,
+                    "stage",
+                    &record.label,
+                    end_us,
+                    vec![("utilization", utilization.into())],
+                );
+            });
+        }
         results
     }
 
@@ -196,17 +351,30 @@ impl SimCluster {
     /// virtual clock one core's worth of time (the driver is a single
     /// process).
     pub fn run_driver<T>(&self, label: impl Into<String>, f: impl FnOnce() -> T) -> T {
+        let label = label.into();
+        let _host_span = obs::span_lazy("driver", || format!("driver:{label}"));
         let start = Instant::now();
         let out = f();
         let secs = start.elapsed().as_secs_f64();
-        let mut m = self.metrics_lock();
-        m.advance(secs);
-        m.snapshot.stages.push(StageRecord {
-            label: label.into(),
-            tasks: 1,
-            compute_secs: secs,
-            cpu_secs: secs,
-        });
+        let (begin_us, end_us);
+        {
+            let mut m = self.metrics_lock();
+            begin_us = (m.virtual_time_secs * 1e6) as u64;
+            m.advance(secs);
+            end_us = (m.virtual_time_secs * 1e6) as u64;
+            m.stages.push(StageRecord {
+                label: label.clone(),
+                tasks: 1,
+                compute_secs: secs,
+                cpu_secs: secs,
+            });
+        }
+        if obs::enabled() {
+            self.with_trace(|c, pid| {
+                c.begin_virtual(pid, "driver", &label, begin_us, Vec::new());
+                c.end_virtual(pid, "driver", &label, end_us, Vec::new());
+            });
+        }
         out
     }
 
@@ -227,20 +395,26 @@ impl SimCluster {
     /// Meters `bytes` crossing the network (shuffle traffic) and advances
     /// the clock by the transfer time at aggregate bandwidth.
     pub fn charge_network(&self, bytes: u64) {
-        let mut m = self.metrics_lock();
-        m.snapshot.network_bytes += bytes;
-        m.snapshot.intermediate_bytes += bytes;
-        let secs = bytes as f64 / self.network_bw();
-        m.advance(secs);
+        let total;
+        {
+            let mut m = self.metrics_lock();
+            m.add_network(bytes);
+            m.advance(bytes as f64 / self.network_bw());
+            total = m.network_bytes.get();
+        }
+        self.trace_counter("cluster.network_bytes", total as f64);
     }
 
     /// Meters `bytes` written to the distributed filesystem.
     pub fn charge_dfs_write(&self, bytes: u64) {
-        let mut m = self.metrics_lock();
-        m.snapshot.dfs_bytes_written += bytes;
-        m.snapshot.intermediate_bytes += bytes;
-        let secs = bytes as f64 / self.disk_bw();
-        m.advance(secs);
+        let total;
+        {
+            let mut m = self.metrics_lock();
+            m.add_dfs_write(bytes);
+            m.advance(bytes as f64 / self.disk_bw());
+            total = m.dfs_bytes_written.get();
+        }
+        self.trace_counter("cluster.dfs_bytes_written", total as f64);
     }
 
     /// Meters a broadcast of `bytes` to every worker node (Spark torrent
@@ -248,20 +422,27 @@ impl SimCluster {
     /// network once per node and counts as intermediate data — this is
     /// how sPCA's per-iteration `CM` matrix is charged.
     pub fn charge_broadcast(&self, bytes: u64) {
-        let total = bytes.saturating_mul(self.cfg.nodes as u64);
-        let mut m = self.metrics_lock();
-        m.snapshot.network_bytes += total;
-        m.snapshot.intermediate_bytes += total;
-        let secs = total as f64 / self.network_bw();
-        m.advance(secs);
+        let fanout = bytes.saturating_mul(self.cfg.nodes as u64);
+        let total;
+        {
+            let mut m = self.metrics_lock();
+            m.add_network(fanout);
+            m.advance(fanout as f64 / self.network_bw());
+            total = m.network_bytes.get();
+        }
+        self.trace_counter("cluster.network_bytes", total as f64);
     }
 
     /// Meters `bytes` read back from the distributed filesystem.
     pub fn charge_dfs_read(&self, bytes: u64) {
-        let mut m = self.metrics_lock();
-        m.snapshot.dfs_bytes_read += bytes;
-        let secs = bytes as f64 / self.disk_bw();
-        m.advance(secs);
+        let total;
+        {
+            let mut m = self.metrics_lock();
+            m.add_dfs_read(bytes);
+            m.advance(bytes as f64 / self.disk_bw());
+            total = m.dfs_bytes_read.get();
+        }
+        self.trace_counter("cluster.dfs_bytes_read", total as f64);
     }
 
     /// Advances the virtual clock by a flat amount (job-initialization
@@ -275,7 +456,7 @@ impl SimCluster {
     /// recorded for Figure 8.
     pub fn alloc_driver(&self, bytes: u64) -> Result<DriverAlloc<'_>, ClusterError> {
         let mut m = self.metrics_lock();
-        let in_use = m.snapshot.driver_bytes;
+        let in_use = m.driver_bytes;
         if in_use + bytes > self.cfg.driver_memory {
             return Err(ClusterError::DriverOom {
                 requested: bytes,
@@ -283,22 +464,21 @@ impl SimCluster {
                 limit: self.cfg.driver_memory,
             });
         }
-        m.snapshot.driver_bytes = in_use + bytes;
-        m.snapshot.driver_peak_bytes = m.snapshot.driver_peak_bytes.max(in_use + bytes);
+        m.driver_bytes = in_use + bytes;
+        m.driver_peak_bytes = m.driver_peak_bytes.max(in_use + bytes);
+        m.registry().gauge("cluster.driver_peak_bytes").set_max((in_use + bytes) as f64);
         Ok(DriverAlloc { cluster: self, bytes })
     }
 
     /// Copy of all metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics_lock().snapshot.clone()
+        self.metrics_lock().snapshot()
     }
 
     /// Resets clock, meters, and stage history (driver-live bytes are kept,
     /// since guards may still be outstanding).
     pub fn reset_metrics(&self) {
-        let mut m = self.metrics_lock();
-        let live = m.snapshot.driver_bytes;
-        m.snapshot = MetricsSnapshot { driver_bytes: live, driver_peak_bytes: live, ..Default::default() };
+        self.metrics_lock().reset();
     }
 }
 
@@ -329,7 +509,7 @@ impl DriverAlloc<'_> {
 impl Drop for DriverAlloc<'_> {
     fn drop(&mut self) {
         let mut m = self.cluster.metrics_lock();
-        m.snapshot.driver_bytes = m.snapshot.driver_bytes.saturating_sub(self.bytes);
+        m.driver_bytes = m.driver_bytes.saturating_sub(self.bytes);
     }
 }
 

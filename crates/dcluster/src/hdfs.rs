@@ -33,8 +33,12 @@ impl Dfs {
     /// Records a file of `bytes` and charges the write to the cluster.
     /// Overwrites any previous file of the same name.
     pub fn put(&self, cluster: &SimCluster, name: impl Into<String>, bytes: u64) {
+        let name = name.into();
         cluster.charge_dfs_write(bytes);
-        self.files().insert(name.into(), bytes);
+        if obs::enabled() {
+            cluster.trace_instant("dfs", &format!("dfs.put {name} [{bytes} B]"));
+        }
+        self.files().insert(name, bytes);
     }
 
     /// Charges a full read of the named file and returns its size.
@@ -45,6 +49,9 @@ impl Dfs {
             .get(name)
             .unwrap_or_else(|| panic!("dfs: no such file {name:?}"));
         cluster.charge_dfs_read(bytes);
+        if obs::enabled() {
+            cluster.trace_instant("dfs", &format!("dfs.get {name} [{bytes} B]"));
+        }
         bytes
     }
 

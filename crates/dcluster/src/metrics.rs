@@ -1,4 +1,14 @@
 //! Execution metrics: the virtual clock, byte meters, and per-stage records.
+//!
+//! Byte meters are backed by an [`obs::Registry`] owned by the cluster —
+//! the same counters surface in the text report and Chrome-trace export —
+//! while [`MetricsSnapshot`] remains the stable read surface the rest of
+//! the workspace consumes. Hot paths hold cached `Arc<Counter>` handles, so
+//! metering costs one relaxed atomic op per charge.
+
+use std::sync::Arc;
+
+use obs::registry::{Counter, Registry};
 
 /// Record of one executed stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -11,6 +21,21 @@ pub struct StageRecord {
     pub compute_secs: f64,
     /// Total measured host seconds across all tasks (for diagnostics).
     pub cpu_secs: f64,
+}
+
+impl StageRecord {
+    /// Fraction of the cluster's virtual core-seconds this stage actually
+    /// used: `cpu_secs / (compute_secs × total_cores)`. Below 1.0 means
+    /// cores idled during the stage (stragglers, fewer tasks than cores);
+    /// degenerate stages report 0.
+    pub fn utilization(&self, total_cores: usize) -> f64 {
+        let capacity = self.compute_secs * total_cores.max(1) as f64;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            self.cpu_secs / capacity
+        }
+    }
 }
 
 /// Point-in-time copy of all cluster metrics.
@@ -32,20 +57,106 @@ pub struct MetricsSnapshot {
     pub driver_bytes: u64,
     /// Peak of [`Self::driver_bytes`] — the quantity Figure 8 plots.
     pub driver_peak_bytes: u64,
+    /// Times the virtual clock was asked to move backwards (the advance is
+    /// dropped, not applied; a non-zero count flags an accounting bug).
+    pub clock_violations: u64,
     /// One record per executed stage, in execution order.
     pub stages: Vec<StageRecord>,
 }
 
-/// Mutable metric state owned by the cluster (behind its lock).
-#[derive(Debug, Default)]
+/// Mutable metric state owned by the cluster (behind its lock). Byte
+/// meters live in the shared registry; scalar clock/driver state stays
+/// plain because it is only touched under the cluster lock anyway.
+#[derive(Debug)]
 pub(crate) struct Metrics {
-    pub snapshot: MetricsSnapshot,
+    registry: Arc<Registry>,
+    pub network_bytes: Arc<Counter>,
+    pub dfs_bytes_written: Arc<Counter>,
+    pub dfs_bytes_read: Arc<Counter>,
+    pub intermediate_bytes: Arc<Counter>,
+    clock_violations: Arc<Counter>,
+    pub virtual_time_secs: f64,
+    pub driver_bytes: u64,
+    pub driver_peak_bytes: u64,
+    pub stages: Vec<StageRecord>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        let registry = Arc::new(Registry::new());
+        Metrics {
+            network_bytes: registry.counter("cluster.network_bytes"),
+            dfs_bytes_written: registry.counter("cluster.dfs_bytes_written"),
+            dfs_bytes_read: registry.counter("cluster.dfs_bytes_read"),
+            intermediate_bytes: registry.counter("cluster.intermediate_bytes"),
+            clock_violations: registry.counter("cluster.clock_violations"),
+            registry,
+            virtual_time_secs: 0.0,
+            driver_bytes: 0,
+            driver_peak_bytes: 0,
+            stages: Vec::new(),
+        }
+    }
 }
 
 impl Metrics {
+    /// The registry backing this cluster's meters (shared with exports).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Advances the virtual clock. A negative or NaN advance is a clock
+    /// violation: it is dropped (saturating at "no movement") and counted,
+    /// rather than corrupting the clock or aborting the run.
     pub fn advance(&mut self, secs: f64) {
-        debug_assert!(secs >= 0.0, "time cannot run backwards");
-        self.snapshot.virtual_time_secs += secs;
+        if !(secs >= 0.0) {
+            self.clock_violations.inc();
+            return;
+        }
+        self.virtual_time_secs += secs;
+    }
+
+    pub fn add_network(&self, bytes: u64) {
+        self.network_bytes.add(bytes);
+        self.intermediate_bytes.add(bytes);
+    }
+
+    pub fn add_dfs_write(&self, bytes: u64) {
+        self.dfs_bytes_written.add(bytes);
+        self.intermediate_bytes.add(bytes);
+    }
+
+    pub fn add_dfs_read(&self, bytes: u64) {
+        self.dfs_bytes_read.add(bytes);
+    }
+
+    /// Copies every meter into the stable snapshot shape.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            virtual_time_secs: self.virtual_time_secs,
+            network_bytes: self.network_bytes.get(),
+            dfs_bytes_written: self.dfs_bytes_written.get(),
+            dfs_bytes_read: self.dfs_bytes_read.get(),
+            intermediate_bytes: self.intermediate_bytes.get(),
+            driver_bytes: self.driver_bytes,
+            driver_peak_bytes: self.driver_peak_bytes,
+            clock_violations: self.clock_violations.get(),
+            stages: self.stages.clone(),
+        }
+    }
+
+    /// Resets clock, meters, and stage history. Driver-live bytes are kept
+    /// (guards may still be outstanding); the registry identity is kept so
+    /// cached handles stay live.
+    pub fn reset(&mut self) {
+        self.network_bytes.reset();
+        self.dfs_bytes_written.reset();
+        self.dfs_bytes_read.reset();
+        self.intermediate_bytes.reset();
+        self.clock_violations.reset();
+        self.virtual_time_secs = 0.0;
+        self.driver_peak_bytes = self.driver_bytes;
+        self.stages.clear();
     }
 }
 
@@ -58,6 +169,7 @@ mod tests {
         let m = MetricsSnapshot::default();
         assert_eq!(m.virtual_time_secs, 0.0);
         assert_eq!(m.network_bytes, 0);
+        assert_eq!(m.clock_violations, 0);
         assert!(m.stages.is_empty());
     }
 
@@ -66,6 +178,54 @@ mod tests {
         let mut m = Metrics::default();
         m.advance(1.5);
         m.advance(2.5);
-        assert!((m.snapshot.virtual_time_secs - 4.0).abs() < 1e-12);
+        assert!((m.virtual_time_secs - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backwards_advance_is_dropped_and_counted() {
+        let mut m = Metrics::default();
+        m.advance(2.0);
+        m.advance(-5.0);
+        m.advance(f64::NAN);
+        assert!((m.virtual_time_secs - 2.0).abs() < 1e-12, "clock must not move");
+        assert_eq!(m.snapshot().clock_violations, 2);
+    }
+
+    #[test]
+    fn byte_meters_feed_registry_and_snapshot() {
+        let m = Metrics::default();
+        m.add_network(100);
+        m.add_dfs_write(40);
+        m.add_dfs_read(7);
+        let s = m.snapshot();
+        assert_eq!(s.network_bytes, 100);
+        assert_eq!(s.dfs_bytes_written, 40);
+        assert_eq!(s.dfs_bytes_read, 7);
+        assert_eq!(s.intermediate_bytes, 140);
+        assert_eq!(m.registry().counter("cluster.network_bytes").get(), 100);
+    }
+
+    #[test]
+    fn reset_keeps_registry_identity() {
+        let mut m = Metrics::default();
+        let handle = m.registry().counter("cluster.network_bytes");
+        m.add_network(10);
+        m.reset();
+        assert_eq!(handle.get(), 0, "cached handles must observe the reset");
+        m.add_network(3);
+        assert_eq!(handle.get(), 3);
+    }
+
+    #[test]
+    fn utilization_ratio() {
+        let r = StageRecord {
+            label: "s".into(),
+            tasks: 4,
+            compute_secs: 2.0,
+            cpu_secs: 4.0,
+        };
+        assert!((r.utilization(4) - 0.5).abs() < 1e-12);
+        let degenerate = StageRecord { label: "d".into(), tasks: 0, compute_secs: 0.0, cpu_secs: 0.0 };
+        assert_eq!(degenerate.utilization(4), 0.0);
     }
 }

@@ -94,6 +94,8 @@ pub fn matmul_with_pool(pool: &WorkerPool, a: &Mat, b: &Mat) -> Mat {
         b.rows(),
         n
     );
+    let _span = obs::span_lazy("kernel", || format!("matmul {m}x{k}x{n}"))
+        .with_flops(2 * m as u64 * k as u64 * n as u64);
     let mut out = Mat::zeros(m, n);
     if m == 0 || n == 0 || k == 0 {
         return out;
@@ -180,6 +182,8 @@ pub fn matmul_tn_with_pool(pool: &WorkerPool, a: &Mat, b: &Mat) -> Mat {
     let rows = a.rows();
     let (acols, bcols) = (a.cols(), b.cols());
     assert_eq!(rows, b.rows(), "matmul_tn: row counts differ ({} vs {})", rows, b.rows());
+    let _span = obs::span_lazy("kernel", || format!("matmul_tn {rows}x{acols}x{bcols}"))
+        .with_flops(2 * rows as u64 * acols as u64 * bcols as u64);
     let mut out = Mat::zeros(acols, bcols);
     if rows == 0 || acols == 0 || bcols == 0 {
         return out;
@@ -499,6 +503,8 @@ pub fn matmul_nt_with_pool(pool: &WorkerPool, a: &Mat, b: &Mat) -> Mat {
     let (m, k) = (a.rows(), a.cols());
     let n = b.rows();
     assert_eq!(k, b.cols(), "matmul_nt: column counts differ ({} vs {})", k, b.cols());
+    let _span = obs::span_lazy("kernel", || format!("matmul_nt {m}x{k}x{n}"))
+        .with_flops(2 * m as u64 * k as u64 * n as u64);
     let mut out = Mat::zeros(m, n);
     if m == 0 || n == 0 {
         return out;
@@ -596,6 +602,8 @@ pub fn matvec(a: &Mat, x: &[f64]) -> Vec<f64> {
 pub fn matvec_with_pool(pool: &WorkerPool, a: &Mat, x: &[f64]) -> Vec<f64> {
     let (m, k) = (a.rows(), a.cols());
     assert_eq!(k, x.len(), "matvec: dimension mismatch");
+    let _span = obs::span_lazy("kernel", || format!("matvec {m}x{k}"))
+        .with_flops(2 * m as u64 * k as u64);
     let chunks = chunk_count(m, 2 * k);
     if chunks == 1 {
         return (0..m).map(|i| vector::dot(a.row(i), x)).collect();
@@ -629,6 +637,8 @@ pub fn sparse_mul_dense_with_pool(pool: &WorkerPool, y: &SparseMat, b: &Mat) -> 
     let m = y.rows();
     let n = b.cols();
     assert_eq!(y.cols(), b.rows(), "mul_dense: inner dimensions differ");
+    let _span = obs::span_lazy("kernel", || format!("sparse_mul_dense {m}x{n} nnz={}", y.nnz()))
+        .with_flops(2 * y.nnz() as u64 * n as u64);
     let mut out = Mat::zeros(m, n);
     if m == 0 || n == 0 {
         return out;

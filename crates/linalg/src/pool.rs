@@ -141,8 +141,10 @@ impl WorkerPool {
             done: Condvar::new(),
         });
 
+        let queue_depth;
         {
             let mut queue = lock_unpoisoned(&self.shared.queue);
+            queue_depth = queue.len();
             for (i, task) in tasks.into_iter().enumerate() {
                 let batch = Arc::clone(&batch);
                 let erased: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
@@ -173,6 +175,17 @@ impl WorkerPool {
                 queue.push_back(erased);
             }
             self.shared.available.notify_all();
+        }
+        if obs::enabled() {
+            if let Some(c) = obs::collector() {
+                let reg = c.registry();
+                reg.counter("pool.batches").inc();
+                reg.counter("pool.tasks").add(n as u64);
+                // Depth *before* this batch enqueued: how backed up the
+                // queue already was when we arrived.
+                reg.histogram("pool.queue_depth").record(queue_depth as f64);
+                reg.gauge("pool.queue_depth_peak").set_max((queue_depth + n) as f64);
+            }
         }
 
         // Work-conserving wait: drain the queue ourselves (our own batch's

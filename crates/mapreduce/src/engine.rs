@@ -71,6 +71,13 @@ impl<'a> MapReduceEngine<'a> {
         reducers: usize,
     ) -> (JobOutput<J>, JobStats) {
         assert!(reducers > 0, "run_job: need at least one reducer");
+        if obs::enabled() {
+            self.cluster.trace_begin(
+                "job",
+                &format!("job:{name}"),
+                vec![("partitions", (partitions.len() as u64).into())],
+            );
+        }
         self.cluster.advance_time(self.job_overhead_secs);
 
         // ---- Map stage (with per-mapper combine, inside the timed task).
@@ -146,6 +153,20 @@ impl<'a> MapReduceEngine<'a> {
             reduce_tasks,
         );
 
+        if obs::enabled() {
+            let reg = self.cluster.registry();
+            reg.counter("mr.jobs").inc();
+            reg.counter("mr.shuffle_bytes").add(stats.shuffle_bytes);
+            self.cluster.trace_end(
+                "job",
+                &format!("job:{name}"),
+                vec![
+                    ("shuffle_bytes", stats.shuffle_bytes.into()),
+                    ("map_emit_bytes", stats.map_emit_bytes.into()),
+                    ("distinct_keys", (stats.distinct_keys as u64).into()),
+                ],
+            );
+        }
         (reduce_outputs.into_iter().flatten().collect(), stats)
     }
 }

@@ -1,0 +1,208 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! The output is the JSON-object flavour of the Trace Event Format:
+//! `{"traceEvents": [...], "displayTimeUnit": "ms", ...}`, loadable in
+//! `chrome://tracing` and <https://ui.perfetto.dev>. Host wall time and
+//! every virtual cluster clock appear as separate *processes*, so the two
+//! clock domains never share an axis but sit side by side in the UI.
+
+use crate::{ArgValue, Collector, Event, Phase};
+
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        // JSON has no Inf/NaN; stringify them.
+        out.push('"');
+        out.push_str(&format!("{v}"));
+        out.push('"');
+    }
+}
+
+fn push_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, k);
+        out.push_str("\":");
+        match v {
+            ArgValue::U64(n) => out.push_str(&n.to_string()),
+            ArgValue::F64(f) => push_f64(out, *f),
+            ArgValue::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+fn phase_str(p: Phase) -> &'static str {
+    match p {
+        Phase::Begin => "B",
+        Phase::End => "E",
+        Phase::Complete => "X",
+        Phase::Counter => "C",
+        Phase::Instant => "i",
+        Phase::Metadata => "M",
+    }
+}
+
+fn push_event(out: &mut String, ev: &Event) {
+    out.push_str("{\"name\":\"");
+    escape_into(out, &ev.name);
+    out.push_str("\",\"cat\":\"");
+    escape_into(out, ev.cat);
+    out.push_str("\",\"ph\":\"");
+    out.push_str(phase_str(ev.phase));
+    out.push_str(&format!("\",\"ts\":{},\"pid\":{},\"tid\":{}", ev.ts_us, ev.pid, ev.tid));
+    if ev.phase == Phase::Complete {
+        out.push_str(&format!(",\"dur\":{}", ev.dur_us));
+    }
+    if ev.phase == Phase::Instant {
+        out.push_str(",\"s\":\"t\"");
+    }
+    if !ev.args.is_empty() {
+        out.push_str(",\"args\":");
+        push_args(&mut *out, &ev.args);
+    }
+    out.push('}');
+}
+
+/// Renders events to a Chrome trace JSON string. `meta` entries land in
+/// the top-level `otherData` object.
+pub fn chrome_trace(events: &[Event], meta: &[(&str, String)]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\n\"traceEvents\":[\n");
+    // Name the host process up front; virtual processes announce
+    // themselves via metadata events at allocation.
+    let host_meta = Event {
+        name: "process_name".to_string(),
+        cat: "__metadata",
+        phase: Phase::Metadata,
+        ts_us: 0,
+        dur_us: 0,
+        pid: crate::HOST_PID,
+        tid: 0,
+        args: vec![("name", ArgValue::Str("host wall time".to_string()))],
+    };
+    push_event(&mut out, &host_meta);
+    for ev in events {
+        out.push_str(",\n");
+        push_event(&mut out, ev);
+    }
+    out.push_str("\n],\n\"displayTimeUnit\":\"ms\"");
+    if !meta.is_empty() {
+        out.push_str(",\n\"otherData\":{");
+        for (i, (k, v)) in meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, k);
+            out.push_str("\":\"");
+            escape_into(&mut out, v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Convenience: exports everything a collector holds, annotating dropped
+/// events and nesting violations in `otherData`.
+pub fn export_collector(c: &Collector) -> String {
+    let events = c.events();
+    let meta = [
+        ("dropped_events", c.dropped().to_string()),
+        ("nesting_violations", c.nesting_violations().to_string()),
+    ];
+    chrome_trace(&events, &meta.iter().map(|(k, v)| (*k, v.clone())).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                name: "stage \"weird\\name\"".to_string(),
+                cat: "stage",
+                phase: Phase::Begin,
+                ts_us: 10,
+                dur_us: 0,
+                pid: 2,
+                tid: 0,
+                args: vec![("tasks", ArgValue::U64(4))],
+            },
+            Event {
+                name: "stage \"weird\\name\"".to_string(),
+                cat: "stage",
+                phase: Phase::End,
+                ts_us: 30,
+                dur_us: 0,
+                pid: 2,
+                tid: 0,
+                args: vec![("util", ArgValue::F64(0.5)), ("label", ArgValue::Str("x\ty".into()))],
+            },
+            Event {
+                name: "em.error".to_string(),
+                cat: "counter",
+                phase: Phase::Counter,
+                ts_us: 30,
+                dur_us: 0,
+                pid: 2,
+                tid: 0,
+                args: vec![("value", ArgValue::F64(0.25))],
+            },
+        ]
+    }
+
+    #[test]
+    fn output_is_valid_json_with_expected_keys() {
+        let json = chrome_trace(&sample_events(), &[("mode", "test".to_string())]);
+        crate::json::validate(&json).expect("exporter must emit valid JSON");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"otherData\""));
+        assert!(json.contains("host wall time"));
+    }
+
+    #[test]
+    fn escapes_are_parseable() {
+        let json = chrome_trace(&sample_events(), &[]);
+        // The quote and backslash in the span name must be escaped.
+        assert!(json.contains("stage \\\"weird\\\\name\\\""));
+        crate::json::validate(&json).unwrap();
+    }
+
+    #[test]
+    fn collector_export_includes_diagnostics() {
+        let c = Collector::with_capacity(16);
+        c.counter(1, "x", 0, 1.0);
+        let json = export_collector(&c);
+        crate::json::validate(&json).unwrap();
+        assert!(json.contains("dropped_events"));
+    }
+}

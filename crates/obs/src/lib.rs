@@ -1,0 +1,713 @@
+//! Observability layer: tracing spans, a metrics registry, and exporters.
+//!
+//! Every execution layer of the reproduction — the `linalg` kernels and
+//! worker pool, `dcluster`'s simulated stages, the `mapreduce` job waves,
+//! the `sparkle` RDD stages, and the sPCA drivers in `core` — records into
+//! one process-wide [`Collector`] when a caller installs one. The paper's
+//! entire evaluation (Figures 6–8, Table 3) is a story told through
+//! measurement; this crate is what lets any run of this repository tell
+//! the same story: which EM iteration, which job, which stage, and which
+//! kernel every second and every byte went to.
+//!
+//! # Two clock domains
+//!
+//! Events carry one of two timelines, kept apart as separate *processes*
+//! in the exported trace:
+//!
+//! * **Host wall time** (pid [`HOST_PID`]) — real `Instant` durations of
+//!   kernels, pool batches, and task closures, one track per OS thread.
+//! * **Virtual cluster time** (one pid per simulated-cluster clock,
+//!   allocated with [`Collector::alloc_virtual_pid`]) — the simulated
+//!   cluster's clock, the quantity the paper's figures plot. Spans here
+//!   nest run → EM iteration → job → stage.
+//!
+//! # Zero overhead when disabled
+//!
+//! When no collector is installed, every instrumentation site reduces to
+//! one relaxed [`AtomicBool`] load ([`enabled`]) and a branch; no
+//! allocation, no locking, no time queries. This is the contract that
+//! keeps the PR-1 kernel benchmarks unchanged with tracing compiled in.
+//!
+//! # Well-formed nesting
+//!
+//! Spans are RAII guards; the collector still *verifies* LIFO discipline
+//! (every exit must match the innermost open span of its track) and counts
+//! violations instead of trusting callers — see
+//! [`Collector::nesting_violations`] and [`validate_nesting`].
+
+pub mod export;
+pub mod json;
+pub mod registry;
+pub mod report;
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+pub use registry::{Counter, Gauge, Histogram, Registry};
+
+/// The pid under which host-wall-time events are exported.
+pub const HOST_PID: u32 = 1;
+
+/// First pid handed out to virtual clocks.
+const FIRST_VIRTUAL_PID: u32 = 2;
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// Chrome `trace_event` phase of an [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span begin (`"B"`).
+    Begin,
+    /// Span end (`"E"`).
+    End,
+    /// Complete span with duration (`"X"`).
+    Complete,
+    /// Counter sample (`"C"`).
+    Counter,
+    /// Instantaneous event (`"i"`).
+    Instant,
+    /// Metadata (process/thread names, `"M"`).
+    Metadata,
+}
+
+/// An argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Span/counter name.
+    pub name: String,
+    /// Category (e.g. `"kernel"`, `"stage"`, `"job"`, `"iteration"`).
+    pub cat: &'static str,
+    /// Event phase.
+    pub phase: Phase,
+    /// Timestamp in microseconds on the event's clock domain.
+    pub ts_us: u64,
+    /// Duration in microseconds (only for [`Phase::Complete`]).
+    pub dur_us: u64,
+    /// Process id: [`HOST_PID`] or an allocated virtual pid.
+    pub pid: u32,
+    /// Track id within the process (OS-thread ordinal for host events).
+    pub tid: u64,
+    /// Key/value annotations.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+// ---------------------------------------------------------------------------
+// Collector
+// ---------------------------------------------------------------------------
+
+/// Default event-buffer capacity. Events past the cap are dropped and
+/// counted, never reallocated past it — the buffer is bounded by design.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+struct EventBuf {
+    events: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+    /// Open-span stacks for the virtual domains, pid → stack of names.
+    vstacks: HashMap<u32, Vec<String>>,
+}
+
+/// In-memory trace collector: a bounded event buffer plus a metrics
+/// [`Registry`], shared behind an `Arc` by every instrumented layer.
+pub struct Collector {
+    epoch: Instant,
+    buf: Mutex<EventBuf>,
+    registry: Registry,
+    next_pid: AtomicU32,
+    nesting_violations: AtomicU64,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
+impl Collector {
+    /// Collector with the default buffer capacity.
+    pub fn new() -> Self {
+        Collector::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Collector with an explicit event cap.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Collector {
+            epoch: Instant::now(),
+            buf: Mutex::new(EventBuf {
+                events: Vec::new(),
+                capacity: capacity.max(16),
+                dropped: 0,
+                vstacks: HashMap::new(),
+            }),
+            registry: Registry::new(),
+            next_pid: AtomicU32::new(FIRST_VIRTUAL_PID),
+            nesting_violations: AtomicU64::new(0),
+        }
+    }
+
+    fn buf(&self) -> MutexGuard<'_, EventBuf> {
+        self.buf.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The collector's metrics registry (global instruments: pool depth,
+    /// kernel FLOPs; per-cluster byte meters live in the cluster's own
+    /// registry).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Microseconds of host wall time since this collector was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Appends an event, honouring the capacity bound.
+    pub fn record(&self, ev: Event) {
+        let mut buf = self.buf();
+        if buf.events.len() >= buf.capacity {
+            buf.dropped += 1;
+            return;
+        }
+        buf.events.push(ev);
+    }
+
+    /// Number of events dropped at the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.buf().dropped
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.buf().events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of all recorded events, in recording order.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf().events.clone()
+    }
+
+    /// Exits observed that did not match the innermost open span of their
+    /// track. Zero for every well-behaved program.
+    pub fn nesting_violations(&self) -> u64 {
+        self.nesting_violations.load(Ordering::Relaxed)
+    }
+
+    /// Allocates a pid for a virtual clock domain and names its process in
+    /// the exported trace.
+    pub fn alloc_virtual_pid(&self, label: &str) -> u32 {
+        let pid = self.next_pid.fetch_add(1, Ordering::Relaxed);
+        self.set_process_label(pid, label);
+        pid
+    }
+
+    /// (Re)names an exported process — e.g. `"sPCA-Spark (virtual)"`.
+    pub fn set_process_label(&self, pid: u32, label: &str) {
+        self.record(Event {
+            name: "process_name".to_string(),
+            cat: "__metadata",
+            phase: Phase::Metadata,
+            ts_us: 0,
+            dur_us: 0,
+            pid,
+            tid: 0,
+            args: vec![("name", ArgValue::Str(label.to_string()))],
+        });
+    }
+
+    /// Opens a span on a virtual timeline at the caller-supplied virtual
+    /// timestamp. Virtual domains are driver-sequential, so each pid has a
+    /// single track (tid 0) and one open-span stack.
+    pub fn begin_virtual(
+        &self,
+        pid: u32,
+        cat: &'static str,
+        name: &str,
+        ts_us: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        {
+            let mut buf = self.buf();
+            buf.vstacks.entry(pid).or_default().push(name.to_string());
+        }
+        self.record(Event {
+            name: name.to_string(),
+            cat,
+            phase: Phase::Begin,
+            ts_us,
+            dur_us: 0,
+            pid,
+            tid: 0,
+            args,
+        });
+    }
+
+    /// Closes the innermost open virtual span of `pid`. A name mismatch is
+    /// counted as a nesting violation (the event is still recorded so the
+    /// trace remains inspectable).
+    pub fn end_virtual(
+        &self,
+        pid: u32,
+        cat: &'static str,
+        name: &str,
+        ts_us: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        let matched = {
+            let mut buf = self.buf();
+            match buf.vstacks.entry(pid).or_default().pop() {
+                Some(top) => top == name,
+                None => false,
+            }
+        };
+        if !matched {
+            self.nesting_violations.fetch_add(1, Ordering::Relaxed);
+        }
+        self.record(Event {
+            name: name.to_string(),
+            cat,
+            phase: Phase::End,
+            ts_us,
+            dur_us: 0,
+            pid,
+            tid: 0,
+            args,
+        });
+    }
+
+    /// Records a counter sample (`ph:"C"`).
+    pub fn counter(&self, pid: u32, name: &str, ts_us: u64, value: f64) {
+        self.record(Event {
+            name: name.to_string(),
+            cat: "counter",
+            phase: Phase::Counter,
+            ts_us,
+            dur_us: 0,
+            pid,
+            tid: 0,
+            args: vec![("value", ArgValue::F64(value))],
+        });
+    }
+
+    /// Records an instantaneous event.
+    pub fn instant(
+        &self,
+        pid: u32,
+        cat: &'static str,
+        name: &str,
+        ts_us: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.record(Event {
+            name: name.to_string(),
+            cat,
+            phase: Phase::Instant,
+            ts_us,
+            dur_us: 0,
+            pid,
+            tid: 0,
+            args,
+        });
+    }
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("events", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global install plumbing
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn global_slot() -> &'static Mutex<Option<Arc<Collector>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<Collector>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// True when a collector is installed. **The** fast path: every
+/// instrumentation site checks this single relaxed atomic first, so a
+/// disabled build pays one load and a predictable branch.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `collector` as the process-wide collector and enables
+/// instrumentation. Replaces any previous collector.
+pub fn install(collector: Arc<Collector>) {
+    let slot = global_slot();
+    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(collector);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Creates, installs, and returns a fresh collector.
+pub fn install_new() -> Arc<Collector> {
+    let c = Arc::new(Collector::new());
+    install(Arc::clone(&c));
+    c
+}
+
+/// Disables instrumentation and returns the collector that was installed.
+pub fn uninstall() -> Option<Arc<Collector>> {
+    ENABLED.store(false, Ordering::SeqCst);
+    global_slot().lock().unwrap_or_else(|e| e.into_inner()).take()
+}
+
+/// The installed collector, if any. Returns `None` without touching the
+/// mutex when instrumentation is disabled.
+pub fn collector() -> Option<Arc<Collector>> {
+    if !enabled() {
+        return None;
+    }
+    global_slot().lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+// ---------------------------------------------------------------------------
+// Host-domain spans
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static THREAD_TRACK: Cell<u64> = const { Cell::new(u64::MAX) };
+    static HOST_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// Pointer of the collector this thread last announced its name to.
+    static ANNOUNCED_TO: Cell<usize> = const { Cell::new(0) };
+}
+
+fn host_tid(c: &Arc<Collector>) -> u64 {
+    static NEXT_TRACK: AtomicU64 = AtomicU64::new(1);
+    let tid = THREAD_TRACK.with(|t| {
+        if t.get() == u64::MAX {
+            t.set(NEXT_TRACK.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    });
+    let ptr = Arc::as_ptr(c) as usize;
+    ANNOUNCED_TO.with(|a| {
+        if a.get() != ptr {
+            a.set(ptr);
+            let name = std::thread::current()
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("thread-{tid}"));
+            c.record(Event {
+                name: "thread_name".to_string(),
+                cat: "__metadata",
+                phase: Phase::Metadata,
+                ts_us: 0,
+                dur_us: 0,
+                pid: HOST_PID,
+                tid,
+                args: vec![("name", ArgValue::Str(name))],
+            });
+        }
+    });
+    tid
+}
+
+/// RAII guard for a host-wall-time span. A disabled collector yields an
+/// inert guard (no allocation happened to create it).
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    collector: Arc<Collector>,
+    name: String,
+    cat: &'static str,
+    tid: u64,
+    begin_us: u64,
+    /// FLOPs attributed to this span; converted to a FLOP/s gauge and
+    /// histogram sample at close.
+    flops: Option<u64>,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl SpanGuard {
+    /// An inert guard.
+    pub fn none() -> Self {
+        SpanGuard { inner: None }
+    }
+
+    /// True when the guard records on drop.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attributes `flops` floating-point operations to this span: at close
+    /// the collector's registry gets a `kernel.flops` counter increment, a
+    /// `kernel.gflops_per_sec` histogram sample, and the latest rate in the
+    /// `kernel.flops_per_sec` gauge.
+    pub fn with_flops(mut self, flops: u64) -> Self {
+        if let Some(inner) = &mut self.inner {
+            inner.flops = Some(flops);
+        }
+        self
+    }
+
+    /// Appends an annotation to the span's closing event.
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if let Some(inner) = &mut self.inner {
+            inner.args.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else { return };
+        let end_us = inner.collector.now_us();
+        // LIFO verification: the innermost open span of this thread must be
+        // this one.
+        let matched = HOST_STACK.with(|s| s.borrow_mut().pop().map(|top| top == inner.name));
+        if matched != Some(true) {
+            inner.collector.nesting_violations.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(flops) = inner.flops {
+            let secs = (end_us.saturating_sub(inner.begin_us)) as f64 / 1e6;
+            let reg = inner.collector.registry();
+            reg.counter("kernel.flops").add(flops);
+            if secs > 0.0 {
+                let rate = flops as f64 / secs;
+                reg.gauge("kernel.flops_per_sec").set(rate);
+                reg.histogram("kernel.gflops_per_sec").record(rate / 1e9);
+            }
+        }
+        inner.collector.record(Event {
+            name: inner.name,
+            cat: inner.cat,
+            phase: Phase::End,
+            ts_us: end_us,
+            dur_us: 0,
+            pid: HOST_PID,
+            tid: inner.tid,
+            args: inner.args,
+        });
+    }
+}
+
+/// Opens a host-wall-time span on the current thread. Inert when no
+/// collector is installed.
+pub fn span(cat: &'static str, name: impl Into<String>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::none();
+    }
+    span_owned(cat, name.into())
+}
+
+/// Like [`span`], but the name is built only when instrumentation is
+/// enabled — use this when the label requires formatting.
+pub fn span_lazy(cat: &'static str, name: impl FnOnce() -> String) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::none();
+    }
+    span_owned(cat, name())
+}
+
+fn span_owned(cat: &'static str, name: String) -> SpanGuard {
+    let Some(c) = collector() else { return SpanGuard::none() };
+    let tid = host_tid(&c);
+    let begin_us = c.now_us();
+    HOST_STACK.with(|s| s.borrow_mut().push(name.clone()));
+    c.record(Event {
+        name: name.clone(),
+        cat,
+        phase: Phase::Begin,
+        ts_us: begin_us,
+        dur_us: 0,
+        pid: HOST_PID,
+        tid,
+        args: Vec::new(),
+    });
+    SpanGuard {
+        inner: Some(SpanInner { collector: c, name, cat, tid, begin_us, flops: None, args: Vec::new() }),
+    }
+}
+
+/// Records a counter sample on the host timeline (single-machine
+/// convergence telemetry, e.g. the PPCA reference loop).
+pub fn host_counter(name: &str, value: f64) {
+    if let Some(c) = collector() {
+        let ts = c.now_us();
+        c.counter(HOST_PID, name, ts, value);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Nesting validation over recorded events
+// ---------------------------------------------------------------------------
+
+/// Replays `events` and verifies span well-formedness per track: every
+/// `End` must name the innermost open `Begin` of its `(pid, tid)`, and no
+/// span may remain open. Returns the list of violations (empty = OK).
+pub fn validate_nesting(events: &[Event]) -> Vec<String> {
+    let mut stacks: HashMap<(u32, u64), Vec<&str>> = HashMap::new();
+    let mut violations = Vec::new();
+    for ev in events {
+        let key = (ev.pid, ev.tid);
+        match ev.phase {
+            Phase::Begin => stacks.entry(key).or_default().push(&ev.name),
+            Phase::End => match stacks.entry(key).or_default().pop() {
+                Some(top) if top == ev.name => {}
+                Some(top) => violations.push(format!(
+                    "pid {} tid {}: exit {:?} does not match innermost open span {:?}",
+                    ev.pid, ev.tid, ev.name, top
+                )),
+                None => violations
+                    .push(format!("pid {} tid {}: exit {:?} with no open span", ev.pid, ev.tid, ev.name)),
+            },
+            _ => {}
+        }
+    }
+    for ((pid, tid), stack) in stacks {
+        for name in stack {
+            violations.push(format!("pid {pid} tid {tid}: span {name:?} never closed"));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that install the global collector.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_by_default_and_spans_are_inert() {
+        let _g = serial();
+        uninstall();
+        assert!(!enabled());
+        let s = span("test", "noop");
+        assert!(!s.is_active());
+    }
+
+    #[test]
+    fn install_records_host_spans_in_order() {
+        let _g = serial();
+        let c = install_new();
+        {
+            let _outer = span("test", "outer");
+            let _inner = span("test", "inner");
+        }
+        uninstall();
+        let events = c.events();
+        let names: Vec<(&str, Phase)> = events
+            .iter()
+            .filter(|e| e.cat == "test")
+            .map(|e| (e.name.as_str(), e.phase))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("outer", Phase::Begin),
+                ("inner", Phase::Begin),
+                ("inner", Phase::End),
+                ("outer", Phase::End)
+            ]
+        );
+        assert_eq!(c.nesting_violations(), 0);
+        assert!(validate_nesting(&events).is_empty());
+    }
+
+    #[test]
+    fn virtual_spans_track_their_own_stack() {
+        let c = Collector::new();
+        let pid = c.alloc_virtual_pid("virt");
+        c.begin_virtual(pid, "t", "run", 0, vec![]);
+        c.begin_virtual(pid, "t", "iter", 10, vec![]);
+        c.end_virtual(pid, "t", "iter", 20, vec![]);
+        c.end_virtual(pid, "t", "run", 30, vec![]);
+        assert_eq!(c.nesting_violations(), 0);
+        assert!(validate_nesting(&c.events()).is_empty());
+    }
+
+    #[test]
+    fn mismatched_virtual_exit_is_counted() {
+        let c = Collector::new();
+        let pid = c.alloc_virtual_pid("virt");
+        c.begin_virtual(pid, "t", "a", 0, vec![]);
+        c.end_virtual(pid, "t", "b", 5, vec![]);
+        assert_eq!(c.nesting_violations(), 1);
+        assert!(!validate_nesting(&c.events()).is_empty());
+    }
+
+    #[test]
+    fn buffer_is_bounded() {
+        let c = Collector::with_capacity(16);
+        for i in 0..100 {
+            c.counter(HOST_PID, "x", i, i as f64);
+        }
+        assert_eq!(c.len(), 16);
+        assert_eq!(c.dropped(), 84);
+    }
+
+    #[test]
+    fn flops_feed_the_registry() {
+        let _g = serial();
+        let c = install_new();
+        {
+            let _s = span("kernel", "matmul").with_flops(1_000_000);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        uninstall();
+        assert_eq!(c.registry().counter("kernel.flops").get(), 1_000_000);
+        assert!(c.registry().gauge("kernel.flops_per_sec").get() > 0.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Named metric instruments: counters, gauges, and log₂ histograms.
+//!
+//! A [`Registry`] is a lazily-populated map from names to shared
+//! instruments. Instruments are lock-free atomics; the registry mutex is
+//! only taken to *look up or create* an instrument, so hot paths that cache
+//! the returned `Arc` pay a single atomic op per update.
+//!
+//! Two registries exist in practice: each simulated cluster owns one (byte
+//! meters, stage utilization — this is what backs
+//! `dcluster::MetricsSnapshot`), and the installed [`crate::Collector`]
+//! owns one for cluster-less instruments (worker-pool queue depth, kernel
+//! FLOP/s).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (metrics-reset support).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-value gauge storing an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Sets the value if it exceeds the current one (peak tracking).
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            if v <= f64::from_bits(cur) {
+                return;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of power-of-two buckets (covers values up to 2⁶³).
+const BUCKETS: usize = 64;
+
+/// Histogram over non-negative values with log₂ buckets: bucket `i` holds
+/// samples in `[2^(i-1), 2^i)` (bucket 0 holds `< 1`).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Sum of samples, as accumulated f64 bits behind a CAS loop.
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(v: f64) -> usize {
+        if !(v >= 1.0) {
+            return 0;
+        }
+        let b = (v.min(u64::MAX as f64) as u64).ilog2() as usize + 1;
+        b.min(BUCKETS - 1)
+    }
+
+    /// Records one sample (negative/NaN samples land in bucket 0).
+    pub fn record(&self, v: f64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let v = if v.is_finite() { v } else { 0.0 };
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.sum_bits.load(Ordering::Relaxed)) / n as f64
+        }
+    }
+
+    /// Upper bound of the smallest bucket prefix holding at least
+    /// `q·count` samples — a coarse quantile estimate.
+    pub fn quantile_upper_bound(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * n as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return if i == 0 { 1.0 } else { (1u128 << i) as f64 };
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+/// Read-only copy of a registry's instruments.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// Counter name → value.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → (count, mean, p50 bound, p99 bound).
+    pub histograms: Vec<(String, u64, f64, f64, f64)>,
+}
+
+/// Lazily-populated map of named instruments.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or creates the named counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = lock(&self.counters);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Gets or creates the named gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = lock(&self.gauges);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Gets or creates the named histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = lock(&self.histograms);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Copies every instrument's current value.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: lock(&self.counters).iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: lock(&self.gauges).iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        v.count(),
+                        v.mean(),
+                        v.quantile_upper_bound(0.5),
+                        v.quantile_upper_bound(0.99),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders every instrument as aligned text lines.
+    pub fn render(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("  counter   {name:<32} {v}\n"));
+        }
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("  gauge     {name:<32} {v:.4}\n"));
+        }
+        for (name, count, mean, p50, p99) in &snap.histograms {
+            out.push_str(&format!(
+                "  histogram {name:<32} count={count} mean={mean:.3} p50<{p50:.0} p99<{p99:.0}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        let r = Registry::new();
+        let c = r.counter("bytes");
+        c.add(10);
+        c.inc();
+        assert_eq!(r.counter("bytes").get(), 11, "same name, same instrument");
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_last_and_max() {
+        let r = Registry::new();
+        let g = r.gauge("depth");
+        g.set(3.5);
+        assert_eq!(g.get(), 3.5);
+        g.set_max(2.0);
+        assert_eq!(g.get(), 3.5, "set_max must not lower");
+        g.set_max(7.0);
+        assert_eq!(g.get(), 7.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = Histogram::default();
+        for v in [0.5, 1.0, 2.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 25.875).abs() < 1e-12);
+        assert!(h.quantile_upper_bound(0.5) <= 2.0);
+        assert!(h.quantile_upper_bound(1.0) >= 100.0);
+    }
+
+    #[test]
+    fn snapshot_lists_everything_sorted() {
+        let r = Registry::new();
+        r.counter("b").inc();
+        r.counter("a").inc();
+        r.gauge("g").set(1.0);
+        r.histogram("h").record(4.0);
+        let s = r.snapshot();
+        assert_eq!(s.counters.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(s.gauges.len(), 1);
+        assert_eq!(s.histograms.len(), 1);
+        assert!(!r.render().is_empty());
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let r = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let c = r.counter("n");
+                    let h = r.histogram("h");
+                    for i in 0..1000 {
+                        c.inc();
+                        h.record(i as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.counter("n").get(), 4000);
+        assert_eq!(r.histogram("h").count(), 4000);
+    }
+}

@@ -1,0 +1,239 @@
+//! Plain-text hierarchical trace report.
+//!
+//! Rebuilds the span tree from recorded events — per process, per track —
+//! and prints it with durations and annotations, followed by each counter
+//! series' final value and the metrics registry. This is what the bench
+//! binaries and `trace_report` print on stdout; the Chrome JSON export is
+//! the machine-readable twin.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::registry::Registry;
+use crate::{ArgValue, Collector, Event, Phase, HOST_PID};
+
+#[derive(Debug, Clone)]
+struct Interval {
+    name: String,
+    start_us: u64,
+    end_us: u64,
+    args: Vec<(&'static str, ArgValue)>,
+    children: Vec<Interval>,
+}
+
+fn fmt_dur(us: u64) -> String {
+    let secs = us as f64 / 1e6;
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+fn fmt_args(args: &[(&'static str, ArgValue)]) -> String {
+    if args.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("  {");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match v {
+            ArgValue::U64(n) => out.push_str(&format!("{k}={n}")),
+            ArgValue::F64(f) => out.push_str(&format!("{k}={f:.4}")),
+            ArgValue::Str(s) => out.push_str(&format!("{k}={s}")),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Turns one track's events into top-level intervals with nested children.
+fn build_track(events: &[&Event]) -> Vec<Interval> {
+    // Pair B/E in recording order (per-track events are chronological);
+    // X events are already complete.
+    let mut flat: Vec<Interval> = Vec::new();
+    let mut stack: Vec<Interval> = Vec::new();
+    for ev in events {
+        match ev.phase {
+            Phase::Begin => stack.push(Interval {
+                name: ev.name.clone(),
+                start_us: ev.ts_us,
+                end_us: ev.ts_us,
+                args: ev.args.clone(),
+                children: Vec::new(),
+            }),
+            Phase::End => {
+                if let Some(mut iv) = stack.pop() {
+                    iv.end_us = ev.ts_us.max(iv.start_us);
+                    // End-event args supplement the begin-event args.
+                    iv.args.extend(ev.args.iter().cloned());
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(iv),
+                        None => flat.push(iv),
+                    }
+                }
+            }
+            Phase::Complete => {
+                let iv = Interval {
+                    name: ev.name.clone(),
+                    start_us: ev.ts_us,
+                    end_us: ev.ts_us + ev.dur_us,
+                    args: ev.args.clone(),
+                    children: Vec::new(),
+                };
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(iv),
+                    None => flat.push(iv),
+                }
+            }
+            _ => {}
+        }
+    }
+    // Never-closed spans still show up, truncated at their own start.
+    while let Some(iv) = stack.pop() {
+        match stack.last_mut() {
+            Some(parent) => parent.children.push(iv),
+            None => flat.push(iv),
+        }
+    }
+    flat
+}
+
+fn render_interval(out: &mut String, iv: &Interval, depth: usize) {
+    let indent = "  ".repeat(depth + 1);
+    out.push_str(&format!(
+        "{indent}[{:>10}] {}{}\n",
+        fmt_dur(iv.end_us.saturating_sub(iv.start_us)),
+        iv.name,
+        fmt_args(&iv.args),
+    ));
+    for child in &iv.children {
+        render_interval(out, child, depth + 1);
+    }
+}
+
+/// Renders the span tree, counter series, and registry as text.
+pub fn text_report(events: &[Event], registries: &[(&str, &Registry)]) -> String {
+    // Process and thread labels from metadata events.
+    let mut process_names: HashMap<u32, String> = HashMap::new();
+    let mut thread_names: HashMap<(u32, u64), String> = HashMap::new();
+    for ev in events {
+        if ev.phase == Phase::Metadata {
+            if let Some((_, ArgValue::Str(label))) = ev.args.first() {
+                match ev.name.as_str() {
+                    "process_name" => {
+                        process_names.insert(ev.pid, label.clone());
+                    }
+                    "thread_name" => {
+                        thread_names.insert((ev.pid, ev.tid), label.clone());
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Group span events by (pid, tid), preserving order.
+    let mut tracks: BTreeMap<(u32, u64), Vec<&Event>> = BTreeMap::new();
+    let mut counters: BTreeMap<(u32, String), (u64, f64)> = BTreeMap::new();
+    for ev in events {
+        match ev.phase {
+            Phase::Begin | Phase::End | Phase::Complete => {
+                tracks.entry((ev.pid, ev.tid)).or_default().push(ev);
+            }
+            Phase::Counter => {
+                if let Some((_, ArgValue::F64(v))) = ev.args.first() {
+                    let slot = counters.entry((ev.pid, ev.name.clone())).or_insert((0, 0.0));
+                    slot.0 += 1;
+                    slot.1 = *v;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    let mut last_pid = u32::MAX;
+    for ((pid, tid), evs) in &tracks {
+        if *pid != last_pid {
+            let label = process_names.get(pid).cloned().unwrap_or_else(|| {
+                if *pid == HOST_PID {
+                    "host wall time".to_string()
+                } else {
+                    format!("process {pid}")
+                }
+            });
+            let domain = if *pid == HOST_PID { "host clock" } else { "virtual clock" };
+            out.push_str(&format!("== {label} (pid {pid}, {domain}) ==\n"));
+            last_pid = *pid;
+        }
+        if let Some(name) = thread_names.get(&(*pid, *tid)) {
+            out.push_str(&format!("  -- track {tid}: {name}\n"));
+        }
+        for iv in build_track(evs) {
+            render_interval(&mut out, &iv, if *pid == HOST_PID { 1 } else { 0 });
+        }
+    }
+
+    if !counters.is_empty() {
+        out.push_str("== counter series (final values) ==\n");
+        for ((pid, name), (samples, last)) in &counters {
+            out.push_str(&format!("  pid {pid} {name:<28} {last:.6}  ({samples} samples)\n"));
+        }
+    }
+
+    for (label, reg) in registries {
+        let rendered = reg.render();
+        if !rendered.is_empty() {
+            out.push_str(&format!("== metrics: {label} ==\n"));
+            out.push_str(&rendered);
+        }
+    }
+    out
+}
+
+/// Report over everything a collector holds plus its own registry.
+pub fn collector_report(c: &Collector) -> String {
+    text_report(&c.events(), &[("collector", c.registry())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_nests_and_labels() {
+        let c = Collector::new();
+        let pid = c.alloc_virtual_pid("sPCA-Spark");
+        c.begin_virtual(pid, "run", "run_em", 0, vec![]);
+        c.begin_virtual(pid, "iteration", "iteration 1", 100, vec![]);
+        c.begin_virtual(pid, "stage", "YtXJob", 150, vec![("tasks", ArgValue::U64(4))]);
+        c.end_virtual(pid, "stage", "YtXJob", 1_150, vec![("util", ArgValue::F64(0.5))]);
+        c.end_virtual(pid, "iteration", "iteration 1", 2_000_000, vec![]);
+        c.end_virtual(pid, "run", "run_em", 3_000_000, vec![]);
+        c.counter(pid, "em.error", 2_000_000, 0.125);
+
+        let report = collector_report(&c);
+        assert!(report.contains("sPCA-Spark"), "{report}");
+        let run_at = report.find("run_em").unwrap();
+        let iter_at = report.find("iteration 1").unwrap();
+        let stage_at = report.find("YtXJob").unwrap();
+        assert!(run_at < iter_at && iter_at < stage_at, "tree order: {report}");
+        assert!(report.contains("tasks=4"));
+        assert!(report.contains("util=0.5"));
+        assert!(report.contains("em.error"));
+        assert!(report.contains("[   1.000ms] YtXJob"), "{report}");
+    }
+
+    #[test]
+    fn unclosed_span_is_still_reported() {
+        let c = Collector::new();
+        let pid = c.alloc_virtual_pid("p");
+        c.begin_virtual(pid, "run", "dangling", 0, vec![]);
+        let report = collector_report(&c);
+        assert!(report.contains("dangling"));
+    }
+}

@@ -24,6 +24,9 @@ impl<T: ByteSized> Broadcast<T> {
     pub fn new(cluster: &SimCluster, value: T) -> Self {
         let bytes = value.size_bytes();
         cluster.charge_broadcast(bytes);
+        if obs::enabled() {
+            cluster.registry().counter("sparkle.broadcast_bytes").add(bytes);
+        }
         Broadcast { value: Arc::new(value), bytes }
     }
 

@@ -60,6 +60,9 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
     fn charge_spill(&self) {
         if self.spill_bytes > 0 {
             self.cluster.charge_dfs_read(self.spill_bytes);
+            if obs::enabled() {
+                self.cluster.registry().counter("sparkle.spill_bytes").add(self.spill_bytes);
+            }
         }
     }
 
@@ -150,6 +153,9 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
 
         let bytes: u64 = partials.iter().map(ByteSized::size_bytes).sum();
         self.cluster.charge_network(bytes);
+        if obs::enabled() {
+            self.cluster.registry().counter("sparkle.accumulator_bytes").add(bytes);
+        }
 
         let mut it = partials.into_iter();
         let mut merged = it.next().unwrap_or_else(init);

@@ -1,11 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 gate: offline build, full test suite, and a smoke run of the
-# kernel benchmark (which asserts kernel-vs-naive agreement internally).
+# Tier-1 gate: offline build, full test suite, a smoke run of the kernel
+# benchmark (which asserts kernel-vs-naive agreement internally), and the
+# observability smoke: collect a Chrome trace from the smoke bench and from
+# a traced two-engine sPCA run, then validate both with the std-only
+# trace_check (strict JSON + traceEvents key).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+TRACE_DIR="${TRACE_DIR:-/tmp/spca-traces}"
+mkdir -p "$TRACE_DIR"
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo test -q --release --offline --workspace
-cargo run --release --offline -p spca-bench --bin bench_kernels -- --smoke --out /tmp/BENCH_kernels_smoke.json
-echo "ci: all gates passed"
+cargo run --release --offline -p spca-bench --bin bench_kernels -- \
+    --smoke --out /tmp/BENCH_kernels_smoke.json --trace "$TRACE_DIR/bench_kernels.json"
+cargo run --release --offline -p spca-bench --bin trace_report -- \
+    --trace "$TRACE_DIR/trace_report.json" > "$TRACE_DIR/trace_report.txt"
+cargo run --release --offline -p spca-bench --bin trace_check -- \
+    "$TRACE_DIR/bench_kernels.json" "$TRACE_DIR/trace_report.json"
+echo "ci: all gates passed (traces in $TRACE_DIR)"
