@@ -1,0 +1,202 @@
+//! EM hot-path benchmark: row-at-a-time vs batched per-partition YtX fold.
+//!
+//! Times one sPCA EM iteration's dominant job (the consolidated
+//! `YtX`/`XtX`/`Σx` pass) at the paper's sparse shapes, comparing the
+//! row-at-a-time ablation arm (`RowwisePartial::add_row` per sparse row,
+//! HashMap accumulator) against the batched kernels
+//! (`YtxPartial::add_block`: blocked sparse GEMM + SYRK + packed-slab
+//! scatter). Both arms fan partitions out on the same worker pool and
+//! reduce with the same deterministic tree merge, so the measured delta is
+//! the per-partition kernel work only.
+//!
+//! No external harness — each arm is timed with `Instant`, best of several
+//! repetitions, results written as hand-rolled JSON (validated with the
+//! in-tree RFC 8259 recognizer before the write).
+//!
+//! Usage:
+//!   bench_em                  # full shape (100k x 10k, 1e-3), writes BENCH_em.json
+//!   bench_em --smoke          # small shape, quick CI sanity run
+//!   bench_em --out FILE.json  # override the output path
+//!   bench_em --trace T.json   # also write a Chrome trace_event file
+
+use std::time::Instant;
+
+use linalg::{Mat, Prng, SparseMat, WorkerPool};
+use sparkle::tree_merge;
+use spca_core::mean_prop::{rowwise::RowwisePartial, YtxPartial};
+
+/// Times one call of `f`.
+fn timed<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let v = f();
+    (start.elapsed().as_secs_f64(), v)
+}
+
+fn random_sparse(rng: &mut Prng, rows: usize, cols: usize, density: f64) -> SparseMat {
+    let target = ((rows * cols) as f64 * density) as usize;
+    let mut triplets = Vec::with_capacity(target);
+    for _ in 0..target {
+        triplets.push((rng.index(rows), rng.index(cols) as u32, rng.normal()));
+    }
+    SparseMat::from_triplets(rows, cols, &triplets)
+}
+
+/// Row-at-a-time arm: every partition folds its rows one by one into a
+/// HashMap-keyed partial (the pre-batching implementation, kept as the
+/// ablation reference).
+fn run_rowwise(
+    pool: &WorkerPool,
+    blocks: &[SparseMat],
+    cm: &Mat,
+    xm: &[f64],
+) -> RowwisePartial {
+    let d = cm.cols();
+    let partials = pool.run(
+        blocks
+            .iter()
+            .map(|b| {
+                move || {
+                    let mut p = RowwisePartial::new(d);
+                    for r in 0..b.rows() {
+                        p.add_row(b.row(r), cm, xm);
+                    }
+                    p
+                }
+            })
+            .collect(),
+    );
+    tree_merge(partials, || RowwisePartial::new(d), |a, b| a.merge(b))
+}
+
+/// Batched arm: every partition goes through the blocked kernels in one
+/// `add_block` call (sparse GEMM into reused scratch, SYRK, packed-slab
+/// SpMM scatter). Nested kernel batches ride the same pool.
+fn run_batched(pool: &WorkerPool, blocks: &[SparseMat], cm: &Mat, xm: &[f64]) -> YtxPartial {
+    let d = cm.cols();
+    let partials = pool.run(
+        blocks
+            .iter()
+            .map(|b| {
+                move || {
+                    let mut p = YtxPartial::new(d);
+                    p.add_block_with_pool(pool, b, cm, xm);
+                    p
+                }
+            })
+            .collect(),
+    );
+    tree_merge(partials, || YtxPartial::new(d), |a, b| a.merge(b))
+}
+
+fn main() {
+    let _trace = spca_bench::cli::trace_args(
+        "bench_em",
+        "EM hot-path benchmark: row-at-a-time vs batched per-partition YtX fold",
+        &[
+            ("--smoke", "Small shape (quick CI sanity run)"),
+            ("--out FILE", "Results JSON path (default BENCH_em.json)"),
+            ("--partitions N", "Partition count override"),
+        ],
+    );
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_em.json".to_string());
+
+    // The paper's regime: tall sparse Y (N ≫ D ≫ d), ~0.1% dense.
+    let (n, d_in, density, d, default_parts, reps) = if smoke {
+        (2_000, 500, 5e-3, 8, 8, 2)
+    } else {
+        (100_000, 10_000, 1e-3, 32, 32, 5)
+    };
+    let partitions: usize = args
+        .iter()
+        .position(|a| a == "--partitions")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--partitions takes a positive integer"))
+        .unwrap_or(default_parts);
+
+    let mut rng = Prng::seed_from_u64(2015);
+    let y = random_sparse(&mut rng, n, d_in, density);
+    let cm = rng.normal_mat(d_in, d);
+    let xm = rng.normal_vec(d);
+    let mean = y.col_means();
+    let blocks = y.split_rows(partitions);
+    let pool = WorkerPool::global();
+
+    println!(
+        "Y: {n}x{d_in} ({} nnz, {:.2e} dense), d={d}, {partitions} partitions, {} pool workers",
+        y.nnz(),
+        y.nnz() as f64 / (n as f64 * d_in as f64),
+        pool.workers()
+    );
+
+    // Interleave the arms rep by rep (both sample the same machine-noise
+    // environment) and keep the best of each — the usual noise filter for
+    // single-machine microbenchmarks.
+    let (mut rowwise_secs, mut batched_secs) = (f64::INFINITY, f64::INFINITY);
+    let (mut rowwise, mut batched) = (None, None);
+    for _ in 0..reps {
+        let (t, r) = timed(|| run_rowwise(pool, &blocks, &cm, &xm));
+        if t < rowwise_secs {
+            rowwise_secs = t;
+        }
+        rowwise = Some(r);
+        let (t, b) = timed(|| run_batched(pool, &blocks, &cm, &xm));
+        if t < batched_secs {
+            batched_secs = t;
+        }
+        batched = Some(b);
+    }
+    let (rowwise, batched) = (rowwise.expect("reps >= 1"), batched.expect("reps >= 1"));
+    let speedup = rowwise_secs / batched_secs.max(1e-12);
+
+    // Correctness: the batched fold must match the row-at-a-time reference.
+    let rw_ytx = rowwise.finalize_ytx(&mean);
+    let bt_ytx = batched.finalize_ytx(&mean);
+    let scale = rw_ytx
+        .data()
+        .iter()
+        .chain(rowwise.xtx.data())
+        .fold(0.0f64, |m, v| m.max(v.abs()))
+        .max(1.0);
+    let max_rel_diff =
+        bt_ytx.max_abs_diff(&rw_ytx).max(batched.xtx.max_abs_diff(&rowwise.xtx)) / scale;
+    assert!(
+        max_rel_diff <= 1e-10,
+        "batched fold diverged from the row-at-a-time reference ({max_rel_diff:.3e})"
+    );
+
+    // Determinism: the batched result must be bitwise identical on any
+    // pool size (chunking is a function of the problem shape only).
+    let bitwise_deterministic = [1usize, 2].iter().all(|&w| {
+        let small = WorkerPool::new(w);
+        let p = run_batched(&small, &blocks, &cm, &xm);
+        p.finalize_ytx(&mean).max_abs_diff(&bt_ytx) == 0.0
+            && p.xtx.max_abs_diff(&batched.xtx) == 0.0
+    });
+    assert!(bitwise_deterministic, "batched fold is not worker-count deterministic");
+
+    println!(
+        "rowwise {rowwise_secs:>9.4}s  batched {batched_secs:>9.4}s  speedup {speedup:.2}x  \
+         maxreldiff {max_rel_diff:.2e}  deterministic {bitwise_deterministic}"
+    );
+
+    let json = format!(
+        "{{\n  \"mode\": \"{}\",\n  \"pool_workers\": {},\n  \"shape\": {{\"rows\": {n}, \"cols\": {d_in}, \"density\": {density}, \"nnz\": {}, \"d\": {d}, \"partitions\": {partitions}}},\n  \"reps\": {reps},\n  \"rowwise_secs\": {rowwise_secs:.6e},\n  \"batched_secs\": {batched_secs:.6e},\n  \"speedup\": {speedup:.3},\n  \"max_rel_diff\": {max_rel_diff:.3e},\n  \"bitwise_deterministic\": {bitwise_deterministic}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        pool.workers(),
+        y.nnz(),
+    );
+    obs::json::validate(&json).expect("benchmark JSON must be valid");
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("wrote {out_path}");
+
+    if !smoke {
+        // The acceptance bar for the batched path at the paper's shape.
+        assert!(speedup >= 2.0, "batched path below the 2x bar ({speedup:.2}x)");
+    }
+}

@@ -1,26 +1,35 @@
 //! Validates Chrome-trace JSON files emitted by the bench binaries.
 //!
 //! Std-only (the workspace ships no JSON crate): each file must parse as
-//! strict RFC 8259 JSON and contain a `traceEvents` key. CI runs this over
-//! every `--trace` artifact before uploading it.
+//! strict RFC 8259 JSON and contain a `traceEvents` key. Files listed
+//! after `--plain` are validated as strict JSON only (benchmark result
+//! files like `BENCH_em.json`, which are not Chrome traces). CI runs this
+//! over every `--trace` and benchmark artifact before uploading it.
 //!
-//! Usage: trace_check FILE [FILE...]   # exit 0 iff every file is valid
+//! Usage: trace_check FILE [FILE...] [--plain FILE...]   # exit 0 iff every file is valid
 
 fn main() {
-    let files: Vec<String> = std::env::args().skip(1).collect();
-    if files.is_empty() || files.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("Usage: trace_check FILE [FILE...]");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("Usage: trace_check FILE [FILE...] [--plain FILE...]");
         eprintln!("Validates Chrome trace_event JSON files (strict RFC 8259 + traceEvents key).");
-        std::process::exit(if files.is_empty() { 2 } else { 0 });
+        eprintln!("Files after --plain are checked as strict JSON only (benchmark outputs).");
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     let mut failures = 0;
-    for path in &files {
+    let mut plain = false;
+    for path in &args {
+        if path == "--plain" {
+            plain = true;
+            continue;
+        }
+        let want_trace_events = !plain;
         let verdict = match std::fs::read_to_string(path) {
             Err(e) => Err(format!("unreadable: {e}")),
             Ok(text) => obs::json::validate(&text)
                 .map_err(|e| format!("invalid JSON: {e}"))
                 .and_then(|()| {
-                    if text.contains("\"traceEvents\"") {
+                    if !want_trace_events || text.contains("\"traceEvents\"") {
                         Ok(())
                     } else {
                         Err("missing \"traceEvents\" key".to_string())

@@ -1,4 +1,5 @@
-//! Mean propagation: the per-row kernels of the distributed jobs.
+//! Mean propagation: the per-row and per-partition kernels of the
+//! distributed jobs.
 //!
 //! PPCA needs the mean-centered matrix `Yc = Y − 1⊗Ym`, but centering a
 //! sparse matrix destroys its sparsity (Section 3.1). Every kernel here
@@ -15,14 +16,28 @@
 //!
 //! [`YtxPartial`] is the consolidated accumulator of the paper's `YtXJob`
 //! (Figure 3): one pass computes the `XtX` and `YtX` contributions *and*
-//! the hoisted sums, recomputing `x` on demand instead of materializing the
-//! N×d matrix `X`.
-
-use std::collections::HashMap;
+//! the hoisted sums. Two entry points fold data in:
+//!
+//! * [`YtxPartial::add_block`] — the batched path. A whole partition goes
+//!   through the blocked kernels: `X_blk = Y_blk·CM − 1⊗Xm` via the
+//!   threaded `sparse_mul_dense` into a reusable scratch buffer,
+//!   `XtX += syrk_tn(X_blk)`, `YtX += spmm_tn(Y_blk, X_blk)` scattered
+//!   straight into a packed slab (sorted column table, hash-free inner
+//!   loop), `Σx` via per-row column sums.
+//! * [`YtxPartial::add_row`] — one sparse row at a time, recomputing its
+//!   latent vector on demand (the "redundant computation" of Section 3.2).
+//!
+//! Both produce bit-identical accumulators on any worker count: the
+//! kernels accumulate every output element in ascending input-row order
+//! (see the determinism notes in `linalg::kernels`), and the only
+//! reassociation points are partition boundaries — which the engines align
+//! with merge boundaries. The seed's HashMap-based row-at-a-time
+//! accumulator is preserved verbatim in [`rowwise`] as the ablation arm
+//! `bench_em` measures against.
 
 use linalg::bytes::ByteSized;
 use linalg::sparse::SparseRow;
-use linalg::{Mat, SparseMat};
+use linalg::{Mat, SparseMat, WorkerPool};
 
 /// Latent row `x = y·CM − Xm` for one sparse row (O(z·d)).
 pub fn latent_row(row: SparseRow<'_>, cm: &Mat, xm: &[f64]) -> Vec<f64> {
@@ -46,16 +61,36 @@ pub fn latent_row_dense(row: SparseRow<'_>, mean: &[f64], cm: &Mat) -> Vec<f64> 
 }
 
 /// Per-task accumulator of the consolidated `YtX`/`XtX` job.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The `Σ y'⊗x` term is stored packed: `cols` holds the touched column
+/// indices in ascending order and `slab` one d-vector per touched column,
+/// back to back — no hashing anywhere, O(z·d) shuffle size preserved, and
+/// merging two partials is a linear sorted merge.
+#[derive(Debug, Clone)]
 pub struct YtxPartial {
     /// `Σᵢ xᵢ ⊗ xᵢ` (d × d).
     pub xtx: Mat,
-    /// `Σᵢ yᵢ' ⊗ xᵢ`, stored sparsely: only columns some row touched.
-    pub ytx_rows: HashMap<u32, Vec<f64>>,
+    /// Touched columns of `Σ y'⊗x`, strictly ascending.
+    cols: Vec<u32>,
+    /// One packed d-row per touched column, parallel to `cols`.
+    slab: Vec<f64>,
     /// `Σᵢ xᵢ` — the hoisted mean-correction vector.
     pub sum_x: Vec<f64>,
     /// Rows processed (for sanity checks).
     pub rows_seen: u64,
+    /// Reusable `X_blk` buffer for [`Self::add_block`] — driver-local
+    /// scratch, never shipped, excluded from equality and byte size.
+    scratch: Vec<f64>,
+}
+
+impl PartialEq for YtxPartial {
+    fn eq(&self, other: &Self) -> bool {
+        self.xtx == other.xtx
+            && self.cols == other.cols
+            && self.slab == other.slab
+            && self.sum_x == other.sum_x
+            && self.rows_seen == other.rows_seen
+    }
 }
 
 impl YtxPartial {
@@ -63,9 +98,49 @@ impl YtxPartial {
     pub fn new(d: usize) -> Self {
         YtxPartial {
             xtx: Mat::zeros(d, d),
-            ytx_rows: HashMap::new(),
+            cols: Vec::new(),
+            slab: Vec::new(),
             sum_x: vec![0.0; d],
             rows_seen: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Latent dimensionality `d`.
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.sum_x.len()
+    }
+
+    /// Number of input columns some folded row touched.
+    pub fn touched_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The packed `Σ y'⊗x` row for column `c`, if any row touched it.
+    pub fn ytx_row(&self, c: u32) -> Option<&[f64]> {
+        let d = self.d();
+        self.cols.binary_search(&c).ok().map(|i| &self.slab[i * d..(i + 1) * d])
+    }
+
+    /// Iterates `(column, packed row)` pairs in ascending column order.
+    pub fn ytx_iter(&self) -> impl Iterator<Item = (u32, &[f64])> + '_ {
+        let d = self.d().max(1);
+        self.cols.iter().copied().zip(self.slab.chunks_exact(d))
+    }
+
+    /// Overwrites (or inserts) the packed row for column `c` — the
+    /// MapReduce driver uses this to reassemble a partial from reduced
+    /// `Row(c)` keys, which arrive in ascending order (append fast path).
+    pub fn set_ytx_row(&mut self, c: u32, row: &[f64]) {
+        let d = self.d();
+        assert_eq!(row.len(), d, "set_ytx_row: row length is {} not {d}", row.len());
+        match self.cols.binary_search(&c) {
+            Ok(i) => self.slab[i * d..(i + 1) * d].copy_from_slice(row),
+            Err(i) => {
+                self.cols.insert(i, c);
+                self.slab.splice(i * d..i * d, row.iter().copied());
+            }
         }
     }
 
@@ -83,37 +158,179 @@ impl YtxPartial {
         }
         // YtX: only the non-zero columns of y contribute to Σ y' ⊗ x.
         for (c, v) in row.iter() {
-            let slot = self.ytx_rows.entry(c as u32).or_insert_with(|| vec![0.0; d]);
+            let slot = self.slot_mut(c as u32);
             linalg::vector::axpy(v, &x, slot);
         }
         linalg::vector::axpy(1.0, &x, &mut self.sum_x);
         self.rows_seen += 1;
     }
 
-    /// Merges another partial (accumulator semantics: associative add).
-    pub fn merge(&mut self, other: YtxPartial) {
-        self.xtx.add_assign(&other.xtx);
-        for (c, row) in other.ytx_rows {
-            match self.ytx_rows.entry(c) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    linalg::vector::axpy(1.0, &row, e.get_mut());
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(row);
-                }
+    /// The packed slot for column `c`, inserted (zeroed) if absent.
+    fn slot_mut(&mut self, c: u32) -> &mut [f64] {
+        let d = self.d();
+        let i = match self.cols.binary_search(&c) {
+            Ok(i) => i,
+            Err(i) => {
+                self.cols.insert(i, c);
+                self.slab.splice(i * d..i * d, std::iter::repeat(0.0).take(d));
+                i
+            }
+        };
+        &mut self.slab[i * d..(i + 1) * d]
+    }
+
+    /// Folds a whole partition block through the batched kernels on the
+    /// process-global pool. See [`Self::add_block_with_pool`].
+    pub fn add_block(&mut self, block: &SparseMat, cm: &Mat, xm: &[f64]) {
+        self.add_block_with_pool(WorkerPool::global(), block, cm, xm)
+    }
+
+    /// Folds a whole partition block through the batched kernels:
+    /// `X_blk = Y_blk·CM − 1⊗Xm` (threaded sparse GEMM into the reusable
+    /// scratch — zero per-row allocation), `XtX += syrk_tn(X_blk)`,
+    /// `YtX += spmm_tn(Y_blk, X_blk)` scattered into a packed slab keyed by
+    /// a column-offset table built once per block, and `Σx` via per-row
+    /// column sums.
+    ///
+    /// Starting from an empty accumulator this is bit-for-bit equal to
+    /// folding the block's rows through [`Self::add_row`]: every kernel
+    /// accumulates each output element in ascending-row order with the
+    /// same per-element operations. Folding *multiple* blocks into one
+    /// accumulator reassociates at block boundaries — exactly like
+    /// [`Self::merge`] at partition boundaries, which is where the engines
+    /// put them.
+    pub fn add_block_with_pool(
+        &mut self,
+        pool: &WorkerPool,
+        block: &SparseMat,
+        cm: &Mat,
+        xm: &[f64],
+    ) {
+        let d = self.d();
+        assert_eq!(cm.cols(), d, "add_block: CM has {} columns, expected {d}", cm.cols());
+        assert_eq!(block.cols(), cm.rows(), "add_block: block/CM inner dimensions differ");
+        let n = block.rows();
+        if n == 0 {
+            return;
+        }
+        let z = block.nnz();
+        // 2·z·d (Y·CM) + n·d (−Xm) + n·d·(d+1) (Gram) + 2·z·d (scatter) + n·d (Σx).
+        let flops = (4 * z * d + n * d * (d + 3)) as u64;
+        let _span = obs::span_lazy("em", || format!("ytx add_block {n}x{}x{d}", block.cols()))
+            .with_flops(flops);
+
+        // Column support + slab-offset table, one O(z) + O(D) pass.
+        let mut map = vec![u32::MAX; block.cols()];
+        for &c in block.col_indices() {
+            map[c as usize] = 0;
+        }
+        let mut cols: Vec<u32> = Vec::new();
+        for (c, slot) in map.iter_mut().enumerate() {
+            if *slot == 0 {
+                *slot = cols.len() as u32;
+                cols.push(c as u32);
             }
         }
+
+        // X_blk = Y·CM − 1⊗Xm: multiply first, then subtract — the exact
+        // operation order of `latent_row`.
+        let mut buf = match self.scratch.capacity() {
+            0 => linalg::scratch::take_cleared(n * d),
+            _ => std::mem::take(&mut self.scratch),
+        };
+        buf.clear();
+        buf.resize(n * d, 0.0);
+        linalg::kernels::sparse_mul_dense_into_with_pool(pool, block, cm, &mut buf);
+        let mut x_blk = Mat::from_vec(n, d, buf);
+        for r in 0..n {
+            linalg::vector::axpy(-1.0, xm, x_blk.row_mut(r));
+        }
+
+        // XtX += X'X (upper-triangle kernel, mirrored once).
+        let xtx_blk = linalg::kernels::syrk_tn_with_pool(pool, &x_blk);
+        self.xtx.add_assign(&xtx_blk);
+
+        // YtX: scatter Y'X straight into a fresh packed slab, then merge.
+        let mut slab = linalg::scratch::take_zeroed(cols.len() * d);
+        linalg::kernels::spmm_tn_packed_with_pool(pool, block, &x_blk, &map, &mut slab);
+        self.merge_packed(cols, slab);
+
+        // Σx: per-row adds in ascending order, straight into the
+        // accumulator (the same association as the row-at-a-time fold).
+        for r in 0..n {
+            linalg::vector::axpy(1.0, x_blk.row(r), &mut self.sum_x);
+        }
+        self.rows_seen += n as u64;
+        self.scratch = x_blk.into_vec();
+
+        if let Some(c) = obs::collector() {
+            let reg = c.registry();
+            reg.counter("em.ytx.batch_rows").add(n as u64);
+            reg.counter("em.ytx.flops").add(flops);
+        }
+    }
+
+    /// Merges another partial (accumulator semantics: associative add).
+    pub fn merge(&mut self, mut other: YtxPartial) {
+        self.xtx.add_assign(&other.xtx);
+        self.merge_packed(std::mem::take(&mut other.cols), std::mem::take(&mut other.slab));
         linalg::vector::axpy(1.0, &other.sum_x, &mut self.sum_x);
         self.rows_seen += other.rows_seen;
+        linalg::scratch::recycle(std::mem::take(&mut other.scratch));
+    }
+
+    /// Linear sorted merge of a packed (cols, slab) pair into this
+    /// accumulator; shared columns add `other` onto `self`.
+    fn merge_packed(&mut self, cols: Vec<u32>, slab: Vec<f64>) {
+        if self.cols.is_empty() {
+            self.cols = cols;
+            self.slab = slab;
+            return;
+        }
+        if cols.is_empty() {
+            return;
+        }
+        let d = self.d();
+        let mut out_cols = Vec::with_capacity(self.cols.len() + cols.len());
+        let mut out_slab = linalg::scratch::take_cleared(out_cols.capacity() * d);
+        let (mut i, mut j) = (0, 0);
+        while i < self.cols.len() || j < cols.len() {
+            let take_self = match (self.cols.get(i), cols.get(j)) {
+                (Some(a), Some(b)) if a == b => {
+                    let start = out_slab.len();
+                    out_slab.extend_from_slice(&self.slab[i * d..(i + 1) * d]);
+                    linalg::vector::axpy(1.0, &slab[j * d..(j + 1) * d], &mut out_slab[start..]);
+                    out_cols.push(*a);
+                    i += 1;
+                    j += 1;
+                    continue;
+                }
+                (Some(a), Some(b)) => a < b,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_self {
+                out_cols.push(self.cols[i]);
+                out_slab.extend_from_slice(&self.slab[i * d..(i + 1) * d]);
+                i += 1;
+            } else {
+                out_cols.push(cols[j]);
+                out_slab.extend_from_slice(&slab[j * d..(j + 1) * d]);
+                j += 1;
+            }
+        }
+        self.cols = out_cols;
+        linalg::scratch::recycle(std::mem::replace(&mut self.slab, out_slab));
+        linalg::scratch::recycle(slab);
     }
 
     /// Driver-side assembly of the dense `YtX = Σ y'⊗x − Ym' ⊗ Σx`
     /// (D × d).
     pub fn finalize_ytx(&self, mean: &[f64]) -> Mat {
-        let d = self.sum_x.len();
+        let d = self.d();
         let d_in = mean.len();
         let mut ytx = Mat::zeros(d_in, d);
-        for (&c, row) in &self.ytx_rows {
+        for (c, row) in self.ytx_iter() {
             ytx.row_mut(c as usize).copy_from_slice(row);
         }
         for (j, &m) in mean.iter().enumerate() {
@@ -127,10 +344,24 @@ impl YtxPartial {
 
 impl ByteSized for YtxPartial {
     fn size_bytes(&self) -> u64 {
-        let d = self.sum_x.len() as u64;
+        let d = self.d() as u64;
         let xtx = 8 * d * d;
-        let rows: u64 = self.ytx_rows.len() as u64 * (4 + 8 * d);
+        let rows: u64 = self.cols.len() as u64 * (4 + 8 * d);
         xtx + rows + 8 * d + 8
+    }
+}
+
+/// Current totals of the batched-path throughput counters
+/// (`em.ytx.flops`, `em.ytx.batch_rows`) — zeros when tracing is off. The
+/// engines diff a snapshot across each `YtXJob` to emit the per-iteration
+/// counter samples `trace_report` renders.
+pub fn ytx_counter_snapshot() -> (u64, u64) {
+    match obs::collector() {
+        Some(c) => {
+            let reg = c.registry();
+            (reg.counter("em.ytx.flops").get(), reg.counter("em.ytx.batch_rows").get())
+        }
+        None => (0, 0),
     }
 }
 
@@ -146,6 +377,39 @@ pub fn ss3_row(row: SparseRow<'_>, cm: &Mat, xm: &[f64], c_new: &Mat) -> f64 {
         linalg::vector::axpy(v, c_new.row(c), &mut cy);
     }
     linalg::vector::dot(&x, &cy)
+}
+
+/// A whole partition's contribution to `Σᵢ xᵢ·(C'·yᵢ')` through the
+/// batched kernels, on the process-global pool.
+pub fn ss3_block(block: &SparseMat, cm: &Mat, xm: &[f64], c_new: &Mat) -> f64 {
+    ss3_block_with_pool(WorkerPool::global(), block, cm, xm, c_new)
+}
+
+/// [`ss3_block`] on an explicit pool: two blocked sparse GEMMs
+/// (`X = Y·CM − 1⊗Xm` and `CY = Y·C_new`) and one dot product per row,
+/// summed in ascending row order — bit-identical to summing
+/// [`ss3_row`] over the block's rows on any pool size.
+pub fn ss3_block_with_pool(
+    pool: &WorkerPool,
+    block: &SparseMat,
+    cm: &Mat,
+    xm: &[f64],
+    c_new: &Mat,
+) -> f64 {
+    let n = block.rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut x = linalg::kernels::sparse_mul_dense_with_pool(pool, block, cm);
+    for r in 0..n {
+        linalg::vector::axpy(-1.0, xm, x.row_mut(r));
+    }
+    let cy = linalg::kernels::sparse_mul_dense_with_pool(pool, block, c_new);
+    let mut part = 0.0;
+    for r in 0..n {
+        part += linalg::vector::dot(x.row(r), cy.row(r));
+    }
+    part
 }
 
 /// Driver-side completion of ss3:
@@ -168,6 +432,108 @@ pub fn dense_oracle(y: &SparseMat, mean: &[f64], cm: &Mat) -> (Mat, Mat, Vec<f64
         linalg::vector::axpy(1.0, x.row(r), &mut sum_x);
     }
     (xtx, ytx, sum_x)
+}
+
+/// The seed's HashMap-based row-at-a-time `YtXJob` accumulator, preserved
+/// verbatim as the ablation arm of the batched EM path — the `mean_prop`
+/// analog of `linalg::kernels::naive`. `bench_em` reports the batched
+/// path's speedup over this, and the equivalence tests pin the two paths
+/// bit-for-bit, so the comparison stays honest as the batched path
+/// evolves.
+pub mod rowwise {
+    use std::collections::HashMap;
+
+    use linalg::bytes::ByteSized;
+    use linalg::sparse::SparseRow;
+    use linalg::Mat;
+
+    use super::latent_row;
+
+    /// Row-at-a-time accumulator: fresh latent vector per row, HashMap
+    /// probe per non-zero, unfused scalar axpys into `XtX`.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct RowwisePartial {
+        /// `Σᵢ xᵢ ⊗ xᵢ` (d × d).
+        pub xtx: Mat,
+        /// `Σᵢ yᵢ' ⊗ xᵢ`, stored sparsely: only columns some row touched.
+        pub ytx_rows: HashMap<u32, Vec<f64>>,
+        /// `Σᵢ xᵢ` — the hoisted mean-correction vector.
+        pub sum_x: Vec<f64>,
+        /// Rows processed (for sanity checks).
+        pub rows_seen: u64,
+    }
+
+    impl RowwisePartial {
+        /// Empty accumulator for `d` components.
+        pub fn new(d: usize) -> Self {
+            RowwisePartial {
+                xtx: Mat::zeros(d, d),
+                ytx_rows: HashMap::new(),
+                sum_x: vec![0.0; d],
+                rows_seen: 0,
+            }
+        }
+
+        /// Folds one sparse row into the accumulator.
+        pub fn add_row(&mut self, row: SparseRow<'_>, cm: &Mat, xm: &[f64]) {
+            let x = latent_row(row, cm, xm);
+            let d = x.len();
+            for i in 0..d {
+                let xi = x[i];
+                if xi != 0.0 {
+                    linalg::vector::axpy(xi, &x, &mut self.xtx.row_mut(i)[..]);
+                }
+            }
+            for (c, v) in row.iter() {
+                let slot = self.ytx_rows.entry(c as u32).or_insert_with(|| vec![0.0; d]);
+                linalg::vector::axpy(v, &x, slot);
+            }
+            linalg::vector::axpy(1.0, &x, &mut self.sum_x);
+            self.rows_seen += 1;
+        }
+
+        /// Merges another partial (accumulator semantics: associative add).
+        pub fn merge(&mut self, other: RowwisePartial) {
+            self.xtx.add_assign(&other.xtx);
+            for (c, row) in other.ytx_rows {
+                match self.ytx_rows.entry(c) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        linalg::vector::axpy(1.0, &row, e.get_mut());
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(row);
+                    }
+                }
+            }
+            linalg::vector::axpy(1.0, &other.sum_x, &mut self.sum_x);
+            self.rows_seen += other.rows_seen;
+        }
+
+        /// Driver-side assembly of the dense `YtX` (D × d).
+        pub fn finalize_ytx(&self, mean: &[f64]) -> Mat {
+            let d = self.sum_x.len();
+            let d_in = mean.len();
+            let mut ytx = Mat::zeros(d_in, d);
+            for (&c, row) in &self.ytx_rows {
+                ytx.row_mut(c as usize).copy_from_slice(row);
+            }
+            for (j, &m) in mean.iter().enumerate() {
+                if m != 0.0 {
+                    linalg::vector::axpy(-m, &self.sum_x, ytx.row_mut(j));
+                }
+            }
+            ytx
+        }
+    }
+
+    impl ByteSized for RowwisePartial {
+        fn size_bytes(&self) -> u64 {
+            let d = self.sum_x.len() as u64;
+            let xtx = 8 * d * d;
+            let rows: u64 = self.ytx_rows.len() as u64 * (4 + 8 * d);
+            xtx + rows + 8 * d + 8
+        }
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +594,47 @@ mod tests {
     }
 
     #[test]
+    fn add_block_is_bitwise_add_row() {
+        let (y, _, cm, xm) = fixture();
+        let mut by_row = YtxPartial::new(3);
+        for r in 0..y.rows() {
+            by_row.add_row(y.row(r), &cm, &xm);
+        }
+        let mut by_block = YtxPartial::new(3);
+        by_block.add_block(&y, &cm, &xm);
+        assert_eq!(by_row, by_block, "batched path diverged from row-at-a-time");
+    }
+
+    #[test]
+    fn add_block_reuses_scratch_across_blocks() {
+        let (y, _, cm, xm) = fixture();
+        let mut p = YtxPartial::new(3);
+        p.add_block(&y.row_block(0, 4), &cm, &xm);
+        let cap = p.scratch.capacity();
+        assert!(cap >= 4 * 3);
+        p.add_block(&y.row_block(4, 6), &cm, &xm); // smaller block: same buffer
+        assert_eq!(p.scratch.capacity(), cap, "scratch was reallocated");
+        assert_eq!(p.rows_seen, 6);
+    }
+
+    #[test]
+    fn rowwise_arm_matches_packed_add_row() {
+        let (y, mean, cm, xm) = fixture();
+        let mut packed = YtxPartial::new(3);
+        let mut hash = rowwise::RowwisePartial::new(3);
+        for r in 0..y.rows() {
+            packed.add_row(y.row(r), &cm, &xm);
+            hash.add_row(y.row(r), &cm, &xm);
+        }
+        assert_eq!(packed.xtx.max_abs_diff(&hash.xtx), 0.0);
+        assert_eq!(packed.sum_x, hash.sum_x);
+        assert_eq!(
+            packed.finalize_ytx(&mean).max_abs_diff(&hash.finalize_ytx(&mean)),
+            0.0
+        );
+    }
+
+    #[test]
     fn merge_equals_single_pass() {
         let (y, mean, cm, xm) = fixture();
         let mut whole = YtxPartial::new(3);
@@ -255,9 +662,23 @@ mod tests {
         let (y, _, cm, xm) = fixture();
         let mut p = YtxPartial::new(3);
         p.add_row(y.row(0), &cm, &xm); // touches columns 0 and 3
-        assert_eq!(p.ytx_rows.len(), 2);
-        assert!(p.ytx_rows.contains_key(&0));
-        assert!(p.ytx_rows.contains_key(&3));
+        assert_eq!(p.touched_cols(), 2);
+        assert!(p.ytx_row(0).is_some());
+        assert!(p.ytx_row(3).is_some());
+        assert!(p.ytx_row(1).is_none());
+        assert_eq!(p.ytx_iter().map(|(c, _)| c).collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn set_ytx_row_inserts_and_overwrites() {
+        let mut p = YtxPartial::new(2);
+        p.set_ytx_row(5, &[1.0, 2.0]);
+        p.set_ytx_row(1, &[3.0, 4.0]);
+        p.set_ytx_row(5, &[9.0, 9.0]);
+        assert_eq!(p.ytx_iter().collect::<Vec<_>>(), vec![
+            (1, &[3.0, 4.0][..]),
+            (5, &[9.0, 9.0][..]),
+        ]);
     }
 
     #[test]
@@ -281,6 +702,16 @@ mod tests {
         let slow: f64 =
             (0..x.rows()).map(|r| linalg::vector::dot(x.row(r), cy.row(r))).sum();
         assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn ss3_block_is_bitwise_row_sum() {
+        let (y, _, cm, xm) = fixture();
+        let mut rng = Prng::seed_from_u64(9);
+        let c_new = rng.normal_mat(8, 3);
+        let by_row: f64 = (0..y.rows()).map(|r| ss3_row(y.row(r), &cm, &xm, &c_new)).sum();
+        let by_block = ss3_block(&y, &cm, &xm, &c_new);
+        assert_eq!(by_row.to_bits(), by_block.to_bits());
     }
 
     #[test]

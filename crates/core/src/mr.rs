@@ -23,7 +23,7 @@ use crate::config::SpcaConfig;
 use crate::em::{run_em, EmJobs};
 use crate::frobenius;
 use crate::init;
-use crate::mean_prop::{ss3_row, YtxPartial};
+use crate::mean_prop::{ss3_block, ytx_counter_snapshot, YtxPartial};
 use crate::model::SpcaRun;
 use crate::Result;
 
@@ -103,16 +103,15 @@ impl MapReduceJob for YtXJob {
 
     fn map(&self, block: &SparseMat, emitter: &mut Emitter<MrKey, Vec<f64>>) {
         // Stateful combiner: fold the whole partition into in-memory
-        // partials, emit once at "cleanup".
+        // partials through the batched kernels (the block is already a
+        // CSR matrix — no reassembly needed), emit once at "cleanup".
         let mut partial = YtxPartial::new(self.d);
-        for r in 0..block.rows() {
-            partial.add_row(block.row(r), &self.cm, &self.xm);
-        }
+        partial.add_block(block, &self.cm, &self.xm);
         emitter.emit(MrKey::XtX, partial.xtx.data().to_vec());
         emitter.emit(MrKey::SumX, partial.sum_x.clone());
         emitter.emit(MrKey::Count, vec![partial.rows_seen as f64]);
-        for (c, row) in partial.ytx_rows {
-            emitter.emit(MrKey::Row(c), row);
+        for (c, row) in partial.ytx_iter() {
+            emitter.emit(MrKey::Row(c), row.to_vec());
         }
     }
 
@@ -135,11 +134,7 @@ impl MapReduceJob for Ss3Job {
     type Output = f64;
 
     fn map(&self, block: &SparseMat, emitter: &mut Emitter<(), f64>) {
-        let mut part = 0.0;
-        for r in 0..block.rows() {
-            part += ss3_row(block.row(r), &self.cm, &self.xm, &self.c_new);
-        }
-        emitter.emit((), part);
+        emitter.emit((), ss3_block(block, &self.cm, &self.xm, &self.c_new));
     }
 
     fn reduce(&self, _key: (), values: Vec<f64>) -> f64 {
@@ -193,16 +188,23 @@ impl EmJobs for MrJobs<'_> {
             .cluster()
             .charge_broadcast(linalg::Mat::size_bytes(cm) + 8 * xm.len() as u64);
         let job = YtXJob { cm: cm.clone(), xm: xm.to_vec(), d: self.d };
+        let before = ytx_counter_snapshot();
         let (out, _) = self.engine.run_job("YtXJob", &job, &self.blocks, self.reducers);
+        if obs::enabled() {
+            let after = ytx_counter_snapshot();
+            let cluster = self.engine.cluster();
+            cluster.trace_counter("em.ytx.flops", (after.0 - before.0) as f64);
+            cluster.trace_counter("em.ytx.batch_rows", (after.1 - before.1) as f64);
+        }
         let mut partial = YtxPartial::new(self.d);
         for (key, value) in out {
             match key {
                 MrKey::XtX => partial.xtx = Mat::from_vec(self.d, self.d, value),
                 MrKey::SumX => partial.sum_x = value,
                 MrKey::Count => partial.rows_seen = value[0] as u64,
-                MrKey::Row(c) => {
-                    partial.ytx_rows.insert(c, value);
-                }
+                // Reduced keys arrive in ascending MrKey order, so the
+                // packed insert is an append each time.
+                MrKey::Row(c) => partial.set_ytx_row(c, &value),
             }
         }
         partial

@@ -4,14 +4,16 @@
 //! cluster's aggregate memory, and each EM iteration runs exactly two
 //! accumulator stages against it:
 //!
-//! * `YtXSparkJob` — one `aggregate` whose per-task accumulator is a
-//!   [`YtxPartial`]: the latent row `Xi` is recomputed on the fly from the
-//!   broadcast `CM`/`Xm`, the `XtX` and `YtX` contributions fold in
-//!   locally, and only the partials cross the network (the paper's
-//!   `XtXSum`/`YtXSum` accumulators, "eliminating the need for reduce
-//!   operations"). The `YtX` partial stores touched rows only — the
-//!   O(z·d) sparsity trick of Section 4.2.
-//! * `ss3SparkJob` — one `aggregate` folding the scalar `Σ xᵢ·(C'yᵢ')`.
+//! * `YtXSparkJob` — one `aggregate_partitions` whose per-task accumulator
+//!   is a [`YtxPartial`]: each task hands its whole partition slice to the
+//!   batched `add_block` kernels (latent block recomputed on the fly from
+//!   the broadcast `CM`/`Xm`, blocked `XtX`/`YtX` folds), and only the
+//!   partials cross the network (the paper's `XtXSum`/`YtXSum`
+//!   accumulators, "eliminating the need for reduce operations"). The
+//!   `YtX` partial stores touched rows only — the O(z·d) sparsity trick of
+//!   Section 4.2.
+//! * `ss3SparkJob` — one `aggregate_partitions` folding the scalar
+//!   `Σ xᵢ·(C'yᵢ')` via the blocked `ss3_block`.
 
 use dcluster::SimCluster;
 use linalg::bytes::ByteSized;
@@ -22,7 +24,7 @@ use sparkle::{Rdd, SparkleContext};
 use crate::config::SpcaConfig;
 use crate::em::{run_em, EmJobs};
 use crate::init;
-use crate::mean_prop::{ss3_row, YtxPartial};
+use crate::mean_prop::{ss3_block, ytx_counter_snapshot, YtxPartial};
 use crate::model::SpcaRun;
 use crate::Result;
 
@@ -112,15 +114,18 @@ impl EmJobs for SparkJobs<'_> {
 
     fn fnorm_job(&mut self, mean: &[f64]) -> f64 {
         let msum = linalg::vector::norm2_sq(mean);
-        let (total, _) = self.rdd.aggregate(
+        let (total, _) = self.rdd.aggregate_partitions(
             "FnormJob",
             || Scalar(0.0),
-            |acc, row| {
-                // Algorithm 3, one row.
-                let mut s = msum;
-                for (c, v) in row.view().iter() {
-                    let m = mean[c];
-                    s += (v - m) * (v - m) - m * m;
+            |acc, part| {
+                // Algorithm 3 over the whole partition slice — the same
+                // association as the MapReduce engine's per-block pass.
+                let mut s = part.len() as f64 * msum;
+                for row in part {
+                    for (c, v) in row.view().iter() {
+                        let m = mean[c];
+                        s += (v - m) * (v - m) - m * m;
+                    }
                 }
                 acc.0 += s;
             },
@@ -136,12 +141,28 @@ impl EmJobs for SparkJobs<'_> {
             .cluster()
             .charge_broadcast(linalg::Mat::size_bytes(cm) + 8 * xm.len() as u64);
         let d = self.d;
-        let (partial, _bytes) = self.rdd.aggregate(
+        let d_in = self.d_in;
+        let before = ytx_counter_snapshot();
+        // Batched path: each task reassembles its partition slice into a
+        // CSR block (O(z) copy, no sorting) and runs the blocked kernels
+        // over it — one add_block per partition, so reassociation happens
+        // only at partition boundaries, same as the merge tree.
+        let (partial, _bytes) = self.rdd.aggregate_partitions(
             "YtXJob",
             || YtxPartial::new(d),
-            |acc, row| acc.add_row(row.view(), cm, xm),
+            |acc, part| {
+                let views: Vec<SparseRow> = part.iter().map(SpRow::view).collect();
+                let block = SparseMat::from_row_views(d_in, &views);
+                acc.add_block(&block, cm, xm);
+            },
             |acc, other| acc.merge(other),
         );
+        if obs::enabled() {
+            let after = ytx_counter_snapshot();
+            let cluster = self.rdd.cluster();
+            cluster.trace_counter("em.ytx.flops", (after.0 - before.0) as f64);
+            cluster.trace_counter("em.ytx.batch_rows", (after.1 - before.1) as f64);
+        }
         partial
     }
 
@@ -149,10 +170,15 @@ impl EmJobs for SparkJobs<'_> {
         // The updated C must reach every node for the ss3 pass; CM/Xm are
         // already resident from the YtX job's broadcast.
         self.rdd.cluster().charge_broadcast(linalg::Mat::size_bytes(c_new));
-        let (part, _) = self.rdd.aggregate(
+        let d_in = self.d_in;
+        let (part, _) = self.rdd.aggregate_partitions(
             "ss3Job",
             || Scalar(0.0),
-            |acc, row| acc.0 += ss3_row(row.view(), cm, xm, c_new),
+            |acc, part| {
+                let views: Vec<SparseRow> = part.iter().map(SpRow::view).collect();
+                let block = SparseMat::from_row_views(d_in, &views);
+                acc.0 += ss3_block(&block, cm, xm, c_new);
+            },
             |acc, other| acc.0 += other.0,
         );
         part.0

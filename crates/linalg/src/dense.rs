@@ -114,6 +114,13 @@ impl Mat {
         &mut self.data
     }
 
+    /// Consumes the matrix, returning its row-major storage. Paired with
+    /// [`Mat::from_vec`] this lets callers (the batched EM path) recycle
+    /// one scratch allocation across differently-shaped blocks.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// In-memory footprint in bytes (used by the cluster simulator to meter
     /// shuffle volumes and driver memory).
     pub fn size_bytes(&self) -> u64 {

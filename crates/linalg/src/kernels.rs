@@ -47,6 +47,16 @@ const CHUNK_FLOPS: usize = 2_000_000;
 /// the kernel itself if chunks proliferate.
 const MAX_CHUNKS: usize = 16;
 
+/// Cache-residency band for the sparse `YᵀX` scatter: each band of output
+/// rows is kept to at most this many f64s (32 KiB) so the random-row
+/// axpys land in L1. Non-zeros are bucketed by band up front (one stable
+/// counting pass), so extra bands cost no rescans.
+const SCATTER_BAND_ELEMS: usize = 4_096;
+
+/// Upper bound on scatter band count: bounds task-dispatch overhead and
+/// the size of the per-band bucket table for very wide outputs.
+const MAX_SCATTER_BANDS: usize = 64;
+
 /// Deterministic chunk count for a loop of `rows` iterations costing
 /// `flops_per_row` each: a function of the problem shape only.
 fn chunk_count(rows: usize, flops_per_row: usize) -> usize {
@@ -634,14 +644,29 @@ pub fn sparse_mul_dense(y: &SparseMat, b: &Mat) -> Mat {
 /// `Y·B` for CSR `Y` on an explicit pool. Row-parallel (each output row
 /// depends on one input row), so results are bit-identical on any pool.
 pub fn sparse_mul_dense_with_pool(pool: &WorkerPool, y: &SparseMat, b: &Mat) -> Mat {
+    let mut out = Mat::zeros(y.rows(), b.cols());
+    sparse_mul_dense_into_with_pool(pool, y, b, out.data_mut());
+    out
+}
+
+/// `out += Y·B` for CSR `Y`, accumulating into a caller-provided
+/// `y.rows() × b.cols()` row-major buffer (the batched EM path reuses one
+/// scratch buffer across partitions instead of allocating per call).
+/// The caller zeroes the buffer; results are bit-identical on any pool.
+pub fn sparse_mul_dense_into(y: &SparseMat, b: &Mat, out: &mut [f64]) {
+    sparse_mul_dense_into_with_pool(WorkerPool::global(), y, b, out)
+}
+
+/// [`sparse_mul_dense_into`] on an explicit pool.
+pub fn sparse_mul_dense_into_with_pool(pool: &WorkerPool, y: &SparseMat, b: &Mat, out: &mut [f64]) {
     let m = y.rows();
     let n = b.cols();
     assert_eq!(y.cols(), b.rows(), "mul_dense: inner dimensions differ");
+    assert_eq!(out.len(), m * n, "mul_dense: output buffer is {} not {}", out.len(), m * n);
     let _span = obs::span_lazy("kernel", || format!("sparse_mul_dense {m}x{n} nnz={}", y.nnz()))
         .with_flops(2 * y.nnz() as u64 * n as u64);
-    let mut out = Mat::zeros(m, n);
     if m == 0 || n == 0 {
-        return out;
+        return;
     }
     // Flops per row vary with the sparsity pattern; use the mean nnz — the
     // split must depend on the matrix only, and near-equal row counts keep
@@ -649,12 +674,12 @@ pub fn sparse_mul_dense_with_pool(pool: &WorkerPool, y: &SparseMat, b: &Mat) -> 
     let mean_nnz = y.nnz() / m.max(1);
     let chunks = chunk_count(m, 2 * n * mean_nnz.max(1));
     if chunks == 1 {
-        sparse_rows_mul(y, b, 0, m, out.data_mut());
-        return out;
+        sparse_rows_mul(y, b, 0, m, out);
+        return;
     }
     let ranges = row_ranges(m, chunks);
     let mut slices: Vec<(usize, usize, &mut [f64])> = Vec::with_capacity(chunks);
-    let mut rest = out.data_mut();
+    let mut rest = out;
     for &(start, end) in &ranges {
         let (head, tail) = rest.split_at_mut((end - start) * n);
         slices.push((start, end, head));
@@ -666,7 +691,6 @@ pub fn sparse_mul_dense_with_pool(pool: &WorkerPool, y: &SparseMat, b: &Mat) -> 
             .map(|(start, end, slice)| move || sparse_rows_mul(y, b, start, end, slice))
             .collect(),
     );
-    out
 }
 
 /// Computes output rows `[start, end)` of `Y·B` into `out`. Non-zeros are
@@ -701,6 +725,237 @@ fn sparse_rows_mul(y: &SparseMat, b: &Mat, start: usize, end: usize, out: &mut [
         }
         if t < nnz {
             vector::axpy(row.values[t], b.row(row.indices[t] as usize), o);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// syrk_tn: C = Xᵀ·X — the XtX Gram accumulation of the batched EM path
+// ---------------------------------------------------------------------------
+
+/// `XᵀX` on the process-global pool. Only the upper triangle is
+/// accumulated; the lower triangle is mirrored once at the end.
+pub fn syrk_tn(x: &Mat) -> Mat {
+    syrk_tn_with_pool(WorkerPool::global(), x)
+}
+
+/// `XᵀX` on an explicit pool.
+///
+/// Parallelism is over *output* rows: each task scans every row of `X` but
+/// writes only its own disjoint band of the upper triangle, so there is no
+/// partial-buffer reduction and every output element accumulates its
+/// `x_r[i]·x_r[j]` terms in ascending-`r` order — the exact operation
+/// sequence of the row-at-a-time EM reference (which axpys row `i` of the
+/// Gram whenever `x_r[i] != 0`). The mirror step is exact too: f64
+/// multiplication commutes bit-for-bit, so `C[j][i] = C[i][j]` reproduces
+/// the lower-triangle accumulation of the reference (accumulators starting
+/// at +0.0 can never become -0.0, so the reference's zero-skip asymmetry
+/// cannot change bits either). Results are therefore bit-identical to the
+/// reference on any pool size.
+pub fn syrk_tn_with_pool(pool: &WorkerPool, x: &Mat) -> Mat {
+    let (n, d) = (x.rows(), x.cols());
+    let _span = obs::span_lazy("kernel", || format!("syrk_tn {n}x{d}"))
+        .with_flops(n as u64 * d as u64 * (d as u64 + 1));
+    let mut out = Mat::zeros(d, d);
+    if n == 0 || d == 0 {
+        return out;
+    }
+    // Mean flops per output row of the triangle: n·(d+1).
+    let chunks = chunk_count(d, n * (d + 1));
+    if chunks == 1 {
+        syrk_tn_band(x, 0, d, out.data_mut());
+    } else {
+        let ranges = row_ranges(d, chunks);
+        let mut slices: Vec<(usize, usize, &mut [f64])> = Vec::with_capacity(chunks);
+        let mut rest = out.data_mut();
+        for &(start, end) in &ranges {
+            let (head, tail) = rest.split_at_mut((end - start) * d);
+            slices.push((start, end, head));
+            rest = tail;
+        }
+        pool.run(
+            slices
+                .into_iter()
+                .map(|(start, end, slice)| move || syrk_tn_band(x, start, end, slice))
+                .collect(),
+        );
+    }
+    for i in 0..d {
+        for j in 0..i {
+            out[(i, j)] = out[(j, i)];
+        }
+    }
+    out
+}
+
+/// Accumulates upper-triangle output rows `[lo, hi)` of `XᵀX` into `out`
+/// (`(hi-lo)×d` row-major; entries left of the diagonal stay zero).
+fn syrk_tn_band(x: &Mat, lo: usize, hi: usize, out: &mut [f64]) {
+    let d = x.cols();
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        for i in lo..hi {
+            let xi = row[i];
+            if xi != 0.0 {
+                let base = (i - lo) * d;
+                vector::axpy(xi, &row[i..], &mut out[base + i..base + d]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// spmm_tn: C = Yᵀ·X for CSR Y — the YtX scatter of the batched EM path
+// ---------------------------------------------------------------------------
+
+/// `YᵀX` (`D×d` dense) for CSR `Y` on the process-global pool.
+pub fn spmm_tn(y: &SparseMat, x: &Mat) -> Mat {
+    spmm_tn_with_pool(WorkerPool::global(), y, x)
+}
+
+/// `YᵀX` on an explicit pool.
+///
+/// Same output-row parallelism as [`syrk_tn_with_pool`]: each task scans
+/// every non-zero of `Y` but scatters only into its own disjoint band of
+/// output rows, so every output row accumulates one axpy per contributing
+/// non-zero in ascending input-row order — bit-identical to the
+/// row-at-a-time reference on any pool size.
+pub fn spmm_tn_with_pool(pool: &WorkerPool, y: &SparseMat, x: &Mat) -> Mat {
+    assert_eq!(y.rows(), x.rows(), "spmm_tn: row counts differ ({} vs {})", y.rows(), x.rows());
+    let mut out = Mat::zeros(y.cols(), x.cols());
+    spmm_scatter(pool, y, x, None, out.data_mut());
+    out
+}
+
+/// Packed `YᵀX`: like [`spmm_tn`], but output row `map[c]` accumulates
+/// column `c` of `Y`, into a caller-provided `out_rows × x.cols()` slab
+/// (zeroed by the caller). `map` must cover every column with a non-zero;
+/// untouched columns may map anywhere (they contribute nothing). This is
+/// the hash-free inner loop of the batched `YtxPartial`: the slab holds
+/// only the columns a partition touches.
+pub fn spmm_tn_packed(y: &SparseMat, x: &Mat, map: &[u32], out: &mut [f64]) {
+    spmm_tn_packed_with_pool(WorkerPool::global(), y, x, map, out)
+}
+
+/// [`spmm_tn_packed`] on an explicit pool.
+pub fn spmm_tn_packed_with_pool(
+    pool: &WorkerPool,
+    y: &SparseMat,
+    x: &Mat,
+    map: &[u32],
+    out: &mut [f64],
+) {
+    assert_eq!(y.rows(), x.rows(), "spmm_tn: row counts differ ({} vs {})", y.rows(), x.rows());
+    assert_eq!(map.len(), y.cols(), "spmm_tn: column map covers every Y column");
+    spmm_scatter(pool, y, x, Some(map), out)
+}
+
+/// Shared scatter driver: `out` has `out.len()/x.cols()` rows; column `c`
+/// of `Y` lands in row `map[c]` (or `c` when no map is given).
+fn spmm_scatter(pool: &WorkerPool, y: &SparseMat, x: &Mat, map: Option<&[u32]>, out: &mut [f64]) {
+    let d = x.cols();
+    if d == 0 {
+        return;
+    }
+    assert_eq!(out.len() % d, 0, "spmm_tn: output is a whole number of rows");
+    let out_rows = out.len() / d;
+    let _span = obs::span_lazy("kernel", || {
+        format!("spmm_tn {}x{out_rows}x{d} nnz={}", y.rows(), y.nnz())
+    })
+    .with_flops(2 * y.nnz() as u64 * d as u64);
+    if out_rows == 0 || y.nnz() == 0 {
+        return;
+    }
+    // The per-nnz axpys land on effectively random output rows, so a wide
+    // output turns the scatter memory-bound. Band the output small enough
+    // to stay cache-resident — a function of the output shape only, so
+    // (like `chunk_count`) banding never affects results.
+    let bands = out.len().div_ceil(SCATTER_BAND_ELEMS).clamp(1, MAX_SCATTER_BANDS.min(out_rows));
+    if bands == 1 {
+        spmm_scatter_band(y, x, map, 0, out_rows, out);
+        return;
+    }
+    let band_rows = out_rows.div_ceil(bands);
+
+    // Bucket the non-zeros by band in one stable counting pass: within a
+    // band, entries keep the input scan order (ascending row, ascending
+    // column), so every output element still accumulates its axpys in
+    // exactly the row-at-a-time order — bit-identical on any pool size.
+    let mut starts = vec![0usize; bands + 1];
+    let target = |c: u32| -> usize {
+        match map {
+            Some(m) => m[c as usize] as usize,
+            None => c as usize,
+        }
+    };
+    for &c in y.col_indices() {
+        starts[target(c) / band_rows + 1] += 1;
+    }
+    for b in 0..bands {
+        starts[b + 1] += starts[b];
+    }
+    // (output row, input row, value) per non-zero, 16 bytes.
+    let mut entries: Vec<(u32, u32, f64)> = vec![(0, 0, 0.0); y.nnz()];
+    let mut next = starts.clone();
+    for r in 0..y.rows() {
+        let row = y.row(r);
+        for (&c, &v) in row.indices.iter().zip(row.values) {
+            let t = target(c);
+            let slot = &mut next[t / band_rows];
+            entries[*slot] = (t as u32, r as u32, v);
+            *slot += 1;
+        }
+    }
+
+    let mut tasks: Vec<(usize, &[(u32, u32, f64)], &mut [f64])> = Vec::with_capacity(bands);
+    let mut rest = out;
+    for b in 0..bands {
+        let lo = b * band_rows;
+        let hi = ((b + 1) * band_rows).min(out_rows);
+        let (head, tail) = rest.split_at_mut((hi - lo) * d);
+        tasks.push((lo, &entries[starts[b]..starts[b + 1]], head));
+        rest = tail;
+    }
+    pool.run(
+        tasks
+            .into_iter()
+            .map(|(lo, band_entries, slice)| {
+                move || {
+                    for &(t, r, v) in band_entries {
+                        let base = (t as usize - lo) * d;
+                        vector::axpy(v, x.row(r as usize), &mut slice[base..base + d]);
+                    }
+                }
+            })
+            .collect(),
+    );
+}
+
+/// Scatters non-zeros whose (mapped) output row falls in `[lo, hi)` into
+/// `out` (`(hi-lo)×d`), in ascending input-row order.
+fn spmm_scatter_band(
+    y: &SparseMat,
+    x: &Mat,
+    map: Option<&[u32]>,
+    lo: usize,
+    hi: usize,
+    out: &mut [f64],
+) {
+    let d = x.cols();
+    for r in 0..y.rows() {
+        let row = y.row(r);
+        if row.indices.is_empty() {
+            continue;
+        }
+        let xr = x.row(r);
+        for (&c, &v) in row.indices.iter().zip(row.values) {
+            let t = match map {
+                Some(m) => m[c as usize] as usize,
+                None => c as usize,
+            };
+            if t >= lo && t < hi {
+                vector::axpy(v, xr, &mut out[(t - lo) * d..(t - lo + 1) * d]);
+            }
         }
     }
 }
@@ -830,6 +1085,100 @@ mod tests {
         let fast = matmul_tn(&a, &b);
         let reference = naive::matmul_tn(&a, &b);
         assert!(fast.approx_eq(&reference, 1e-12));
+    }
+
+    #[test]
+    fn syrk_tn_is_bitwise_naive_gram_on_any_pool() {
+        let mut rng = Prng::seed_from_u64(11);
+        for &(n, d) in &[(1usize, 1usize), (37, 5), (900, 48)] {
+            let x = rng.normal_mat(n, d);
+            let reference = naive::matmul_tn(&x, &x);
+            let serial = WorkerPool::new(1);
+            let wide = WorkerPool::new(7);
+            for pool in [&serial, &wide, WorkerPool::global()] {
+                let got = syrk_tn_with_pool(pool, &x);
+                assert_eq!(got.max_abs_diff(&reference), 0.0, "syrk {n}x{d} reassociated");
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_tn_is_bitwise_naive_on_any_pool() {
+        let mut rng = Prng::seed_from_u64(12);
+        for &(n, dd, d) in &[(40usize, 9usize, 3usize), (600, 800, 24)] {
+            let mut triplets = Vec::new();
+            for _ in 0..(n * dd / 20).max(4) {
+                triplets.push((rng.index(n), rng.index(dd) as u32, rng.normal()));
+            }
+            let y = SparseMat::from_triplets(n, dd, &triplets);
+            let x = rng.normal_mat(n, d);
+            // naive::matmul_tn on the densified Y accumulates each output
+            // element in ascending input-row order, skipping zero entries —
+            // the identical op sequence, so equality is exact.
+            let reference = naive::matmul_tn(&y.to_dense(), &x);
+            let serial = WorkerPool::new(1);
+            let wide = WorkerPool::new(5);
+            for pool in [&serial, &wide, WorkerPool::global()] {
+                let got = spmm_tn_with_pool(pool, &y, &x);
+                assert_eq!(got.max_abs_diff(&reference), 0.0, "spmm {n}x{dd}x{d} reassociated");
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_tn_packed_matches_full_scatter() {
+        let mut rng = Prng::seed_from_u64(13);
+        let (n, dd, d) = (120usize, 300usize, 8usize);
+        let mut triplets = Vec::new();
+        for _ in 0..700 {
+            triplets.push((rng.index(n), rng.index(dd) as u32, rng.normal()));
+        }
+        let y = SparseMat::from_triplets(n, dd, &triplets);
+        let x = rng.normal_mat(n, d);
+        let full = spmm_tn(&y, &x);
+        // Column-support map: touched columns get consecutive slab rows.
+        let mut map = vec![u32::MAX; dd];
+        let mut support = Vec::new();
+        for &c in y.col_indices() {
+            if map[c as usize] == u32::MAX {
+                map[c as usize] = 0;
+            }
+        }
+        for (c, slot) in map.iter_mut().enumerate() {
+            if *slot == 0 {
+                *slot = support.len() as u32;
+                support.push(c as u32);
+            }
+        }
+        let mut slab = vec![0.0; support.len() * d];
+        spmm_tn_packed(&y, &x, &map, &mut slab);
+        for (i, &c) in support.iter().enumerate() {
+            assert_eq!(&slab[i * d..(i + 1) * d], full.row(c as usize), "packed row {c}");
+        }
+        // Untouched columns of the full product stay zero.
+        for c in 0..dd {
+            if map[c] == u32::MAX {
+                assert!(full.row(c).iter().all(|&v| v == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_mul_dense_into_reuses_buffer_exactly() {
+        let mut rng = Prng::seed_from_u64(14);
+        let (n, dd, d) = (50usize, 40usize, 6usize);
+        let mut triplets = Vec::new();
+        for _ in 0..200 {
+            triplets.push((rng.index(n), rng.index(dd) as u32, rng.normal()));
+        }
+        let y = SparseMat::from_triplets(n, dd, &triplets);
+        let b = rng.normal_mat(dd, d);
+        let fresh = sparse_mul_dense(&y, &b);
+        let mut buf = vec![7.0; n * d]; // stale garbage the caller must clear
+        buf.clear();
+        buf.resize(n * d, 0.0);
+        sparse_mul_dense_into(&y, &b, &mut buf);
+        assert_eq!(buf, fresh.data());
     }
 
     #[test]

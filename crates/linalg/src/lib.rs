@@ -33,6 +33,7 @@ pub mod norms;
 pub mod ops;
 pub mod pool;
 pub mod rng;
+pub mod scratch;
 pub mod sparse;
 pub mod vector;
 

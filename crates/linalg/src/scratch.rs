@@ -1,0 +1,113 @@
+//! Process-wide recycling of large `f64` buffers.
+//!
+//! The batched EM path retires multi-megabyte buffers every partition of
+//! every iteration (packed `YtX` slabs, latent-block scratch, merged
+//! accumulators). Fresh allocations of that size are served by `mmap` and
+//! repay a page fault per 4 KiB on first touch; at the paper's shapes the
+//! faults cost more than the arithmetic on the buffer. This bounded
+//! freelist hands retired buffers back pre-faulted — `take_zeroed` clears
+//! them with an in-place memset, several times cheaper than faulting a
+//! fresh mapping.
+//!
+//! Recycling cannot affect results: every buffer handed out is fully
+//! cleared, so contents never leak across uses, and buffer identity is
+//! invisible to the arithmetic.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Upper bound on retained buffer count (keeps the best-fit scan short).
+const MAX_BUFFERS: usize = 128;
+
+/// Upper bound on retained bytes across all buffers.
+const MAX_RETAINED_BYTES: usize = 256 << 20;
+
+static POOL: Mutex<Pool> = Mutex::new(Pool { buffers: Vec::new(), bytes: 0 });
+
+struct Pool {
+    buffers: Vec<Vec<f64>>,
+    bytes: usize,
+}
+
+fn pool() -> MutexGuard<'static, Pool> {
+    POOL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A buffer of exactly `len` zeros, reusing a retired allocation when one
+/// is large enough.
+pub fn take_zeroed(len: usize) -> Vec<f64> {
+    let mut v = take_cleared(len);
+    v.resize(len, 0.0);
+    v
+}
+
+/// An empty buffer with capacity at least `min_capacity`: the smallest
+/// retired buffer that fits, or a fresh allocation if none does.
+pub fn take_cleared(min_capacity: usize) -> Vec<f64> {
+    let mut p = pool();
+    let mut best: Option<usize> = None;
+    for (i, b) in p.buffers.iter().enumerate() {
+        if b.capacity() >= min_capacity
+            && best.map_or(true, |j| b.capacity() < p.buffers[j].capacity())
+        {
+            best = Some(i);
+        }
+    }
+    match best {
+        Some(i) => {
+            let v = p.buffers.swap_remove(i);
+            p.bytes -= v.capacity() * 8;
+            v
+        }
+        None => Vec::with_capacity(min_capacity),
+    }
+}
+
+/// Retires a buffer into the freelist (silently dropped once the list is
+/// at its count or byte bound).
+pub fn recycle(v: Vec<f64>) {
+    let cap = v.capacity();
+    if cap == 0 {
+        return;
+    }
+    let mut p = pool();
+    if p.buffers.len() >= MAX_BUFFERS || p.bytes + cap * 8 > MAX_RETAINED_BYTES {
+        return;
+    }
+    p.bytes += cap * 8;
+    let mut v = v;
+    v.clear();
+    p.buffers.push(v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroed_is_all_zeros_even_after_recycling_dirty_buffer() {
+        let mut v = vec![0.0; 1000];
+        v.iter_mut().for_each(|x| *x = 7.0);
+        recycle(v);
+        let z = take_zeroed(1000);
+        assert_eq!(z.len(), 1000);
+        assert!(z.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn recycled_capacity_is_reused() {
+        let mut v = Vec::with_capacity(4096);
+        v.resize(4096, 1.0);
+        recycle(v);
+        let t = take_cleared(4000);
+        assert!(t.capacity() >= 4000);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn empty_buffers_are_not_retained() {
+        recycle(Vec::new());
+        // No panic, nothing retained; a take still works.
+        let t = take_cleared(8);
+        assert!(t.capacity() >= 8);
+    }
+}

@@ -195,15 +195,54 @@ impl SparseMat {
     }
 
     /// Copies the selected rows into a fresh sparse matrix (sampling).
+    ///
+    /// Source rows are already sorted, deduped CSR, so the arrays are built
+    /// directly (as [`Self::row_block`] does) instead of round-tripping
+    /// through the sorting/deduping [`Self::from_rows`] path.
     pub fn select_rows(&self, idx: &[usize]) -> SparseMat {
-        let per_row = idx
-            .iter()
-            .map(|&r| {
-                let row = self.row(r);
-                row.indices.iter().zip(row.values).map(|(&c, &v)| (c, v)).collect()
-            })
-            .collect();
-        SparseMat::from_rows(idx.len(), self.cols, per_row)
+        let nnz: usize = idx.iter().map(|&r| self.indptr[r + 1] - self.indptr[r]).sum();
+        let mut indptr = Vec::with_capacity(idx.len() + 1);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        indptr.push(0);
+        for &r in idx {
+            assert!(r < self.rows, "select_rows: row {r} out of bounds {}", self.rows);
+            let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+            indices.extend_from_slice(&self.indices[s..e]);
+            values.extend_from_slice(&self.values[s..e]);
+            indptr.push(indices.len());
+        }
+        SparseMat { rows: idx.len(), cols: self.cols, indptr, indices, values }
+    }
+
+    /// Assembles a fresh CSR matrix from borrowed row views (each already
+    /// sorted and deduped, e.g. [`SparseRow`]s handed out by another
+    /// `SparseMat` or stored per-row by an engine partition). A straight
+    /// O(nnz) copy — this is how the engines turn a partition slice into a
+    /// block for the batched EM kernels without re-sorting anything.
+    pub fn from_row_views(cols: usize, rows: &[SparseRow<'_>]) -> SparseMat {
+        let nnz: usize = rows.iter().map(|r| r.indices.len()).sum();
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        indptr.push(0);
+        for r in rows {
+            debug_assert_eq!(r.indices.len(), r.values.len());
+            debug_assert!(r.indices.windows(2).all(|w| w[0] < w[1]), "rows must be sorted CSR");
+            debug_assert!(r.indices.last().map_or(true, |&c| (c as usize) < cols));
+            indices.extend_from_slice(r.indices);
+            values.extend_from_slice(r.values);
+            indptr.push(indices.len());
+        }
+        SparseMat { rows: rows.len(), cols, indptr, indices, values }
+    }
+
+    /// Flat column-index array of every stored non-zero (CSR order). The
+    /// batched EM accumulator uses this to build its column-support table
+    /// in one pass.
+    #[inline]
+    pub fn col_indices(&self) -> &[u32] {
+        &self.indices
     }
 
     /// Splits into `parts` contiguous row blocks of near-equal size.
@@ -344,6 +383,17 @@ mod tests {
         assert_eq!(s.rows(), 3);
         assert_eq!(s.row(0).indices, &[1, 2]);
         assert_eq!(s.row(2).indices, &[0, 2]);
+    }
+
+    #[test]
+    fn from_row_views_preserves_rows() {
+        let m = sample();
+        let views: Vec<SparseRow> = (0..m.rows()).map(|r| m.row(r)).collect();
+        let rebuilt = SparseMat::from_row_views(m.cols(), &views);
+        assert_eq!(m, rebuilt);
+        let partial = SparseMat::from_row_views(m.cols(), &views[1..]);
+        assert_eq!(partial, m.row_block(1, 3));
+        assert_eq!(SparseMat::from_row_views(4, &[]).rows(), 0);
     }
 
     #[test]

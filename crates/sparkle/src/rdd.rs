@@ -5,6 +5,36 @@ use std::sync::Arc;
 use dcluster::{SimCluster, StageOptions};
 use linalg::bytes::ByteSized;
 
+/// Deterministic pairwise tree reduction: adjacent values merge in rounds
+/// until one remains. The merge structure is a function of the input count
+/// only — never of worker count or completion order — so drivers reducing
+/// per-partition partials this way keep the bit-determinism contract while
+/// cutting the reduction's dependency depth from `P − 1` to `⌈log₂ P⌉`.
+///
+/// An empty input returns `init()`; a single value is returned unmerged
+/// (matching the old sequential fold's semantics for those cases).
+pub fn tree_merge<A, FI, FM>(mut parts: Vec<A>, init: FI, merge: FM) -> A
+where
+    FI: FnOnce() -> A,
+    FM: Fn(&mut A, A),
+{
+    if parts.is_empty() {
+        return init();
+    }
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity((parts.len() + 1) / 2);
+        let mut it = parts.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                merge(&mut a, b);
+            }
+            next.push(a);
+        }
+        parts = next;
+    }
+    parts.into_iter().next().expect("non-empty after rounds")
+}
+
 /// A partitioned in-memory dataset bound to a simulated cluster.
 ///
 /// Cloning is cheap (partitions are shared `Arc`s) — the pattern for
@@ -92,6 +122,35 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
         }
     }
 
+    /// [`Self::map_partitions`] with the partition's index passed to the
+    /// task — Spark's `mapPartitionsWithIndex`. The index comes from the
+    /// RDD's layout, not from execution order, so per-partition seeding
+    /// derived from it is deterministic under any scheduling.
+    pub fn map_partitions_with_index<U, F>(&self, label: &str, f: F) -> Rdd<'a, U>
+    where
+        U: Send + Sync,
+        F: Fn(usize, &[T]) -> Vec<U> + Sync,
+    {
+        self.charge_spill();
+        let f = &f;
+        let tasks: Vec<_> = self
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(idx, p)| {
+                let p = Arc::clone(p);
+                move || f(idx, &p)
+            })
+            .collect();
+        let outputs = self.cluster.run_stage(self.stage_options(label), tasks);
+        Rdd {
+            cluster: self.cluster,
+            task_overhead_secs: self.task_overhead_secs,
+            partitions: outputs.into_iter().map(Arc::new).collect(),
+            spill_bytes: 0,
+        }
+    }
+
     /// Element-wise map.
     pub fn map<U, F>(&self, label: &str, f: F) -> Rdd<'a, U>
     where
@@ -150,19 +209,62 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
             })
             .collect();
         let partials = self.cluster.run_stage(self.stage_options(label), tasks);
+        self.reduce_partials(partials, init, merge)
+    }
 
+    /// Partition-at-a-time aggregation: like [`Self::aggregate`], but each
+    /// task hands its *whole partition slice* to `fold_part` instead of
+    /// folding element by element. This is the entry point of the batched
+    /// EM path — the fold can assemble the slice into a block and run the
+    /// blocked kernels over it, instead of paying per-row dispatch.
+    pub fn aggregate_partitions<A, FI, FF, FM>(
+        &self,
+        label: &str,
+        init: FI,
+        fold_part: FF,
+        merge: FM,
+    ) -> (A, u64)
+    where
+        A: Send + ByteSized,
+        FI: Fn() -> A + Sync,
+        FF: Fn(&mut A, &[T]) + Sync,
+        FM: Fn(&mut A, A),
+    {
+        self.charge_spill();
+        let init = &init;
+        let fold_part = &fold_part;
+        let tasks: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|p| {
+                let p = Arc::clone(p);
+                move || {
+                    let mut acc = init();
+                    fold_part(&mut acc, &p);
+                    acc
+                }
+            })
+            .collect();
+        let partials = self.cluster.run_stage(self.stage_options(label), tasks);
+        self.reduce_partials(partials, init, merge)
+    }
+
+    /// Driver-side reduction shared by the two aggregates: charge the
+    /// accumulator bytes, then [`tree_merge`] the partials (pairwise rounds
+    /// — a function of the partition count only, so any worker count
+    /// produces the same result).
+    fn reduce_partials<A, FI, FM>(&self, partials: Vec<A>, init: FI, merge: FM) -> (A, u64)
+    where
+        A: ByteSized,
+        FI: Fn() -> A,
+        FM: Fn(&mut A, A),
+    {
         let bytes: u64 = partials.iter().map(ByteSized::size_bytes).sum();
         self.cluster.charge_network(bytes);
         if obs::enabled() {
             self.cluster.registry().counter("sparkle.accumulator_bytes").add(bytes);
         }
-
-        let mut it = partials.into_iter();
-        let mut merged = it.next().unwrap_or_else(init);
-        for p in it {
-            merge(&mut merged, p);
-        }
-        (merged, bytes)
+        (tree_merge(partials, init, merge), bytes)
     }
 
     /// Copies every element to the driver, charging the transfer.
@@ -231,12 +333,11 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
         T: Clone,
     {
         assert!((0.0..=1.0).contains(&fraction), "fraction must be a probability");
-        // One independent stream per partition so results do not depend on
-        // partition iteration order.
-        let counter = std::sync::atomic::AtomicU64::new(0);
-        self.map_partitions(label, move |part| {
-            let pidx = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            let mut rng = linalg::Prng::seed_from_u64(seed ^ (pidx.wrapping_mul(0x9e37)));
+        // One independent stream per partition, seeded from the partition's
+        // *layout* index — not from a shared counter bumped during parallel
+        // execution, whose value would depend on task scheduling order.
+        self.map_partitions_with_index(label, move |pidx, part| {
+            let mut rng = linalg::Prng::seed_from_u64(seed ^ ((pidx as u64).wrapping_mul(0x9e37)));
             part.iter().filter(|_| rng.uniform() < fraction).cloned().collect()
         })
     }
@@ -402,6 +503,75 @@ mod tests {
         assert!((count / 10_000.0 - 0.2).abs() < 0.03, "got fraction {}", count / 10_000.0);
         let s3 = rdd.sample("s", 0.2, 10);
         assert_ne!(s1.collect(), s3.collect(), "different seed, different sample");
+    }
+
+    #[test]
+    fn tree_merge_covers_every_count() {
+        assert_eq!(tree_merge(Vec::<u64>::new(), || 9, |a, b| *a += b), 9);
+        for n in 1..=17u64 {
+            let parts: Vec<u64> = (1..=n).collect();
+            assert_eq!(tree_merge(parts, || 0, |a, b| *a += b), n * (n + 1) / 2);
+        }
+        // The merge structure depends only on the count: pairwise rounds.
+        let order = std::cell::RefCell::new(Vec::new());
+        let _ = tree_merge(
+            vec!["a".to_string(), "b".into(), "c".into(), "d".into(), "e".into()],
+            String::new,
+            |a, b| {
+                order.borrow_mut().push(format!("{a}+{b}"));
+                a.push_str(&b);
+            },
+        );
+        assert_eq!(
+            order.into_inner(),
+            vec!["a+b", "c+d", "ab+cd", "abcd+e"],
+            "fixed pairwise rounds"
+        );
+    }
+
+    #[test]
+    fn map_partitions_with_index_sees_layout_index() {
+        let c = cluster();
+        let ctx = SparkleContext::new(&c);
+        let rdd = ctx.from_partitions(vec![vec![10_u64], vec![20, 21], vec![30]]);
+        let tagged = rdd.map_partitions_with_index("tag", |idx, part| {
+            part.iter().map(|x| (idx as u64, *x)).collect::<Vec<_>>()
+        });
+        assert_eq!(tagged.collect(), vec![(0, 10), (1, 20), (1, 21), (2, 30)]);
+    }
+
+    #[test]
+    fn sample_is_identical_across_worker_counts() {
+        use linalg::WorkerPool;
+        let run_with = |workers: usize| {
+            let c = SimCluster::new_with_pool(
+                ClusterConfig::paper_cluster(),
+                Arc::new(WorkerPool::new(workers)),
+            );
+            let ctx = SparkleContext::new(&c);
+            let rdd = ctx.parallelize((0_u64..5_000).collect(), 7);
+            rdd.sample("s", 0.3, 42).collect()
+        };
+        let one = run_with(1);
+        assert_eq!(one, run_with(2), "1 vs 2 workers");
+        assert_eq!(one, run_with(8), "1 vs 8 workers");
+    }
+
+    #[test]
+    fn aggregate_partitions_matches_elementwise_aggregate() {
+        let c = cluster();
+        let ctx = SparkleContext::new(&c);
+        let rdd = ctx.parallelize((1_u64..=100).collect(), 5);
+        let (by_elem, bytes_elem) =
+            rdd.aggregate("sum", || 0_u64, |a, x| *a += x, |a, b| *a += b);
+        let (by_part, bytes_part) = rdd.aggregate_partitions(
+            "psum",
+            || 0_u64,
+            |a, part| *a += part.iter().sum::<u64>(),
+            |a, b| *a += b,
+        );
+        assert_eq!(by_elem, by_part);
+        assert_eq!(bytes_elem, bytes_part, "same partial count, same accumulator bytes");
     }
 
     #[test]

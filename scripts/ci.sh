@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 gate: offline build, full test suite, a smoke run of the kernel
-# benchmark (which asserts kernel-vs-naive agreement internally), and the
-# observability smoke: collect a Chrome trace from the smoke bench and from
-# a traced two-engine sPCA run, then validate both with the std-only
-# trace_check (strict JSON + traceEvents key).
+# Tier-1 gate: offline build, full test suite, smoke runs of the kernel and
+# EM benchmarks (both assert agreement against naive/row-at-a-time references
+# internally, and bench_em additionally asserts worker-count bit-determinism),
+# and the observability smoke: collect Chrome traces from the smoke benches
+# and from a traced two-engine sPCA run, then validate all of them with the
+# std-only trace_check (strict JSON + traceEvents key; benchmark result JSON
+# is validated via --plain).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,8 +17,11 @@ cargo test -q --offline --workspace
 cargo test -q --release --offline --workspace
 cargo run --release --offline -p spca-bench --bin bench_kernels -- \
     --smoke --out /tmp/BENCH_kernels_smoke.json --trace "$TRACE_DIR/bench_kernels.json"
+cargo run --release --offline -p spca-bench --bin bench_em -- \
+    --smoke --out "$TRACE_DIR/BENCH_em.json" --trace "$TRACE_DIR/bench_em.json"
 cargo run --release --offline -p spca-bench --bin trace_report -- \
     --trace "$TRACE_DIR/trace_report.json" > "$TRACE_DIR/trace_report.txt"
 cargo run --release --offline -p spca-bench --bin trace_check -- \
-    "$TRACE_DIR/bench_kernels.json" "$TRACE_DIR/trace_report.json"
+    "$TRACE_DIR/bench_kernels.json" "$TRACE_DIR/bench_em.json" \
+    "$TRACE_DIR/trace_report.json" --plain "$TRACE_DIR/BENCH_em.json"
 echo "ci: all gates passed (traces in $TRACE_DIR)"
