@@ -8,9 +8,11 @@
 //!   trace_report                   # print the text report
 //!   trace_report --trace T.json    # also write the Chrome trace file
 
-use dcluster::SimCluster;
+use std::collections::BTreeMap;
+
+use dcluster::{FaultPlan, FaultSpec, SimCluster};
 use spca_bench::{data, fmt_bytes, fmt_secs, fresh_cluster, Table};
-use spca_core::{Spca, SpcaConfig};
+use spca_core::{Spca, SpcaConfig, SpcaError};
 
 fn stage_table(label: &str, cluster: &SimCluster) {
     let metrics = cluster.metrics();
@@ -58,7 +60,7 @@ fn main() {
         Spca::new(config.clone()).fit_spark(&spark_cluster, &y).expect("sPCA-Spark run");
     let mr_cluster = fresh_cluster();
     let mr_run =
-        Spca::new(config).fit_mapreduce(&mr_cluster, &y).expect("sPCA-MapReduce run");
+        Spca::new(config.clone()).fit_mapreduce(&mr_cluster, &y).expect("sPCA-MapReduce run");
 
     println!("=== trace report: sPCA-Spark vs sPCA-MapReduce (4000 x 800, d=8) ===");
     println!(
@@ -71,6 +73,56 @@ fn main() {
 
     stage_table("sPCA-Spark", &spark_cluster);
     stage_table("sPCA-MapReduce", &mr_cluster);
+
+    // A third run under chaos — two node crashes, stragglers, speculation,
+    // a checkpointed driver crash with resume — to exercise the recovery
+    // event log end to end. The resumed model must equal the clean Spark
+    // run bit for bit.
+    let faulty_cluster = fresh_cluster();
+    let spec = FaultSpec::new(7)
+        .with_straggler_rate(0.2)
+        .with_straggler_slowdown(5.0)
+        .with_speculation(true);
+    faulty_cluster
+        .install_fault_plan(spec, FaultPlan::new().with_crash(1, 2).with_crash(4, 4))
+        .expect("valid fault plan");
+    let faulty_config = config.clone().with_checkpoint_every(1);
+    match Spca::new(faulty_config.clone().with_crash_at_iteration(2))
+        .fit_spark(&faulty_cluster, &y)
+    {
+        Err(SpcaError::DriverCrashed { .. }) => {}
+        other => panic!("expected the injected driver crash, got {other:?}"),
+    }
+    let resumed =
+        Spca::new(faulty_config).fit_spark(&faulty_cluster, &y).expect("resumed run");
+    let bitwise_equal = resumed
+        .model
+        .components()
+        .data()
+        .iter()
+        .zip(spark_run.model.components().data())
+        .all(|(a, b)| a.to_bits() == b.to_bits())
+        && resumed.model.noise_variance().to_bits() == spark_run.model.noise_variance().to_bits();
+    assert!(bitwise_equal, "recovery must reproduce the clean model bit for bit");
+
+    println!("\n-- recovery events: sPCA-Spark under chaos (crash/resume) --");
+    let mut kinds: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for event in faulty_cluster.recovery_log() {
+        *kinds.entry(event.kind()).or_insert(0) += 1;
+    }
+    let mut table = Table::new(&["Event", "Count"]);
+    for (kind, count) in &kinds {
+        table.row(&[kind.to_string(), count.to_string()]);
+    }
+    table.print();
+    let faulty_reg = faulty_cluster.registry();
+    let saved = faulty_reg.histogram("faults.speculation_saved_secs");
+    println!(
+        "recovered bitwise-identical model; {} re-replicated, {} checkpointed, {} saved by speculation",
+        fmt_bytes(faulty_reg.counter("faults.replication_bytes").get()),
+        fmt_bytes(faulty_reg.counter("faults.checkpoint_bytes").get()),
+        fmt_secs(saved.mean() * saved.count() as f64),
+    );
 
     println!("\n-- span tree (virtual + host clock domains) --");
     let spark_reg = spark_cluster.registry();

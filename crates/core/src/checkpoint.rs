@@ -1,0 +1,184 @@
+//! Iteration-boundary EM checkpoints.
+//!
+//! The EM driver's whole state between iterations is tiny — `C` (D×d),
+//! `ss`, and the previous sampled error — so checkpointing it to the DFS
+//! costs one small write per interval and turns a driver crash from a
+//! restart into a resume. The encoding stores every `f64` as its raw IEEE
+//! bits (little-endian), so a resumed run continues from *exactly* the
+//! state the uninterrupted run had — the bitwise-identical-model
+//! invariant extends across crashes.
+
+use std::sync::Arc;
+
+use linalg::Mat;
+
+use crate::error::SpcaError;
+
+/// DFS name the EM driver checkpoints under (one in-flight run per
+/// cluster, like a Hadoop job's staging directory).
+pub const CHECKPOINT_FILE: &str = "_checkpoints/em-state";
+
+const MAGIC: &[u8; 8] = b"SPCACKPT";
+const VERSION: u32 = 1;
+
+/// EM state at the end of iteration `iteration`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmCheckpoint {
+    /// The completed iteration this state belongs to.
+    pub iteration: usize,
+    /// Principal-subspace matrix `C` after that iteration.
+    pub c: Mat,
+    /// Noise variance `ss` after that iteration.
+    pub ss: f64,
+    /// Sampled reconstruction error of that iteration (the next
+    /// iteration's stop-condition baseline).
+    pub prev_error: f64,
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SpcaError> {
+        if self.pos + n > self.buf.len() {
+            return Err(SpcaError::CorruptCheckpoint {
+                reason: format!("truncated at byte {} (wanted {n} more)", self.pos),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, SpcaError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, SpcaError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+impl EmCheckpoint {
+    /// Serializes to the binary blob stored in the DFS.
+    pub fn encode(&self) -> Vec<u8> {
+        let (rows, cols) = (self.c.rows(), self.c.cols());
+        let mut out = Vec::with_capacity(8 + 4 + 8 * 4 + rows * cols * 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        push_u64(&mut out, self.iteration as u64);
+        push_u64(&mut out, rows as u64);
+        push_u64(&mut out, cols as u64);
+        push_f64(&mut out, self.ss);
+        push_f64(&mut out, self.prev_error);
+        for &v in self.c.data() {
+            push_f64(&mut out, v);
+        }
+        out
+    }
+
+    /// Parses a blob produced by [`EmCheckpoint::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Self, SpcaError> {
+        let mut r = Reader { buf, pos: 0 };
+        if r.take(8)? != MAGIC {
+            return Err(SpcaError::CorruptCheckpoint { reason: "bad magic".into() });
+        }
+        let version = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(SpcaError::CorruptCheckpoint {
+                reason: format!("unsupported version {version}"),
+            });
+        }
+        let iteration = r.u64()? as usize;
+        let rows = r.u64()? as usize;
+        let cols = r.u64()? as usize;
+        let ss = r.f64()?;
+        let prev_error = r.f64()?;
+        if rows.checked_mul(cols).is_none() || buf.len() != r.pos + rows * cols * 8 {
+            return Err(SpcaError::CorruptCheckpoint {
+                reason: format!("payload size does not match {rows}x{cols} matrix"),
+            });
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(r.f64()?);
+        }
+        Ok(EmCheckpoint { iteration, c: Mat::from_vec(rows, cols, data), ss, prev_error })
+    }
+
+    /// Decodes a shared DFS blob (convenience for the common call shape).
+    pub fn decode_arc(blob: &Arc<Vec<u8>>) -> Result<Self, SpcaError> {
+        EmCheckpoint::decode(blob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EmCheckpoint {
+        let data: Vec<f64> =
+            (0..12).map(|i| (i as f64 + 0.25) * if i % 2 == 0 { 1.0 } else { -1e-9 }).collect();
+        EmCheckpoint {
+            iteration: 7,
+            c: Mat::from_vec(4, 3, data),
+            ss: 3.25e-4,
+            prev_error: 0.421875,
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise() {
+        let ck = sample();
+        let decoded = EmCheckpoint::decode(&ck.encode()).unwrap();
+        assert_eq!(decoded.iteration, ck.iteration);
+        assert_eq!(decoded.ss.to_bits(), ck.ss.to_bits());
+        assert_eq!(decoded.prev_error.to_bits(), ck.prev_error.to_bits());
+        let same = decoded
+            .c
+            .data()
+            .iter()
+            .zip(ck.c.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "C must round-trip bit-for-bit");
+    }
+
+    #[test]
+    fn roundtrip_preserves_non_finite_error() {
+        // A checkpoint written before any stop check has prev_error = +inf.
+        let mut ck = sample();
+        ck.prev_error = f64::INFINITY;
+        let decoded = EmCheckpoint::decode(&ck.encode()).unwrap();
+        assert!(decoded.prev_error.is_infinite());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(
+            EmCheckpoint::decode(b"not a checkpoint"),
+            Err(SpcaError::CorruptCheckpoint { .. })
+        ));
+        let mut truncated = sample().encode();
+        truncated.truncate(truncated.len() - 1);
+        assert!(matches!(
+            EmCheckpoint::decode(&truncated),
+            Err(SpcaError::CorruptCheckpoint { .. })
+        ));
+        let mut wrong_magic = sample().encode();
+        wrong_magic[0] ^= 0xff;
+        assert!(matches!(
+            EmCheckpoint::decode(&wrong_magic),
+            Err(SpcaError::CorruptCheckpoint { .. })
+        ));
+    }
+}

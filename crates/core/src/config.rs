@@ -41,6 +41,15 @@ pub struct SpcaConfig {
     pub partitions: Option<usize>,
     /// Optional smart-guess initialization (sPCA-SG).
     pub smart_guess: Option<SmartGuess>,
+    /// Checkpoint the EM state (`C`, `ss`, error) to the cluster's DFS
+    /// every this many iterations (`None` disables). With a checkpoint
+    /// present on the cluster, `fit` resumes from it instead of
+    /// restarting — bitwise identically to the uninterrupted run.
+    pub checkpoint_every: Option<usize>,
+    /// Fault injection: kill the driver right after this iteration
+    /// completes (and after any due checkpoint is written). The fit
+    /// returns `SpcaError::DriverCrashed`; `None` disables.
+    pub crash_at_iteration: Option<usize>,
 }
 
 impl SpcaConfig {
@@ -57,6 +66,8 @@ impl SpcaConfig {
             error_sample_rows: 256,
             partitions: None,
             smart_guess: None,
+            checkpoint_every: None,
+            crash_at_iteration: None,
         }
     }
 
@@ -102,6 +113,20 @@ impl SpcaConfig {
         self.smart_guess = Some(sg);
         self
     }
+
+    /// Enables DFS checkpointing of the EM state every `iters` iterations.
+    pub fn with_checkpoint_every(mut self, iters: usize) -> Self {
+        assert!(iters > 0, "checkpoint interval must be at least one iteration");
+        self.checkpoint_every = Some(iters);
+        self
+    }
+
+    /// Injects a driver crash after the given iteration completes.
+    pub fn with_crash_at_iteration(mut self, iter: usize) -> Self {
+        assert!(iter > 0, "iterations are 1-based");
+        self.crash_at_iteration = Some(iter);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +158,15 @@ mod tests {
         assert_eq!(c.partitions, Some(4));
         assert_eq!(c.error_sample_rows, 64);
         assert!(c.smart_guess.is_some());
+        let c = c.with_checkpoint_every(2).with_crash_at_iteration(3);
+        assert_eq!(c.checkpoint_every, Some(2));
+        assert_eq!(c.crash_at_iteration, Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint interval")]
+    fn zero_checkpoint_interval_rejected() {
+        let _ = SpcaConfig::new(2).with_checkpoint_every(0);
     }
 
     #[test]

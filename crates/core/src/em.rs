@@ -14,6 +14,7 @@ use linalg::decomp::lu::Lu;
 use linalg::{Mat, SparseMat};
 
 use crate::accuracy;
+use crate::checkpoint::{EmCheckpoint, CHECKPOINT_FILE};
 use crate::config::SpcaConfig;
 use crate::error::SpcaError;
 use crate::mean_prop::{ss3_finalize, YtxPartial};
@@ -79,14 +80,36 @@ pub fn run_em(
     let (mut c, mut ss) = init;
     assert_eq!((c.rows(), c.cols()), (d_in, d), "init C has wrong shape");
 
-    // Lines 3–4: one-time jobs.
+    // Lines 3–4: one-time jobs. Also re-run on a resume: they are
+    // deterministic, so recomputing them reproduces the original values.
     let mean = jobs.mean_job();
     let ss1 = jobs.fnorm_job(&mean);
 
     let mut iterations: Vec<IterationStat> = Vec::new();
     let mut prev_error = f64::INFINITY;
 
-    for iter in 1..=config.max_iters {
+    // Resume: with checkpointing enabled and a readable checkpoint of the
+    // right shape on the DFS, continue from it instead of restarting. A
+    // missing/lost/corrupt/mismatched blob is a fresh start — recovery
+    // code must tolerate anything a crash can leave behind.
+    let mut start_iter = 1;
+    if config.checkpoint_every.is_some() {
+        let restored = cluster
+            .dfs()
+            .get_blob(cluster, CHECKPOINT_FILE)
+            .ok()
+            .and_then(|blob| EmCheckpoint::decode(&blob).ok())
+            .filter(|ck| (ck.c.rows(), ck.c.cols()) == (d_in, d));
+        if let Some(ck) = restored {
+            cluster.note_checkpoint_restored(ck.iteration as u64);
+            start_iter = ck.iteration + 1;
+            prev_error = ck.prev_error;
+            c = ck.c;
+            ss = ck.ss;
+        }
+    }
+
+    for iter in start_iter..=config.max_iters {
         if obs::enabled() {
             cluster.trace_begin("iteration", &format!("iteration {iter}"), Vec::new());
         }
@@ -156,6 +179,24 @@ pub fn run_em(
             );
         }
 
+        // Iteration-boundary checkpoint: the complete driver state after
+        // this iteration, written before the stop checks so a crash at any
+        // point resumes to exactly this state.
+        if let Some(every) = config.checkpoint_every {
+            if iter % every == 0 {
+                let blob =
+                    EmCheckpoint { iteration: iter, c: c.clone(), ss, prev_error: error }.encode();
+                let bytes = blob.len() as u64;
+                cluster.dfs().put_blob(cluster, CHECKPOINT_FILE, blob);
+                cluster.note_checkpoint_written(iter as u64, bytes);
+            }
+        }
+        // Injected driver crash (fault testing): state is on the DFS (if
+        // checkpointing is on); the next fit on this cluster resumes.
+        if config.crash_at_iteration == Some(iter) {
+            return Err(SpcaError::DriverCrashed { iteration: iter });
+        }
+
         // STOP_CONDITION.
         if let Some(target) = config.target_error {
             if error <= target {
@@ -168,6 +209,13 @@ pub fn run_em(
             }
         }
         prev_error = error;
+    }
+
+    // The run completed: its checkpoint (if any) is spent. Removing it
+    // keeps a later, unrelated fit on this cluster from resuming into the
+    // wrong run.
+    if config.checkpoint_every.is_some() {
+        let _ = cluster.dfs().delete(CHECKPOINT_FILE);
     }
 
     if obs::enabled() {

@@ -22,6 +22,18 @@ pub enum SpcaError {
     /// The simulated cluster refused a resource (driver OOM — the MLlib
     /// failure mode of Figures 7–8).
     Cluster(ClusterError),
+    /// The simulated driver crashed mid-run (fault injection via
+    /// `SpcaConfig::with_crash_at_iteration`). Re-running `fit` on the
+    /// same cluster resumes from the last checkpoint.
+    DriverCrashed {
+        /// The iteration the crash interrupted.
+        iteration: usize,
+    },
+    /// A checkpoint blob failed to decode.
+    CorruptCheckpoint {
+        /// What the decoder objected to.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpcaError {
@@ -34,6 +46,12 @@ impl fmt::Display for SpcaError {
             ),
             SpcaError::Numeric(e) => write!(f, "numeric failure: {e}"),
             SpcaError::Cluster(e) => write!(f, "cluster failure: {e}"),
+            SpcaError::DriverCrashed { iteration } => {
+                write!(f, "driver crashed during EM iteration {iteration}; re-run to resume")
+            }
+            SpcaError::CorruptCheckpoint { reason } => {
+                write!(f, "checkpoint is corrupt: {reason}")
+            }
         }
     }
 }

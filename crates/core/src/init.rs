@@ -37,14 +37,19 @@ pub fn smart_guess_init(
     let idx = rng.sample_indices(y.rows(), k);
     let sample = y.select_rows(&idx);
 
+    // The warm-up must not inherit fault knobs: checkpointing would
+    // collide with the full run's checkpoint file, and an injected crash
+    // belongs to the main loop only.
     let warm_config = SpcaConfig {
         smart_guess: None,
         max_iters: sg.iterations,
         rel_tolerance: None,
         target_error: None,
+        checkpoint_every: None,
+        crash_at_iteration: None,
         ..config.clone()
     };
-    let run = crate::spark::fit(cluster, &sample, &warm_config)?;
+    let run = crate::spark::fit_with_input(cluster, &sample, &warm_config, "input/Y.sample")?;
     Ok((run.model.components().clone(), run.model.noise_variance()))
 }
 

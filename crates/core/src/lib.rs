@@ -28,6 +28,7 @@
 
 pub mod ablation;
 pub mod accuracy;
+pub mod checkpoint;
 pub mod config;
 pub mod em;
 pub mod error;

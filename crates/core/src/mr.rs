@@ -226,6 +226,17 @@ impl EmJobs for MrJobs<'_> {
 
 /// Fits sPCA on the MapReduce engine.
 pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<SpcaRun> {
+    fit_with_input(cluster, y, config, "input/Y")
+}
+
+/// [`fit`] with an explicit DFS name for the materialized input (the
+/// smart-guess warm-up uses a separate name for its row sample).
+fn fit_with_input(
+    cluster: &SimCluster,
+    y: &SparseMat,
+    config: &SpcaConfig,
+    input_file: &str,
+) -> Result<SpcaRun> {
     if obs::enabled() {
         cluster.set_trace_label("sPCA-MR");
     }
@@ -234,6 +245,11 @@ pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<S
         .unwrap_or_else(|| cluster.config().total_cores())
         .min(y.rows().max(1));
     let blocks = y.split_rows(partitions);
+
+    // HDFS-materialized input: MapReduce recovery re-reads failed tasks'
+    // splits from here (sized per task by the engine), and node crashes
+    // re-replicate it like any other file.
+    cluster.dfs().seed(cluster, input_file, linalg::bytes::ByteSized::size_bytes(y));
 
     // Smart guess warms up on the sample with this same engine; its cost
     // is charged to this run (the paper counts the warm-up delay).
@@ -250,14 +266,19 @@ pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<S
             let mut rng = linalg::Prng::seed_from_u64(config.seed ^ 0x5650);
             let idx = rng.sample_indices(y.rows(), k);
             let sample = y.select_rows(&idx);
+            // The warm-up must not inherit fault knobs: checkpointing
+            // would collide with the full run's checkpoint file, and an
+            // injected crash belongs to the main loop only.
             let warm = SpcaConfig {
                 smart_guess: None,
                 max_iters: sg.iterations,
                 rel_tolerance: None,
                 target_error: None,
+                checkpoint_every: None,
+                crash_at_iteration: None,
                 ..config.clone()
             };
-            let run = fit(cluster, &sample, &warm)?;
+            let run = fit_with_input(cluster, &sample, &warm, "input/Y.sample")?;
             (run.model.components().clone(), run.model.noise_variance())
         }
         None => init::random_init(y.cols(), config.components, config.seed),

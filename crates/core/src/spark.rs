@@ -19,7 +19,7 @@ use dcluster::SimCluster;
 use linalg::bytes::ByteSized;
 use linalg::sparse::SparseRow;
 use linalg::{Mat, SparseMat};
-use sparkle::{Rdd, SparkleContext};
+use sparkle::{Lineage, Rdd, SparkleContext};
 
 use crate::config::SpcaConfig;
 use crate::em::{run_em, EmJobs};
@@ -48,6 +48,16 @@ impl ByteSized for SpRow {
     fn size_bytes(&self) -> u64 {
         (self.indices.len() * 12 + 8) as u64
     }
+}
+
+/// Row range `(start, len)` of partition `p` when `n` rows are split into
+/// `parts` — the exact layout of [`SparseMat::split_rows`], so lineage
+/// recomputation rebuilds precisely the rows the lost partition held.
+pub(crate) fn partition_range(n: usize, parts: usize, p: usize) -> (usize, usize) {
+    let base = n / parts;
+    let extra = n % parts;
+    let start = p * base + p.min(extra);
+    (start, base + usize::from(p < extra))
 }
 
 /// Converts a sparse matrix into row elements (helper for RDD creation).
@@ -219,6 +229,18 @@ pub fn transform(
 
 /// Fits sPCA on the Spark-like engine.
 pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<SpcaRun> {
+    fit_with_input(cluster, y, config, "input/Y")
+}
+
+/// [`fit`] with an explicit DFS name for the materialized input — the
+/// smart-guess warm-up fits its row sample under a different name so it
+/// does not clobber the full run's input file.
+pub(crate) fn fit_with_input(
+    cluster: &SimCluster,
+    y: &SparseMat,
+    config: &SpcaConfig,
+    input_file: &str,
+) -> Result<SpcaRun> {
     if obs::enabled() {
         cluster.set_trace_label("sPCA-Spark");
     }
@@ -228,10 +250,27 @@ pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<S
         .unwrap_or_else(|| cluster.config().total_cores())
         .min(y.rows().max(1));
 
-    // Build and persist the input RDD (cached across all EM iterations).
+    // The input pre-exists the run on the DFS (seeded, not charged). It is
+    // both what lineage recomputation re-reads after a cache loss and what
+    // node crashes re-replicate.
+    cluster.dfs().seed(cluster, input_file, y.size_bytes());
+
+    // Build and persist the input RDD (cached across all EM iterations),
+    // with the lineage that rebuilds any partition a node crash evicts:
+    // re-read the partition's slice of the input file and re-parse it.
     let blocks: Vec<Vec<SpRow>> = y.split_rows(partitions).iter().map(to_rows).collect();
     let mut rdd = ctx.from_partitions(blocks);
-    rdd.persist();
+    let n_rows = y.rows();
+    rdd.persist_with_lineage(
+        Lineage::new(
+            vec![format!("textFile({input_file})"), "parse".into()],
+            Box::new(move |p| {
+                let (start, len) = partition_range(n_rows, partitions, p);
+                to_rows(&y.row_block(start, start + len))
+            }),
+        )
+        .with_source(input_file),
+    );
 
     // Initialization: random, or smart-guess warm start (sPCA-SG). The
     // warm-up's time and intermediate data are charged to this run — the
@@ -277,6 +316,23 @@ mod tests {
         assert_eq!(rows[0].indices, vec![1, 4]);
         assert_eq!(rows[0].size_bytes(), 32);
         assert_eq!(rows[1].view().dot_dense(&[1.0, 0.0, 0.0, 0.0, 0.0]), 3.0);
+    }
+
+    #[test]
+    fn partition_range_mirrors_split_rows() {
+        for &(n, parts) in &[(1usize, 1usize), (7, 3), (8, 3), (100, 7), (5, 5), (3, 8)] {
+            let parts = parts.min(n); // fit clamps the same way
+            let y = SparseMat::from_triplets(n, 2, &[]);
+            let blocks = y.split_rows(parts);
+            let mut start_seen = 0;
+            for (p, block) in blocks.iter().enumerate() {
+                let (start, len) = partition_range(n, parts, p);
+                assert_eq!(start, start_seen, "partition {p} start for n={n} parts={parts}");
+                assert_eq!(len, block.rows(), "partition {p} len for n={n} parts={parts}");
+                start_seen += len;
+            }
+            assert_eq!(start_seen, n);
+        }
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Chaos-determinism properties of the fault-domain subsystem.
+//!
+//! The contract under test: a fault plan changes *when* work happens and
+//! *what it costs* — never *what is computed*. Concretely:
+//!
+//! 1. **Bitwise fault transparency** — `fit()` under node crashes,
+//!    stragglers and speculation produces a model whose every `f64` is
+//!    bit-identical to the fault-free run, on both engines. Lineage
+//!    recomputation (Spark) and split re-execution (MapReduce) are exact,
+//!    not approximate.
+//! 2. **Host-pool independence** — the recovery-event log and the fitted
+//!    model are identical whether the simulation runs on 1, 2 or 8 host
+//!    worker threads. Fault handling keys off stage indices, never off
+//!    measured wall time.
+//! 3. **Checkpoint transparency** — a run killed mid-loop and resumed
+//!    from its DFS checkpoint converges to the bit-identical model of the
+//!    uninterrupted run, on both engines.
+
+use std::sync::Arc;
+
+use dcluster::{ClusterConfig, FaultPlan, FaultSpec, RecoveryEvent, SimCluster};
+use linalg::{Prng, SparseMat, WorkerPool};
+use spca_core::checkpoint::CHECKPOINT_FILE;
+use spca_core::{Spca, SpcaConfig, SpcaError, SpcaRun};
+
+fn test_matrix(seed: u64) -> SparseMat {
+    let mut rng = Prng::seed_from_u64(seed);
+    let spec = datasets::LowRankSpec::small_test();
+    datasets::sparse_lowrank(&spec, &mut rng)
+}
+
+fn cluster() -> SimCluster {
+    SimCluster::new(ClusterConfig::paper_cluster())
+}
+
+/// Every f64 of the fitted model, as raw bits — equality here is the
+/// paper-faithful "recovery is exact" claim, not an epsilon comparison.
+fn model_bits(run: &SpcaRun) -> (Vec<u64>, Vec<u64>, u64) {
+    (
+        run.model.components().data().iter().map(|v| v.to_bits()).collect(),
+        run.model.mean().iter().map(|v| v.to_bits()).collect(),
+        run.model.noise_variance().to_bits(),
+    )
+}
+
+/// A plan that kills ≥ 2 of the 8 paper-cluster nodes mid-iteration (the
+/// first EM iteration's YtX/ss3 stages are stage indices 2 and 3, after
+/// meanJob and FnormJob) plus stragglers on every stage.
+fn chaos_spec_and_plan() -> (FaultSpec, FaultPlan) {
+    let spec = FaultSpec::new(0xfau64)
+        .with_straggler_rate(0.2)
+        .with_straggler_slowdown(5.0)
+        .with_speculation(true);
+    let plan = FaultPlan::new().with_crash(1, 2).with_crash(5, 3).with_crash(3, 5);
+    (spec, plan)
+}
+
+fn count_kind(log: &[RecoveryEvent], kind: &str) -> usize {
+    log.iter().filter(|e| e.kind() == kind).count()
+}
+
+#[test]
+fn spark_fit_under_chaos_is_bitwise_identical_to_fault_free() {
+    let y = test_matrix(11);
+    let config = SpcaConfig::new(3).with_max_iters(5).with_rel_tolerance(None);
+
+    let clean = Spca::new(config.clone()).fit_spark(&cluster(), &y).unwrap();
+
+    let faulty_cluster = cluster();
+    let (spec, plan) = chaos_spec_and_plan();
+    faulty_cluster.install_fault_plan(spec, plan).unwrap();
+    let faulty = Spca::new(config).fit_spark(&faulty_cluster, &y).unwrap();
+
+    assert_eq!(model_bits(&clean), model_bits(&faulty), "crashes changed the Spark model");
+
+    let log = faulty_cluster.recovery_log();
+    assert_eq!(count_kind(&log, "node_crashed"), 3);
+    assert!(
+        count_kind(&log, "partition_recomputed") > 0,
+        "a crash must trigger lineage recomputation of cached partitions"
+    );
+    assert!(count_kind(&log, "task_reattempted") > 0);
+    // Recovery costs time: the faulty run is slower, never faster.
+    assert!(faulty.virtual_time_secs > clean.virtual_time_secs);
+}
+
+#[test]
+fn mapreduce_fit_under_chaos_is_bitwise_identical_to_fault_free() {
+    let y = test_matrix(12);
+    let config = SpcaConfig::new(3).with_max_iters(4).with_rel_tolerance(None);
+
+    let clean = Spca::new(config.clone()).fit_mapreduce(&cluster(), &y).unwrap();
+
+    let faulty_cluster = cluster();
+    let (spec, plan) = chaos_spec_and_plan();
+    faulty_cluster.install_fault_plan(spec, plan).unwrap();
+    let faulty = Spca::new(config).fit_mapreduce(&faulty_cluster, &y).unwrap();
+
+    assert_eq!(model_bits(&clean), model_bits(&faulty), "crashes changed the MapReduce model");
+
+    let log = faulty_cluster.recovery_log();
+    assert_eq!(count_kind(&log, "node_crashed"), 3);
+    assert!(count_kind(&log, "task_reattempted") > 0, "killed map/reduce tasks must re-execute");
+    // MapReduce recovers by re-reading materialized splits, not lineage.
+    assert_eq!(count_kind(&log, "partition_recomputed"), 0);
+    assert!(faulty.virtual_time_secs > clean.virtual_time_secs);
+}
+
+#[test]
+fn generated_plans_are_deterministic_and_respect_the_rate() {
+    let spec = FaultSpec::new(77).with_node_crash_rate(0.25).with_crash_horizon_stages(6);
+    let a = FaultPlan::generate(&spec, 8);
+    let b = FaultPlan::generate(&spec, 8);
+    assert_eq!(a.events(), b.events(), "same spec must generate the same plan");
+    assert_eq!(a.events().len(), 2, "25% of 8 nodes");
+}
+
+#[test]
+fn recovery_log_and_model_identical_across_host_pools() {
+    let y = test_matrix(13);
+    let config = SpcaConfig::new(2).with_max_iters(4).with_rel_tolerance(None);
+
+    let run_with = |workers: usize| {
+        let c = SimCluster::new_with_pool(
+            ClusterConfig::paper_cluster(),
+            Arc::new(WorkerPool::new(workers)),
+        );
+        let (spec, plan) = chaos_spec_and_plan();
+        c.install_fault_plan(spec, plan).unwrap();
+        let run = Spca::new(config.clone()).fit_spark(&c, &y).unwrap();
+        // Virtual time is derived from *measured* task durations, so it is
+        // not bit-stable across pools — the structural outputs must be.
+        (c.recovery_log(), model_bits(&run))
+    };
+
+    let base = run_with(1);
+    for workers in [2, 8] {
+        let other = run_with(workers);
+        assert_eq!(base.0, other.0, "recovery log diverged at {workers} workers");
+        assert_eq!(base.1, other.1, "model diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn spark_checkpoint_resume_is_bitwise_equal_to_uninterrupted_run() {
+    let y = test_matrix(14);
+    let config = SpcaConfig::new(3).with_max_iters(6).with_checkpoint_every(2);
+
+    let clean = Spca::new(config.clone()).fit_spark(&cluster(), &y).unwrap();
+
+    let c = cluster();
+    let crashing = config.clone().with_crash_at_iteration(3);
+    match Spca::new(crashing).fit_spark(&c, &y) {
+        Err(SpcaError::DriverCrashed { iteration: 3 }) => {}
+        other => panic!("expected a driver crash at iteration 3, got {other:?}"),
+    }
+    assert!(
+        c.dfs().stat(CHECKPOINT_FILE).is_some(),
+        "the crash must leave a checkpoint on the DFS"
+    );
+
+    // Same config, same cluster, no crash: resumes from iteration 3.
+    let resumed = Spca::new(config).fit_spark(&c, &y).unwrap();
+    assert_eq!(model_bits(&clean), model_bits(&resumed), "resume diverged from clean run");
+    assert!(
+        resumed.iterations.first().map(|it| it.iteration) >= Some(3),
+        "the resumed run must not redo checkpointed iterations"
+    );
+    let log = c.recovery_log();
+    assert!(count_kind(&log, "checkpoint_written") >= 2);
+    assert_eq!(count_kind(&log, "checkpoint_restored"), 1);
+    assert!(c.dfs().stat(CHECKPOINT_FILE).is_none(), "a completed run removes its checkpoint");
+}
+
+#[test]
+fn mapreduce_checkpoint_resume_is_bitwise_equal_to_uninterrupted_run() {
+    let y = test_matrix(15);
+    let config =
+        SpcaConfig::new(3).with_max_iters(5).with_rel_tolerance(None).with_checkpoint_every(1);
+
+    let clean = Spca::new(config.clone()).fit_mapreduce(&cluster(), &y).unwrap();
+
+    let c = cluster();
+    let crashing = config.clone().with_crash_at_iteration(2);
+    assert!(matches!(
+        Spca::new(crashing).fit_mapreduce(&c, &y),
+        Err(SpcaError::DriverCrashed { iteration: 2 })
+    ));
+    let resumed = Spca::new(config).fit_mapreduce(&c, &y).unwrap();
+    assert_eq!(model_bits(&clean), model_bits(&resumed), "resume diverged from clean run");
+}
+
+#[test]
+fn checkpoint_resume_survives_node_crashes_too() {
+    // Crash-of-driver and crash-of-nodes composed: still bit-identical.
+    let y = test_matrix(16);
+    let config = SpcaConfig::new(2).with_max_iters(4).with_rel_tolerance(None);
+
+    let clean = Spca::new(config.clone()).fit_spark(&cluster(), &y).unwrap();
+
+    let c = cluster();
+    let (spec, plan) = chaos_spec_and_plan();
+    c.install_fault_plan(spec, plan).unwrap();
+    let ckpt = config.clone().with_checkpoint_every(1);
+    assert!(matches!(
+        Spca::new(ckpt.clone().with_crash_at_iteration(2)).fit_spark(&c, &y),
+        Err(SpcaError::DriverCrashed { iteration: 2 })
+    ));
+    let resumed = Spca::new(ckpt).fit_spark(&c, &y).unwrap();
+    assert_eq!(model_bits(&clean), model_bits(&resumed));
+}
+
+#[test]
+fn smart_guess_under_chaos_stays_bitwise_deterministic() {
+    // The warm-up run shares the cluster (and its fault plan) with the
+    // main run; faults during either phase must still be transparent.
+    let y = test_matrix(17);
+    let config = SpcaConfig::new(3)
+        .with_max_iters(4)
+        .with_rel_tolerance(None)
+        .with_smart_guess(spca_core::config::SmartGuess::default());
+
+    let clean = Spca::new(config.clone()).fit_spark(&cluster(), &y).unwrap();
+
+    let c = cluster();
+    let (spec, plan) = chaos_spec_and_plan();
+    c.install_fault_plan(spec, plan).unwrap();
+    let faulty = Spca::new(config).fit_spark(&c, &y).unwrap();
+    assert_eq!(model_bits(&clean), model_bits(&faulty));
+}

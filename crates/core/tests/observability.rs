@@ -120,7 +120,7 @@ fn intermediate_bytes_equals_network_plus_dfs_under_interleaving() {
                 let name = format!("file-{round}");
                 let bytes = 8 * (16 + rng.index(64) as u64);
                 hdfs.put(&cluster, name.clone(), bytes);
-                assert_eq!(hdfs.get(&cluster, &name), bytes);
+                assert_eq!(hdfs.get(&cluster, &name).unwrap(), bytes);
             }
         }
         assert_byte_invariant(&cluster, &format!("after round {round}"));

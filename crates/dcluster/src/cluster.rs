@@ -23,6 +23,8 @@ use std::time::Instant;
 use linalg::WorkerPool;
 
 use crate::config::ClusterConfig;
+use crate::faults::{quantile, ActivePlan, CacheEntry, FaultDomain, FaultPlan, FaultSpec, RecoveryEvent};
+use crate::hdfs::Dfs;
 use crate::metrics::{Metrics, MetricsSnapshot, StageRecord};
 use crate::scheduler::makespan;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +42,22 @@ pub enum ClusterError {
         /// Configured driver memory.
         limit: u64,
     },
+    /// A DFS read named a file that was never written.
+    NoSuchFile {
+        /// The requested file name.
+        name: String,
+    },
+    /// A DFS read named a file whose last replica died with a crashed
+    /// node (under-replicated data is really gone).
+    BlockLost {
+        /// The requested file name.
+        name: String,
+    },
+    /// A configuration knob had a physically meaningless value.
+    InvalidConfig {
+        /// Human-readable description of the offending knob.
+        what: String,
+    },
 }
 
 /// Ignore lock poisoning on plain-data mutexes.
@@ -54,6 +72,11 @@ impl fmt::Display for ClusterError {
                 f,
                 "driver out of memory: requested {requested} B with {in_use} B live (limit {limit} B)"
             ),
+            ClusterError::NoSuchFile { name } => write!(f, "dfs: no such file {name:?}"),
+            ClusterError::BlockLost { name } => {
+                write!(f, "dfs: all replicas of {name:?} were lost to node crashes")
+            }
+            ClusterError::InvalidConfig { what } => write!(f, "invalid cluster config: {what}"),
         }
     }
 }
@@ -70,17 +93,31 @@ pub struct StageOptions {
     /// is what separates the two engines' small-job behaviour (the paper's
     /// §5.2 observation that Hadoop overheads dominate small inputs).
     pub task_overhead_secs: f64,
+    /// DFS bytes a re-executed task must read back to rebuild its input
+    /// (MapReduce recovery: failed tasks re-read their HDFS-materialized
+    /// split). Zero for engines that recover through lineage instead.
+    pub reexec_read_bytes_per_task: u64,
 }
 
 impl StageOptions {
     /// Options with the given label and no per-task overhead.
     pub fn new(label: impl Into<String>) -> Self {
-        StageOptions { label: label.into(), task_overhead_secs: 0.0 }
+        StageOptions {
+            label: label.into(),
+            task_overhead_secs: 0.0,
+            reexec_read_bytes_per_task: 0,
+        }
     }
 
     /// Sets the per-task virtual launch overhead.
     pub fn with_task_overhead(mut self, secs: f64) -> Self {
         self.task_overhead_secs = secs;
+        self
+    }
+
+    /// Sets the DFS bytes re-read per re-executed task after a crash.
+    pub fn with_reexec_read_bytes(mut self, bytes: u64) -> Self {
+        self.reexec_read_bytes_per_task = bytes;
         self
     }
 }
@@ -96,6 +133,24 @@ pub struct SimCluster {
     failure_counter: AtomicU64,
     /// Binding of this cluster to a virtual trace process.
     trace: Mutex<TraceBinding>,
+    /// The cluster's distributed filesystem (replicated block namespace).
+    dfs: Dfs,
+    /// Global stage index: bumped once per `run_stage` call. Fault events
+    /// key on this, never on virtual time — stage indices are a pure
+    /// function of the workload, virtual durations are measured host time.
+    stage_seq: AtomicU64,
+    /// Fault plan, recovery log, and cache registry. Never held across
+    /// the metrics or DFS locks.
+    faults: Mutex<FaultDomain>,
+}
+
+/// Timing/byte consequences of one stage's faults, applied after the
+/// fault lock is released.
+#[derive(Default)]
+struct StageFaultEffects {
+    crashed_nodes: Vec<usize>,
+    reexec_read_bytes: u64,
+    backup_cpu_secs: f64,
 }
 
 /// Lazily-established link between a cluster and the installed collector:
@@ -118,14 +173,28 @@ impl SimCluster {
 
     /// Creates a cluster running its stages on a specific pool. Results are
     /// identical whatever the pool size — only host wall time changes.
+    ///
+    /// Panics on a config that fails [`ClusterConfig::validate`] — a bad
+    /// knob should fail here, not corrupt a simulation half-way through.
     pub fn new_with_pool(cfg: ClusterConfig, pool: Arc<WorkerPool>) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("SimCluster: {e}");
+        }
         SimCluster {
             cfg,
             metrics: Mutex::new(Metrics::default()),
             pool,
             failure_counter: AtomicU64::new(0),
             trace: Mutex::new(TraceBinding::default()),
+            dfs: Dfs::new(),
+            stage_seq: AtomicU64::new(0),
+            faults: Mutex::new(FaultDomain::default()),
         }
+    }
+
+    /// The cluster's distributed filesystem.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
     }
 
     /// The host-thread pool this cluster executes on.
@@ -254,6 +323,181 @@ impl SimCluster {
         &self.cfg
     }
 
+    fn faults_lock(&self) -> MutexGuard<'_, FaultDomain> {
+        lock_plain(&self.faults)
+    }
+
+    /// Installs a fault plan: from the next stage on, the plan's crashes
+    /// fire (keyed by global stage index) and the spec's stragglers /
+    /// speculation apply. Replaces any previous plan; the recovery log is
+    /// kept (it is append-only history).
+    pub fn install_fault_plan(
+        &self,
+        spec: FaultSpec,
+        plan: FaultPlan,
+    ) -> Result<(), ClusterError> {
+        spec.validate()?;
+        let mut plan = plan;
+        plan.sort();
+        let events = plan.events().to_vec();
+        self.faults_lock().plan = Some(ActivePlan { spec, events, cursor: 0 });
+        Ok(())
+    }
+
+    /// The active fault spec, if a plan is installed.
+    pub fn fault_spec(&self) -> Option<FaultSpec> {
+        self.faults_lock().plan.as_ref().map(|p| p.spec.clone())
+    }
+
+    /// Copy of the recovery-event log (structural, deterministic across
+    /// host pool sizes).
+    pub fn recovery_log(&self) -> Vec<RecoveryEvent> {
+        self.faults_lock().log.clone()
+    }
+
+    /// The global stage index the *next* stage will run as.
+    pub fn next_stage_index(&self) -> u64 {
+        self.stage_seq.load(Ordering::Relaxed)
+    }
+
+    /// Registers an in-memory cache of `partitions` blocks (one call per
+    /// persisted RDD). Cached partition `p` lives on node `p % nodes`; a
+    /// crash of that node marks it lost until the owner recomputes it.
+    pub fn register_cache(&self, partitions: usize) -> u64 {
+        let mut fd = self.faults_lock();
+        let id = fd.next_cache_id;
+        fd.next_cache_id += 1;
+        fd.caches.insert(id, CacheEntry { partitions, lost: Default::default() });
+        id
+    }
+
+    /// Drains and returns the lost partitions of a cache, ascending. The
+    /// caller is expected to recompute them and report each via
+    /// [`SimCluster::note_partition_recomputed`].
+    pub fn take_lost_partitions(&self, cache: u64) -> Vec<usize> {
+        let mut fd = self.faults_lock();
+        match fd.caches.get_mut(&cache) {
+            Some(entry) => std::mem::take(&mut entry.lost).into_iter().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Records a lineage recomputation of one lost cached partition:
+    /// `secs` of recompute time are charged to the virtual clock and the
+    /// event is appended to the recovery log.
+    pub fn note_partition_recomputed(&self, cache: u64, partition: usize, secs: f64) {
+        self.faults_lock().log.push(RecoveryEvent::PartitionRecomputed { cache, partition });
+        let registry = self.registry();
+        registry.counter("faults.partitions_recomputed").inc();
+        registry.histogram("faults.lineage_recompute_secs").record(secs);
+        self.advance_time(secs);
+        if obs::enabled() {
+            self.trace_instant("fault", &format!("lineage.recompute cache={cache} p={partition}"));
+        }
+    }
+
+    /// Records an EM checkpoint write (`bytes` already charged via the
+    /// DFS put that stored it).
+    pub fn note_checkpoint_written(&self, iteration: u64, bytes: u64) {
+        self.faults_lock().log.push(RecoveryEvent::CheckpointWritten { iteration });
+        let registry = self.registry();
+        registry.counter("faults.checkpoint_writes").inc();
+        registry.counter("faults.checkpoint_bytes").add(bytes);
+        if obs::enabled() {
+            self.trace_instant("fault", &format!("checkpoint.write iter={iteration}"));
+        }
+    }
+
+    /// Records a restart-from-checkpoint.
+    pub fn note_checkpoint_restored(&self, iteration: u64) {
+        self.faults_lock().log.push(RecoveryEvent::CheckpointRestored { iteration });
+        self.registry().counter("faults.checkpoint_restores").inc();
+        if obs::enabled() {
+            self.trace_instant("fault", &format!("checkpoint.restore iter={iteration}"));
+        }
+    }
+
+    /// Applies the installed fault plan to one stage's task durations.
+    ///
+    /// Holds only the fault lock; crash side effects that need other locks
+    /// (DFS re-replication, byte charges) are returned in
+    /// [`StageFaultEffects`] and applied by the caller afterwards.
+    ///
+    /// Fault model, all keyed on indices (see `faults` module docs):
+    /// * every crash due at this stage fires: task `i` with
+    ///   `i % nodes == node` loses its first attempt (duration doubles
+    ///   plus the retry delay, plus a DFS re-read for engines that set
+    ///   `reexec_read_bytes_per_task`), and every registered cache marks
+    ///   partitions `p % nodes == node` lost;
+    /// * stragglers (hash-picked per task) run `straggler_slowdown`×
+    ///   longer; with speculation a backup launches at the configured
+    ///   quantile of the stage's base durations and the first finisher
+    ///   wins — the backup's compute is charged as extra CPU either way.
+    fn apply_stage_faults(
+        &self,
+        stage: u64,
+        opts: &StageOptions,
+        durations: &mut [f64],
+    ) -> StageFaultEffects {
+        let mut fx = StageFaultEffects::default();
+        let nodes = self.cfg.nodes;
+        let registry = self.registry();
+        let mut fd = self.faults_lock();
+        let FaultDomain { plan, log, caches, .. } = &mut *fd;
+        let Some(plan) = plan.as_mut() else { return fx };
+        let spec = plan.spec.clone();
+
+        for node in plan.due(stage) {
+            let node = node % nodes;
+            log.push(RecoveryEvent::NodeCrashed { node, stage });
+            registry.counter("faults.node_crashes").inc();
+            for entry in caches.values_mut() {
+                for p in (0..entry.partitions).filter(|p| p % nodes == node) {
+                    entry.lost.insert(p);
+                }
+            }
+            for i in (0..durations.len()).filter(|i| i % nodes == node) {
+                durations[i] = durations[i] * 2.0 + self.cfg.task_retry_delay_secs;
+                log.push(RecoveryEvent::TaskReattempted { stage, task: i });
+                registry.counter("faults.task_reattempts").inc();
+                fx.reexec_read_bytes += opts.reexec_read_bytes_per_task;
+            }
+            fx.crashed_nodes.push(node);
+        }
+
+        if spec.straggler_rate > 0.0 {
+            // Backup launch point: the configured quantile of this stage's
+            // (post-crash) durations — "most of the stage has finished".
+            let launch = quantile(durations, spec.speculation_quantile);
+            for i in 0..durations.len() {
+                if !spec.task_straggles(stage, i) {
+                    continue;
+                }
+                registry.counter("faults.stragglers_injected").inc();
+                let base = durations[i];
+                let slowed = base * spec.straggler_slowdown;
+                if spec.speculation {
+                    log.push(RecoveryEvent::SpeculativeAttempt { stage, task: i });
+                    registry.counter("faults.speculative_attempts").inc();
+                    fx.backup_cpu_secs += base;
+                    let backup_finish = launch + base;
+                    if backup_finish < slowed {
+                        registry.counter("faults.speculative_wins").inc();
+                        registry
+                            .histogram("faults.speculation_saved_secs")
+                            .record(slowed - backup_finish);
+                        durations[i] = backup_finish;
+                    } else {
+                        durations[i] = slowed;
+                    }
+                } else {
+                    durations[i] = slowed;
+                }
+            }
+        }
+        fx
+    }
+
     /// Runs a distributed stage: executes every task (really, on the
     /// shared worker pool), measures per-task durations, and advances the
     /// virtual clock by the LPT makespan of those durations on the
@@ -264,6 +508,7 @@ impl SimCluster {
         F: FnOnce() -> T + Send,
     {
         let n = tasks.len();
+        let stage_idx = self.stage_seq.fetch_add(1, Ordering::Relaxed);
         if n == 0 {
             self.metrics_lock().stages.push(StageRecord {
                 label: opts.label,
@@ -299,7 +544,7 @@ impl SimCluster {
         // result (the retry recomputes it), twice the duration plus the
         // rescheduling delay. Charged in the schedule, invisible in the
         // output, exactly like the platforms the paper targets.
-        let with_overhead: Vec<f64> = durations
+        let mut with_overhead: Vec<f64> = durations
             .iter()
             .map(|d| {
                 let base = d + opts.task_overhead_secs;
@@ -310,6 +555,31 @@ impl SimCluster {
                 }
             })
             .collect();
+        // Stateful fault plan: crashes, stragglers, speculation. Only the
+        // schedule and the recovery log change — results never do.
+        let fx = self.apply_stage_faults(stage_idx, &opts, &mut with_overhead);
+        let cpu_secs = cpu_secs + fx.backup_cpu_secs;
+        for &node in &fx.crashed_nodes {
+            if obs::enabled() {
+                self.trace_instant("fault", &format!("node.crash node={node}"));
+            }
+            let (events, replication_bytes) = self.dfs.on_node_crash(self, node);
+            if replication_bytes > 0 {
+                self.registry().counter("faults.replication_bytes").add(replication_bytes);
+            }
+            let lost = events
+                .iter()
+                .filter(|e| matches!(e, RecoveryEvent::BlockLost { .. }))
+                .count() as u64;
+            if lost > 0 {
+                self.registry().counter("faults.blocks_lost").add(lost);
+            }
+            self.faults_lock().log.extend(events);
+        }
+        if fx.reexec_read_bytes > 0 {
+            // Re-executed tasks re-read their materialized inputs.
+            self.charge_dfs_read(fx.reexec_read_bytes);
+        }
         let compute_secs = makespan(&with_overhead, self.cfg.total_cores());
 
         let record = StageRecord { label: opts.label, tasks: n, compute_secs, cpu_secs };
@@ -516,6 +786,7 @@ impl Drop for DriverAlloc<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultPlan, FaultSpec};
 
     fn small_cluster() -> SimCluster {
         SimCluster::new(ClusterConfig::paper_cluster().with_nodes(2).with_cores_per_node(2))
@@ -695,6 +966,124 @@ mod tests {
             faulty_time > ok_time * 1.1,
             "30% failures must cost time: {ok_time} vs {faulty_time}"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cluster config")]
+    fn bad_config_fails_at_construction() {
+        let mut cfg = ClusterConfig::paper_cluster();
+        cfg.task_failure_rate = 1.0;
+        let _ = SimCluster::new(cfg);
+    }
+
+    #[test]
+    fn node_crash_reattempts_tasks_and_keeps_results() {
+        let run = |plan: FaultPlan| {
+            let c = small_cluster(); // 2 nodes x 2 cores
+            c.install_fault_plan(FaultSpec::new(3), plan).unwrap();
+            let tasks: Vec<_> = (0..8).map(|i| move || i * 7).collect();
+            let out = c.run_stage(StageOptions::new("t").with_task_overhead(1.0), tasks);
+            (out, c.metrics().virtual_time_secs, c.recovery_log())
+        };
+        let (clean_out, clean_time, clean_log) = run(FaultPlan::new());
+        assert!(clean_log.is_empty());
+        let (out, time, log) = run(FaultPlan::new().with_crash(1, 0));
+        assert_eq!(out, clean_out, "recovery must be invisible in results");
+        assert!(time > clean_time, "a crash must cost time: {clean_time} vs {time}");
+        // Node 1 of 2 owns tasks 1,3,5,7: one crash event + 4 reattempts.
+        assert_eq!(log[0], RecoveryEvent::NodeCrashed { node: 1, stage: 0 });
+        let reattempts: Vec<usize> = log
+            .iter()
+            .filter_map(|e| match e {
+                RecoveryEvent::TaskReattempted { task, .. } => Some(*task),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reattempts, vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn crash_marks_cached_partitions_lost() {
+        let c = small_cluster(); // 2 nodes
+        c.install_fault_plan(FaultSpec::new(0), FaultPlan::new().with_crash(0, 0)).unwrap();
+        let cache = c.register_cache(6);
+        assert!(c.take_lost_partitions(cache).is_empty(), "nothing lost before the crash");
+        let _ = c.run_stage(StageOptions::new("t"), vec![|| 1, || 2]);
+        // Node 0 owns partitions 0, 2, 4; the drain is one-shot.
+        assert_eq!(c.take_lost_partitions(cache), vec![0, 2, 4]);
+        assert!(c.take_lost_partitions(cache).is_empty());
+    }
+
+    #[test]
+    fn crash_triggers_dfs_recovery() {
+        let c = SimCluster::new(
+            ClusterConfig::paper_cluster().with_nodes(2).with_dfs_replication(1),
+        );
+        c.dfs().put(&c, "a", 100);
+        c.dfs().put(&c, "b", 100);
+        c.install_fault_plan(FaultSpec::new(0), FaultPlan::new().with_crash(0, 0)).unwrap();
+        let _ = c.run_stage(StageOptions::new("t"), vec![|| ()]);
+        let log = c.recovery_log();
+        assert!(log.contains(&RecoveryEvent::NodeCrashed { node: 0, stage: 0 }));
+        // With factor 1 on 2 nodes, each file has a single replica; the
+        // ones on node 0 are lost and show up in the log.
+        let lost: Vec<_> = log
+            .iter()
+            .filter(|e| matches!(e, RecoveryEvent::BlockLost { .. }))
+            .collect();
+        let survivors = c.dfs().file_count();
+        assert_eq!(lost.len() + survivors, 2, "every file is either lost or intact");
+    }
+
+    #[test]
+    fn speculation_beats_plain_stragglers() {
+        let run = |speculation: bool| {
+            let c = SimCluster::new(
+                ClusterConfig::paper_cluster().with_nodes(1).with_cores_per_node(4),
+            );
+            let spec = FaultSpec::new(9)
+                .with_straggler_rate(0.25)
+                .with_straggler_slowdown(8.0)
+                .with_speculation(speculation);
+            c.install_fault_plan(spec, FaultPlan::new()).unwrap();
+            let tasks: Vec<_> = (0..32).map(|i| move || i).collect();
+            let out = c.run_stage(StageOptions::new("t").with_task_overhead(1.0), tasks);
+            (out, c.metrics().virtual_time_secs, c.registry())
+        };
+        let (out_plain, t_plain, _) = run(false);
+        let (out_spec, t_spec, reg) = run(true);
+        assert_eq!(out_plain, out_spec);
+        assert!(
+            t_spec < t_plain,
+            "speculation must cut straggler time: {t_spec} vs {t_plain}"
+        );
+        assert!(reg.counter("faults.speculative_wins").get() > 0);
+    }
+
+    #[test]
+    fn recovery_log_identical_across_pool_sizes() {
+        let run_with = |workers: usize| {
+            let c = SimCluster::new_with_pool(
+                ClusterConfig::paper_cluster().with_nodes(2).with_cores_per_node(2),
+                Arc::new(WorkerPool::new(workers)),
+            );
+            let spec = FaultSpec::new(5)
+                .with_straggler_rate(0.3)
+                .with_straggler_slowdown(4.0)
+                .with_speculation(true);
+            c.install_fault_plan(spec, FaultPlan::new().with_crash(1, 1)).unwrap();
+            let cache = c.register_cache(8);
+            for s in 0..3 {
+                let tasks: Vec<_> = (0..16u64).map(|i| move || i + s).collect();
+                let _ = c.run_stage(StageOptions::new("t"), tasks);
+            }
+            let _ = c.take_lost_partitions(cache);
+            c.recovery_log()
+        };
+        let one = run_with(1);
+        assert_eq!(one, run_with(2));
+        assert_eq!(one, run_with(8));
+        assert!(one.iter().any(|e| matches!(e, RecoveryEvent::NodeCrashed { .. })));
     }
 
     #[test]

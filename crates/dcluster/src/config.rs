@@ -1,5 +1,7 @@
 //! Cluster hardware description.
 
+use crate::cluster::ClusterError;
+
 /// Hardware and platform parameters of the simulated cluster.
 ///
 /// The defaults mirror the paper's testbed: 8 Amazon EC2 m3.2xlarge nodes,
@@ -31,6 +33,12 @@ pub struct ClusterConfig {
     /// Extra virtual seconds before a failed task's re-execution is
     /// scheduled (failure detection + rescheduling latency).
     pub task_retry_delay_secs: f64,
+    /// DFS block replication factor (HDFS `dfs.replication`, default 3).
+    /// A node crash drops that node's replicas; files still holding a
+    /// replica are copied back to full strength, files that held their
+    /// last replica there are lost and reads fail with
+    /// [`ClusterError::BlockLost`].
+    pub dfs_replication: usize,
 }
 
 impl ClusterConfig {
@@ -45,6 +53,7 @@ impl ClusterConfig {
             disk_bytes_per_sec: 100e6,
             task_failure_rate: 0.0,
             task_retry_delay_secs: 2.0,
+            dfs_replication: 3,
         }
     }
 
@@ -70,6 +79,7 @@ impl ClusterConfig {
             disk_bytes_per_sec: 1.2e6,
             task_failure_rate: 0.0,
             task_retry_delay_secs: 2.0,
+            dfs_replication: 3,
         }
     }
 
@@ -102,6 +112,56 @@ impl ClusterConfig {
     pub fn with_memory_per_node(mut self, bytes: u64) -> Self {
         self.memory_per_node = bytes;
         self
+    }
+
+    /// Builder-style override of the retry rescheduling delay.
+    pub fn with_task_retry_delay(mut self, secs: f64) -> Self {
+        self.task_retry_delay_secs = secs;
+        self
+    }
+
+    /// Builder-style override of the DFS replication factor.
+    pub fn with_dfs_replication(mut self, factor: usize) -> Self {
+        self.dfs_replication = factor;
+        self
+    }
+
+    /// Checks every knob for a physically meaningful value. Called by
+    /// `SimCluster::new`, so a bad config fails at construction instead of
+    /// corrupting a simulation half-way through.
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        let bad = |what: String| Err(ClusterError::InvalidConfig { what });
+        if self.nodes == 0 {
+            return bad("nodes must be >= 1".into());
+        }
+        if self.cores_per_node == 0 {
+            return bad("cores_per_node must be >= 1".into());
+        }
+        if !self.task_failure_rate.is_finite() || !(0.0..1.0).contains(&self.task_failure_rate) {
+            return bad(format!(
+                "task_failure_rate must be in [0, 1), got {}",
+                self.task_failure_rate
+            ));
+        }
+        if !self.task_retry_delay_secs.is_finite() || self.task_retry_delay_secs < 0.0 {
+            return bad(format!(
+                "task_retry_delay_secs must be >= 0, got {}",
+                self.task_retry_delay_secs
+            ));
+        }
+        if self.dfs_replication == 0 {
+            return bad("dfs_replication must be >= 1 (0 would store no block at all)".into());
+        }
+        if !self.network_bytes_per_sec.is_finite() || self.network_bytes_per_sec <= 0.0 {
+            return bad(format!(
+                "network_bytes_per_sec must be > 0, got {}",
+                self.network_bytes_per_sec
+            ));
+        }
+        if !self.disk_bytes_per_sec.is_finite() || self.disk_bytes_per_sec <= 0.0 {
+            return bad(format!("disk_bytes_per_sec must be > 0, got {}", self.disk_bytes_per_sec));
+        }
+        Ok(())
     }
 
     /// Total virtual cores across the cluster.
@@ -141,5 +201,62 @@ mod tests {
         let c = c.with_driver_memory(1024).with_memory_per_node(2048);
         assert_eq!(c.driver_memory, 1024);
         assert_eq!(c.total_memory(), 4096);
+        let c = c.with_dfs_replication(2).with_task_retry_delay(0.5);
+        assert_eq!(c.dfs_replication, 2);
+        assert_eq!(c.task_retry_delay_secs, 0.5);
+    }
+
+    #[test]
+    fn default_configs_validate() {
+        assert!(ClusterConfig::paper_cluster().validate().is_ok());
+        assert!(ClusterConfig::scaled_cluster().validate().is_ok());
+    }
+
+    fn rejected(c: ClusterConfig) -> String {
+        match c.validate() {
+            Err(ClusterError::InvalidConfig { what }) => what,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_failure_rate_of_one() {
+        let mut c = ClusterConfig::paper_cluster();
+        c.task_failure_rate = 1.0;
+        assert!(rejected(c).contains("task_failure_rate"));
+    }
+
+    #[test]
+    fn validate_rejects_negative_failure_rate() {
+        let mut c = ClusterConfig::paper_cluster();
+        c.task_failure_rate = -0.1;
+        assert!(rejected(c).contains("task_failure_rate"));
+    }
+
+    #[test]
+    fn validate_rejects_nan_failure_rate() {
+        let mut c = ClusterConfig::paper_cluster();
+        c.task_failure_rate = f64::NAN;
+        assert!(rejected(c).contains("task_failure_rate"));
+    }
+
+    #[test]
+    fn validate_rejects_negative_retry_delay() {
+        let c = ClusterConfig::paper_cluster().with_task_retry_delay(-1.0);
+        assert!(rejected(c).contains("task_retry_delay_secs"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_replication() {
+        let c = ClusterConfig::paper_cluster().with_dfs_replication(0);
+        assert!(rejected(c).contains("dfs_replication"));
+    }
+
+    #[test]
+    fn validate_rejects_empty_cluster() {
+        assert!(rejected(ClusterConfig::paper_cluster().with_nodes(0)).contains("nodes"));
+        assert!(
+            rejected(ClusterConfig::paper_cluster().with_cores_per_node(0)).contains("cores")
+        );
     }
 }

@@ -18,14 +18,22 @@
 //!   configurable cap and fail with [`ClusterError::DriverOom`] when they
 //!   exceed it, which is how MLlib-PCA's D > 6,000 failures reproduce
 //!   (Figures 7 and 8).
+//! * **Failure** — a seeded [`FaultPlan`] schedules *stateful* node
+//!   crashes (cached partitions and DFS replicas really drop, first
+//!   attempts really die) plus straggler slowdowns with optional
+//!   speculative execution; every recovery action lands in a
+//!   deterministic [`RecoveryEvent`] log. Faults change schedules, bytes,
+//!   and logs — never results.
 
 pub mod cluster;
 pub mod config;
+pub mod faults;
 pub mod hdfs;
 pub mod metrics;
 pub mod scheduler;
 
 pub use cluster::{ClusterError, DriverAlloc, SimCluster, StageOptions};
 pub use config::ClusterConfig;
+pub use faults::{FaultEvent, FaultPlan, FaultSpec, RecoveryEvent};
 pub use hdfs::Dfs;
 pub use metrics::{MetricsSnapshot, StageRecord};

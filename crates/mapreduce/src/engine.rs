@@ -105,8 +105,15 @@ impl<'a> MapReduceEngine<'a> {
                 }
             })
             .collect();
+        // Recovery sizing: a map task killed by a node crash re-reads its
+        // HDFS split (MapReduce's recovery path — inputs are materialized,
+        // unlike Spark's recompute-from-lineage).
+        let input_bytes: u64 = partitions.iter().map(ByteSized::size_bytes).sum();
+        let map_reexec_bytes = input_bytes / partitions.len().max(1) as u64;
         let map_outputs = self.cluster.run_stage(
-            StageOptions::new(format!("{name}/map")).with_task_overhead(self.task_overhead_secs),
+            StageOptions::new(format!("{name}/map"))
+                .with_task_overhead(self.task_overhead_secs)
+                .with_reexec_read_bytes(map_reexec_bytes),
             map_tasks,
         );
 
@@ -139,6 +146,7 @@ impl<'a> MapReduceEngine<'a> {
         while it.peek().is_some() {
             chunks.push(it.by_ref().take(chunk).collect());
         }
+        let reduce_chunks = chunks.len();
         let reduce_tasks: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
@@ -147,9 +155,13 @@ impl<'a> MapReduceEngine<'a> {
                 }
             })
             .collect();
+        // A re-executed reducer re-fetches its share of the (disk-backed)
+        // map output.
+        let reduce_reexec_bytes = stats.shuffle_bytes / reduce_chunks.max(1) as u64;
         let reduce_outputs = self.cluster.run_stage(
             StageOptions::new(format!("{name}/reduce"))
-                .with_task_overhead(self.task_overhead_secs),
+                .with_task_overhead(self.task_overhead_secs)
+                .with_reexec_read_bytes(reduce_reexec_bytes),
             reduce_tasks,
         );
 

@@ -88,8 +88,11 @@ impl<K: ByteSized + Ord + Clone, V: ByteSized> Default for Emitter<'_, K, V> {
 /// broadcast state — the paper's in-memory `CM` matrix, the mean vector —
 /// lives in the job struct, mirroring Hadoop's distributed-cache pattern.
 pub trait MapReduceJob: Sync {
-    /// One input partition (e.g. a block of matrix rows).
-    type Input: Sync;
+    /// One input partition (e.g. a block of matrix rows). `ByteSized` so
+    /// the engine knows how many HDFS bytes a crashed task's re-execution
+    /// must re-read (MapReduce's recovery path: inputs are materialized,
+    /// failed tasks restart against their split).
+    type Input: Sync + ByteSized;
     /// Shuffle key. `Ord + Clone` because Hadoop sorts keys between map
     /// and reduce (and spills re-insert combined pairs).
     type Key: Ord + Clone + Send + ByteSized;

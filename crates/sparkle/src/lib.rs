@@ -28,4 +28,4 @@ pub mod rdd;
 
 pub use broadcast::Broadcast;
 pub use context::SparkleContext;
-pub use rdd::{tree_merge, Rdd};
+pub use rdd::{tree_merge, Lineage, Rdd};

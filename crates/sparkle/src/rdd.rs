@@ -1,6 +1,14 @@
-//! Resilient distributed datasets (eager, simulated).
+//! Resilient distributed datasets (eager, simulated) — now actually
+//! *resilient*: a persisted RDD can carry a [`Lineage`], and cached
+//! partitions dropped by a simulated node crash are recomputed from it
+//! (charged to the virtual clock and logged as recovery events) before
+//! the next stage reads them. Recomputation reproduces the exact bytes
+//! the crash destroyed, so results stay bitwise identical under any
+//! fault plan.
 
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use dcluster::{SimCluster, StageOptions};
 use linalg::bytes::ByteSized;
@@ -35,6 +43,90 @@ where
     parts.into_iter().next().expect("non-empty after rounds")
 }
 
+/// How a lost cached partition is rebuilt: a human-readable chain of
+/// stage labels (for reports), the DFS file the chain starts from (its
+/// per-partition share is re-read when recomputing), and the recompute
+/// closure itself, which must return exactly the bytes partition `pidx`
+/// held before the crash.
+pub struct Lineage<'a, T> {
+    /// Stage labels from source to cached RDD (reporting only).
+    pub chain: Vec<String>,
+    /// DFS file the chain reads from, if any.
+    pub source: Option<String>,
+    /// Rebuilds partition `pidx` from scratch.
+    pub recompute: Box<dyn Fn(usize) -> Vec<T> + Send + Sync + 'a>,
+}
+
+impl<'a, T> Lineage<'a, T> {
+    /// A lineage with the given label chain and recompute function.
+    pub fn new(
+        chain: Vec<String>,
+        recompute: Box<dyn Fn(usize) -> Vec<T> + Send + Sync + 'a>,
+    ) -> Self {
+        Lineage { chain, source: None, recompute }
+    }
+
+    /// Names the DFS file the chain reads from; its per-partition share is
+    /// charged as a DFS read on every recomputation.
+    pub fn with_source(mut self, file: impl Into<String>) -> Self {
+        self.source = Some(file.into());
+        self
+    }
+}
+
+impl<T> fmt::Debug for Lineage<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Lineage")
+            .field("chain", &self.chain)
+            .field("source", &self.source)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A cache registered with the cluster's fault domain: the partition
+/// blocks live behind a mutex because a crash invalidates them and the
+/// next stage rebuilds them in place.
+struct CachedStorage<'a, T> {
+    /// Id from [`SimCluster::register_cache`].
+    id: u64,
+    /// Element count per partition (layout metadata survives crashes —
+    /// the driver knows it).
+    sizes: Vec<usize>,
+    /// Dataset bytes (for `persist` bookkeeping).
+    total_bytes: u64,
+    lineage: Lineage<'a, T>,
+    /// The resident blocks. A slot whose partition was marked lost by a
+    /// crash holds stale data that is overwritten from lineage before any
+    /// stage can read it (see [`Rdd::snapshot`]).
+    slots: Mutex<Vec<Arc<Vec<T>>>>,
+}
+
+enum Storage<'a, T> {
+    /// Uncached: plain shared partition blocks (crashes don't touch them —
+    /// they model ephemeral stage outputs consumed before any crash).
+    Plain(Vec<Arc<Vec<T>>>),
+    /// Persisted with lineage: blocks registered with the fault domain.
+    Cached(Arc<CachedStorage<'a, T>>),
+}
+
+impl<T> Clone for Storage<'_, T> {
+    fn clone(&self) -> Self {
+        match self {
+            Storage::Plain(p) => Storage::Plain(p.clone()),
+            Storage::Cached(c) => Storage::Cached(Arc::clone(c)),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Storage<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Storage::Plain(p) => write!(f, "Plain({} partitions)", p.len()),
+            Storage::Cached(c) => write!(f, "Cached(id={}, {} partitions)", c.id, c.sizes.len()),
+        }
+    }
+}
+
 /// A partitioned in-memory dataset bound to a simulated cluster.
 ///
 /// Cloning is cheap (partitions are shared `Arc`s) — the pattern for
@@ -45,7 +137,7 @@ where
 pub struct Rdd<'a, T> {
     cluster: &'a SimCluster,
     task_overhead_secs: f64,
-    partitions: Vec<Arc<Vec<T>>>,
+    storage: Storage<'a, T>,
     /// Bytes that do not fit in aggregate cluster memory and are re-read
     /// from disk by every stage over this RDD (0 unless `persist` finds the
     /// dataset oversized).
@@ -58,22 +150,74 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
         task_overhead_secs: f64,
         partitions: Vec<Arc<Vec<T>>>,
     ) -> Self {
-        Rdd { cluster, task_overhead_secs, partitions, spill_bytes: 0 }
+        Rdd { cluster, task_overhead_secs, storage: Storage::Plain(partitions), spill_bytes: 0 }
     }
 
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
-        self.partitions.len()
+        match &self.storage {
+            Storage::Plain(p) => p.len(),
+            Storage::Cached(c) => c.sizes.len(),
+        }
     }
 
     /// Element count per partition.
     pub fn partition_sizes(&self) -> Vec<usize> {
-        self.partitions.iter().map(|p| p.len()).collect()
+        match &self.storage {
+            Storage::Plain(p) => p.iter().map(|p| p.len()).collect(),
+            Storage::Cached(c) => c.sizes.clone(),
+        }
     }
 
     /// Total number of elements. Free — the layout is known to the driver.
     pub fn count(&self) -> usize {
-        self.partitions.iter().map(|p| p.len()).sum()
+        self.partition_sizes().iter().sum()
+    }
+
+    /// The partition blocks every stage over this RDD reads, healing the
+    /// cache first if a crash invalidated blocks: each lost partition is
+    /// recomputed from lineage (in ascending partition order — the order,
+    /// like the loss itself, is a pure function of indices, so recovery
+    /// logs are deterministic), its source share re-read from the DFS, the
+    /// recompute time charged to the virtual clock.
+    fn snapshot(&self) -> Vec<Arc<Vec<T>>> {
+        match &self.storage {
+            Storage::Plain(p) => p.clone(),
+            Storage::Cached(c) => {
+                let lost = self.cluster.take_lost_partitions(c.id);
+                let mut slots = c.slots.lock().unwrap_or_else(|e| e.into_inner());
+                for p in lost {
+                    if let Some(src) = &c.lineage.source {
+                        let share = self
+                            .cluster
+                            .dfs()
+                            .stat(src)
+                            .unwrap_or_else(|| {
+                                panic!(
+                                    "lineage recompute of partition {p}: source {src:?} is \
+                                     gone from the DFS (under-replicated input?)"
+                                )
+                            })
+                            / slots.len().max(1) as u64;
+                        self.cluster.charge_dfs_read(share);
+                    }
+                    let start = Instant::now();
+                    let data = (c.lineage.recompute)(p);
+                    assert_eq!(
+                        data.len(),
+                        c.sizes[p],
+                        "lineage recompute of partition {p} changed its size"
+                    );
+                    slots[p] = Arc::new(data);
+                    self.cluster.note_partition_recomputed(
+                        c.id,
+                        p,
+                        start.elapsed().as_secs_f64(),
+                    );
+                }
+                slots.clone()
+            }
+        }
     }
 
     /// The cluster this RDD lives on.
@@ -106,18 +250,15 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
         self.charge_spill();
         let f = &f;
         let tasks: Vec<_> = self
-            .partitions
-            .iter()
-            .map(|p| {
-                let p = Arc::clone(p);
-                move || f(&p)
-            })
+            .snapshot()
+            .into_iter()
+            .map(|p| move || f(&p))
             .collect();
         let outputs = self.cluster.run_stage(self.stage_options(label), tasks);
         Rdd {
             cluster: self.cluster,
             task_overhead_secs: self.task_overhead_secs,
-            partitions: outputs.into_iter().map(Arc::new).collect(),
+            storage: Storage::Plain(outputs.into_iter().map(Arc::new).collect()),
             spill_bytes: 0,
         }
     }
@@ -134,19 +275,16 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
         self.charge_spill();
         let f = &f;
         let tasks: Vec<_> = self
-            .partitions
-            .iter()
+            .snapshot()
+            .into_iter()
             .enumerate()
-            .map(|(idx, p)| {
-                let p = Arc::clone(p);
-                move || f(idx, &p)
-            })
+            .map(|(idx, p)| move || f(idx, &p))
             .collect();
         let outputs = self.cluster.run_stage(self.stage_options(label), tasks);
         Rdd {
             cluster: self.cluster,
             task_overhead_secs: self.task_overhead_secs,
-            partitions: outputs.into_iter().map(Arc::new).collect(),
+            storage: Storage::Plain(outputs.into_iter().map(Arc::new).collect()),
             spill_bytes: 0,
         }
     }
@@ -195,10 +333,9 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
         let init = &init;
         let fold = &fold;
         let tasks: Vec<_> = self
-            .partitions
-            .iter()
+            .snapshot()
+            .into_iter()
             .map(|p| {
-                let p = Arc::clone(p);
                 move || {
                     let mut acc = init();
                     for t in p.iter() {
@@ -234,10 +371,9 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
         let init = &init;
         let fold_part = &fold_part;
         let tasks: Vec<_> = self
-            .partitions
-            .iter()
+            .snapshot()
+            .into_iter()
             .map(|p| {
-                let p = Arc::clone(p);
                 move || {
                     let mut acc = init();
                     fold_part(&mut acc, &p);
@@ -274,7 +410,7 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
     {
         self.charge_spill();
         let mut out = Vec::with_capacity(self.count());
-        for p in &self.partitions {
+        for p in self.snapshot() {
             out.extend(p.iter().cloned());
         }
         let bytes: u64 = out.iter().map(ByteSized::size_bytes).sum();
@@ -294,14 +430,53 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
     where
         T: ByteSized,
     {
-        let total: u64 = self
-            .partitions
-            .iter()
-            .map(|p| p.iter().map(ByteSized::size_bytes).sum::<u64>())
-            .sum();
+        let total = match &self.storage {
+            Storage::Plain(parts) => parts
+                .iter()
+                .map(|p| p.iter().map(ByteSized::size_bytes).sum::<u64>())
+                .sum(),
+            Storage::Cached(c) => c.total_bytes,
+        };
         let memory = self.cluster.config().total_memory();
         self.spill_bytes = total.saturating_sub(memory);
         total
+    }
+
+    /// [`Self::persist`] plus fault tolerance: registers the cached blocks
+    /// with the cluster's fault domain (cached partition `p` lives on node
+    /// `p % nodes`) and keeps `lineage` so that partitions dropped by a
+    /// node crash are recomputed — not silently kept — before the next
+    /// stage reads them. Returns the dataset's size in bytes.
+    pub fn persist_with_lineage(&mut self, lineage: Lineage<'a, T>) -> u64
+    where
+        T: ByteSized,
+    {
+        let parts = match &self.storage {
+            Storage::Plain(parts) => parts.clone(),
+            // Re-persisting a cached RDD keeps the existing registration.
+            Storage::Cached(c) => return c.total_bytes,
+        };
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        let total: u64 =
+            parts.iter().map(|p| p.iter().map(ByteSized::size_bytes).sum::<u64>()).sum();
+        self.spill_bytes = total.saturating_sub(self.cluster.config().total_memory());
+        let id = self.cluster.register_cache(parts.len());
+        self.storage = Storage::Cached(Arc::new(CachedStorage {
+            id,
+            sizes,
+            total_bytes: total,
+            lineage,
+            slots: Mutex::new(parts),
+        }));
+        total
+    }
+
+    /// The fault-domain cache id, if this RDD is persisted with lineage.
+    pub fn cache_id(&self) -> Option<u64> {
+        match &self.storage {
+            Storage::Plain(_) => None,
+            Storage::Cached(c) => Some(c.id),
+        }
     }
 
     /// Spill bytes charged per stage (0 if the dataset fits in memory).
@@ -316,12 +491,12 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
             std::ptr::eq(self.cluster, other.cluster),
             "union: RDDs live on different clusters"
         );
-        let mut partitions = self.partitions.clone();
-        partitions.extend(other.partitions.iter().cloned());
+        let mut partitions = self.snapshot();
+        partitions.extend(other.snapshot());
         Rdd {
             cluster: self.cluster,
             task_overhead_secs: self.task_overhead_secs,
-            partitions,
+            storage: Storage::Plain(partitions),
             spill_bytes: self.spill_bytes + other.spill_bytes,
         }
     }
@@ -360,20 +535,16 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
         other.charge_spill();
         let f = &f;
         let tasks: Vec<_> = self
-            .partitions
-            .iter()
-            .zip(&other.partitions)
-            .map(|(a, b)| {
-                let a = Arc::clone(a);
-                let b = Arc::clone(b);
-                move || f(&a, &b)
-            })
+            .snapshot()
+            .into_iter()
+            .zip(other.snapshot())
+            .map(|(a, b)| move || f(&a, &b))
             .collect();
         let outputs = self.cluster.run_stage(self.stage_options(label), tasks);
         Rdd {
             cluster: self.cluster,
             task_overhead_secs: self.task_overhead_secs,
-            partitions: outputs.into_iter().map(Arc::new).collect(),
+            storage: Storage::Plain(outputs.into_iter().map(Arc::new).collect()),
             spill_bytes: 0,
         }
     }
@@ -550,7 +721,8 @@ mod tests {
             );
             let ctx = SparkleContext::new(&c);
             let rdd = ctx.parallelize((0_u64..5_000).collect(), 7);
-            rdd.sample("s", 0.3, 42).collect()
+            let out = rdd.sample("s", 0.3, 42).collect();
+            out
         };
         let one = run_with(1);
         assert_eq!(one, run_with(2), "1 vs 2 workers");
@@ -594,6 +766,77 @@ mod tests {
         let a = ctx.parallelize((0_u64..4).collect(), 2);
         let b = ctx.parallelize((0_u64..4).collect(), 4);
         let _ = a.zip_partitions("zip", &b, |x, _| x.to_vec());
+    }
+
+    #[test]
+    fn lineage_recomputes_lost_partitions_exactly() {
+        use dcluster::{FaultPlan, FaultSpec, RecoveryEvent};
+        let c = SimCluster::new(ClusterConfig::paper_cluster().with_nodes(2));
+        let ctx = SparkleContext::new(&c);
+        let source: Vec<u64> = (0..40).collect();
+        let mut rdd = ctx.parallelize(source.clone(), 8);
+        let layout = rdd.partition_sizes();
+        let src = source.clone();
+        rdd.persist_with_lineage(Lineage::new(
+            vec!["parallelize".into()],
+            Box::new(move |pidx| {
+                let start: usize = layout[..pidx].iter().sum();
+                src[start..start + layout[pidx]].to_vec()
+            }),
+        ));
+        let before = rdd.map("sum", |x| *x).collect();
+
+        // Crash node 1: cached partitions 1,3,5,7 drop; the next stage
+        // must heal them from lineage and read identical data.
+        c.install_fault_plan(FaultSpec::new(0), FaultPlan::new().with_crash(1, c.next_stage_index())).unwrap();
+        let _ = c.run_stage(StageOptions::new("tick"), vec![|| ()]);
+        let after = rdd.map("sum", |x| *x).collect();
+        assert_eq!(before, after, "recomputed partitions must be identical");
+
+        let recomputed: Vec<usize> = c
+            .recovery_log()
+            .iter()
+            .filter_map(|e| match e {
+                RecoveryEvent::PartitionRecomputed { partition, .. } => Some(*partition),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recomputed, vec![1, 3, 5, 7], "node 1 of 2 owns the odd partitions");
+        assert!(c.registry().counter("faults.partitions_recomputed").get() >= 4);
+    }
+
+    #[test]
+    fn lineage_source_share_is_charged_on_recompute() {
+        use dcluster::{FaultPlan, FaultSpec};
+        let c = SimCluster::new(ClusterConfig::paper_cluster().with_nodes(2));
+        c.dfs().seed(&c, "input", 8_000);
+        let ctx = SparkleContext::new(&c);
+        let mut rdd = ctx.parallelize((0_u64..16).collect(), 4);
+        rdd.persist_with_lineage(
+            Lineage::new(vec!["read".into()], Box::new(|pidx| {
+                (pidx as u64 * 4..pidx as u64 * 4 + 4).collect()
+            }))
+            .with_source("input"),
+        );
+        c.install_fault_plan(FaultSpec::new(0), FaultPlan::new().with_crash(0, c.next_stage_index())).unwrap();
+        let _ = c.run_stage(StageOptions::new("tick"), vec![|| ()]);
+        let read_before = c.metrics().dfs_bytes_read;
+        let _ = rdd.map("touch", |x| *x);
+        // Node 0 owns partitions 0 and 2: two recomputes x 2000 B share.
+        assert_eq!(c.metrics().dfs_bytes_read - read_before, 4_000);
+    }
+
+    #[test]
+    fn unharmed_cache_is_never_recomputed() {
+        let c = cluster();
+        let ctx = SparkleContext::new(&c);
+        let mut rdd = ctx.parallelize((0_u64..16).collect(), 4);
+        rdd.persist_with_lineage(Lineage::new(
+            vec!["x".into()],
+            Box::new(|_| panic!("no partition was lost — recompute must not run")),
+        ));
+        assert_eq!(rdd.map("touch", |x| *x + 1).count(), 16);
+        assert!(rdd.cache_id().is_some());
     }
 
     #[test]

@@ -19,9 +19,12 @@ cargo run --release --offline -p spca-bench --bin bench_kernels -- \
     --smoke --out /tmp/BENCH_kernels_smoke.json --trace "$TRACE_DIR/bench_kernels.json"
 cargo run --release --offline -p spca-bench --bin bench_em -- \
     --smoke --out "$TRACE_DIR/BENCH_em.json" --trace "$TRACE_DIR/bench_em.json"
+cargo run --release --offline -p spca-bench --bin bench_faults -- \
+    --smoke --out "$TRACE_DIR/BENCH_faults.json"
 cargo run --release --offline -p spca-bench --bin trace_report -- \
     --trace "$TRACE_DIR/trace_report.json" > "$TRACE_DIR/trace_report.txt"
 cargo run --release --offline -p spca-bench --bin trace_check -- \
     "$TRACE_DIR/bench_kernels.json" "$TRACE_DIR/bench_em.json" \
-    "$TRACE_DIR/trace_report.json" --plain "$TRACE_DIR/BENCH_em.json"
+    "$TRACE_DIR/trace_report.json" \
+    --plain "$TRACE_DIR/BENCH_em.json" "$TRACE_DIR/BENCH_faults.json"
 echo "ci: all gates passed (traces in $TRACE_DIR)"
