@@ -25,6 +25,7 @@ use dcluster::{SimCluster, StageOptions};
 use linalg::bytes::ByteSized;
 use linalg::decomp::eig::sym_eigen;
 use linalg::decomp::tsqr::tsqr;
+use linalg::wire::{self, Wire, WireError, WireReader};
 use linalg::{Mat, Prng, SparseMat};
 use mapreduce::{Emitter, MapReduceEngine, MapReduceJob};
 use spca_core::accuracy;
@@ -112,6 +113,33 @@ impl ByteSized for BtKey {
         match self {
             BtKey::SumQ => 1,
             BtKey::Col(_) => 5,
+        }
+    }
+}
+
+impl Wire for BtKey {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            BtKey::SumQ => out.push(0),
+            BtKey::Col(c) => {
+                out.push(1);
+                wire::write_uvarint(out, u64::from(*c));
+            }
+        }
+    }
+
+    fn encoded_size(&self) -> u64 {
+        match self {
+            BtKey::SumQ => 1,
+            BtKey::Col(c) => 1 + wire::uvarint_len(u64::from(*c)),
+        }
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(BtKey::SumQ),
+            1 => Ok(BtKey::Col(u32::decode_from(r)?)),
+            _ => Err(WireError::Malformed("unknown BtKey tag")),
         }
     }
 }
@@ -212,7 +240,7 @@ impl MahoutPca {
             // ---- Q job: proj = Yc·projector = Y·projector − 1⊗(Ym·projector).
             cluster.advance_time(6.0); // Hadoop job init for the Q job
             // The D×K projector ships to every node via distributed cache.
-            cluster.charge_broadcast(linalg::Mat::size_bytes(&projector));
+            cluster.charge_broadcast(cluster.wire_size(&projector));
             let shift = projector.vecmat(&mean); // K
             let proj_blocks: Vec<Mat> = {
                 let projector = &projector;
@@ -235,7 +263,8 @@ impl MahoutPca {
                 )
             };
             // Mahout writes the projection, then Q, to HDFS; Bt re-reads Q.
-            let proj_bytes = (n * k * 8) as u64;
+            let proj_bytes: u64 =
+                proj_blocks.iter().map(|b| cluster.wire_size(b)).sum();
             cluster.charge_dfs_write(proj_bytes);
             let tsqr_out = cluster.run_driver("Mahout/TSQR-final", || tsqr(&proj_blocks));
             cluster.charge_dfs_write(proj_bytes); // Q matrix
@@ -299,8 +328,8 @@ impl MahoutPca {
             // Mahout finishes each SSVD pass with separate U-job and V-job
             // MR passes that materialize the factors in HDFS.
             cluster.advance_time(2.0 * 6.0);
-            cluster.charge_dfs_write((n * cfg.components * 8) as u64); // U
-            cluster.charge_dfs_write((d_in * cfg.components * 8) as u64); // V
+            cluster.charge_dfs_write(cluster.sizing().f64_payload(n * cfg.components)); // U
+            cluster.charge_dfs_write(cluster.sizing().f64_payload(d_in * cfg.components)); // V
             model = PcaModel::new(c, mean.clone(), 1e-9);
             let error = accuracy::reconstruction_error(&error_sample, &model)?;
             iterations.push(IterationStat {

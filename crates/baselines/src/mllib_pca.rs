@@ -18,6 +18,7 @@
 use dcluster::SimCluster;
 use linalg::bytes::ByteSized;
 use linalg::decomp::eig::sym_eigen;
+use linalg::wire::{Wire, WireError, WireReader};
 use linalg::{Mat, SparseMat};
 use sparkle::SparkleContext;
 use spca_core::accuracy;
@@ -59,6 +60,20 @@ struct GramAcc(Mat);
 impl ByteSized for GramAcc {
     fn size_bytes(&self) -> u64 {
         ByteSized::size_bytes(&self.0)
+    }
+}
+
+impl Wire for GramAcc {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+
+    fn encoded_size(&self) -> u64 {
+        self.0.encoded_size()
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(GramAcc(Mat::decode_from(r)?))
     }
 }
 

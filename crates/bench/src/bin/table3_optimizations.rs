@@ -17,6 +17,7 @@
 
 use dcluster::StageOptions;
 use linalg::bytes::ByteSized;
+use linalg::wire::{Wire, WireError, WireReader};
 use linalg::Mat;
 use sparkle::SparkleContext;
 use spca_bench::{data, fmt_bytes, fresh_cluster, Table, D_COMPONENTS};
@@ -40,11 +41,39 @@ impl ByteSized for Scalar {
     }
 }
 
+impl Wire for Scalar {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+
+    fn encoded_size(&self) -> u64 {
+        8
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Scalar(f64::decode_from(r)?))
+    }
+}
+
 struct SmallMat(Mat);
 
 impl ByteSized for SmallMat {
     fn size_bytes(&self) -> u64 {
         ByteSized::size_bytes(&self.0)
+    }
+}
+
+impl Wire for SmallMat {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+
+    fn encoded_size(&self) -> u64 {
+        self.0.encoded_size()
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(SmallMat(Mat::decode_from(r)?))
     }
 }
 

@@ -7,9 +7,18 @@
 //! bits (little-endian), so a resumed run continues from *exactly* the
 //! state the uninterrupted run had — the bitwise-identical-model
 //! invariant extends across crashes.
+//!
+//! Format history: v1 stored the integer header fields as fixed 8-byte
+//! little-endian words; v2 (current) uses the `linalg::wire` varint
+//! primitives for them. [`EmCheckpoint::decode`] reads both — a resumed
+//! run must be able to pick up a checkpoint written before an upgrade —
+//! while [`EmCheckpoint::encode`] always writes v2. Both versions share
+//! the `SPCACKPT` magic and raw-IEEE-bits f64 payload; a committed v1
+//! golden fixture pins the read-compat path.
 
 use std::sync::Arc;
 
+use linalg::wire::{write_uvarint, WireError, WireReader};
 use linalg::Mat;
 
 use crate::error::SpcaError;
@@ -19,7 +28,9 @@ use crate::error::SpcaError;
 pub const CHECKPOINT_FILE: &str = "_checkpoints/em-state";
 
 const MAGIC: &[u8; 8] = b"SPCACKPT";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest version [`EmCheckpoint::decode`] still reads.
+const MIN_VERSION: u32 = 1;
 
 /// EM state at the end of iteration `iteration`.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,50 +46,25 @@ pub struct EmCheckpoint {
     pub prev_error: f64,
 }
 
-fn push_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
+fn corrupt(err: WireError) -> SpcaError {
+    SpcaError::CorruptCheckpoint { reason: err.to_string() }
 }
 
 fn push_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SpcaError> {
-        if self.pos + n > self.buf.len() {
-            return Err(SpcaError::CorruptCheckpoint {
-                reason: format!("truncated at byte {} (wanted {n} more)", self.pos),
-            });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    fn u64(&mut self) -> Result<u64, SpcaError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
-    }
-
-    fn f64(&mut self) -> Result<f64, SpcaError> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-}
-
 impl EmCheckpoint {
-    /// Serializes to the binary blob stored in the DFS.
+    /// Serializes to the binary blob stored in the DFS (always the
+    /// current version).
     pub fn encode(&self) -> Vec<u8> {
         let (rows, cols) = (self.c.rows(), self.c.cols());
-        let mut out = Vec::with_capacity(8 + 4 + 8 * 4 + rows * cols * 8);
+        let mut out = Vec::with_capacity(self.encoded_size() as usize);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
-        push_u64(&mut out, self.iteration as u64);
-        push_u64(&mut out, rows as u64);
-        push_u64(&mut out, cols as u64);
+        write_uvarint(&mut out, self.iteration as u64);
+        write_uvarint(&mut out, rows as u64);
+        write_uvarint(&mut out, cols as u64);
         push_f64(&mut out, self.ss);
         push_f64(&mut out, self.prev_error);
         for &v in self.c.data() {
@@ -87,31 +73,52 @@ impl EmCheckpoint {
         out
     }
 
-    /// Parses a blob produced by [`EmCheckpoint::encode`].
+    /// Exact length of [`EmCheckpoint::encode`]'s output.
+    pub fn encoded_size(&self) -> u64 {
+        use linalg::wire::uvarint_len;
+        let (rows, cols) = (self.c.rows() as u64, self.c.cols() as u64);
+        8 + 4
+            + uvarint_len(self.iteration as u64)
+            + uvarint_len(rows)
+            + uvarint_len(cols)
+            + 8 * (2 + rows * cols)
+    }
+
+    /// Parses a blob produced by [`EmCheckpoint::encode`], of any version
+    /// back to [`MIN_VERSION`].
     pub fn decode(buf: &[u8]) -> Result<Self, SpcaError> {
-        let mut r = Reader { buf, pos: 0 };
-        if r.take(8)? != MAGIC {
+        let mut r = WireReader::new(buf);
+        if r.take(8).map_err(corrupt)? != MAGIC {
             return Err(SpcaError::CorruptCheckpoint { reason: "bad magic".into() });
         }
-        let version = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
-        if version != VERSION {
+        let version =
+            u32::from_le_bytes(r.take(4).map_err(corrupt)?.try_into().expect("4 bytes"));
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(SpcaError::CorruptCheckpoint {
                 reason: format!("unsupported version {version}"),
             });
         }
-        let iteration = r.u64()? as usize;
-        let rows = r.u64()? as usize;
-        let cols = r.u64()? as usize;
-        let ss = r.f64()?;
-        let prev_error = r.f64()?;
-        if rows.checked_mul(cols).is_none() || buf.len() != r.pos + rows * cols * 8 {
-            return Err(SpcaError::CorruptCheckpoint {
+        let header_u64 = |r: &mut WireReader<'_>| -> Result<u64, SpcaError> {
+            if version == 1 {
+                // v1 stored header integers as fixed 8-byte LE words.
+                Ok(u64::from_le_bytes(r.take(8).map_err(corrupt)?.try_into().expect("8 bytes")))
+            } else {
+                r.uvarint().map_err(corrupt)
+            }
+        };
+        let iteration = header_u64(&mut r)? as usize;
+        let rows = header_u64(&mut r)? as usize;
+        let cols = header_u64(&mut r)? as usize;
+        let ss = r.f64_bits().map_err(corrupt)?;
+        let prev_error = r.f64_bits().map_err(corrupt)?;
+        let n = rows.checked_mul(cols).filter(|n| r.remaining() == n * 8).ok_or_else(|| {
+            SpcaError::CorruptCheckpoint {
                 reason: format!("payload size does not match {rows}x{cols} matrix"),
-            });
-        }
-        let mut data = Vec::with_capacity(rows * cols);
-        for _ in 0..rows * cols {
-            data.push(r.f64()?);
+            }
+        })?;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(r.f64_bits().map_err(corrupt)?);
         }
         Ok(EmCheckpoint { iteration, c: Mat::from_vec(rows, cols, data), ss, prev_error })
     }
@@ -134,6 +141,54 @@ mod tests {
             c: Mat::from_vec(4, 3, data),
             ss: 3.25e-4,
             prev_error: 0.421875,
+        }
+    }
+
+    /// `sample()` as serialized by the v1 encoder (fixed 8-byte LE header
+    /// integers), captured before the v2 varint header landed. Pins the
+    /// read-compat path: a checkpoint written by an old build must keep
+    /// decoding bit-for-bit.
+    const SAMPLE_V1_HEX: &str = "53504341434b50540100000007000000000000000400000000000000030000000000000094f6065f984c353f000000000000db3f000000000000d03f3a8c30e28e7915be0000000000000240b21c3f59d3ea2bbe0000000000001140a4f9b2a06f8c36be0000000000001940ee64c69475233fbe00000000008020401ce86cc43ddd43be0000000000802440c29d76bec02848be";
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("valid hex"))
+            .collect()
+    }
+
+    #[test]
+    fn v1_golden_blob_still_decodes() {
+        let blob = unhex(SAMPLE_V1_HEX);
+        let decoded = EmCheckpoint::decode(&blob).expect("v1 read-compat");
+        let want = sample();
+        assert_eq!(decoded.iteration, want.iteration);
+        assert_eq!(decoded.ss.to_bits(), want.ss.to_bits());
+        assert_eq!(decoded.prev_error.to_bits(), want.prev_error.to_bits());
+        assert_eq!(
+            decoded.c.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.c.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // The v2 re-encoding is smaller (varint header) but decodes to the
+        // same state.
+        let reencoded = decoded.encode();
+        assert!(reencoded.len() < blob.len(), "v2 header should shrink the blob");
+        assert_eq!(EmCheckpoint::decode(&reencoded).unwrap(), decoded);
+    }
+
+    #[test]
+    fn encoded_size_matches_encode_len() {
+        for ck in [
+            sample(),
+            EmCheckpoint { iteration: 0, c: Mat::zeros(0, 0), ss: 0.0, prev_error: 0.0 },
+            EmCheckpoint {
+                iteration: 300,
+                c: Mat::zeros(200, 1),
+                ss: f64::NAN,
+                prev_error: f64::INFINITY,
+            },
+        ] {
+            assert_eq!(ck.encode().len() as u64, ck.encoded_size());
         }
     }
 

@@ -37,6 +37,7 @@
 
 use linalg::bytes::ByteSized;
 use linalg::sparse::SparseRow;
+use linalg::wire::{self, Wire, WireError, WireReader};
 use linalg::{Mat, SparseMat, WorkerPool};
 
 /// Latent row `x = y·CM − Xm` for one sparse row (O(z·d)).
@@ -348,6 +349,51 @@ impl ByteSized for YtxPartial {
         let xtx = 8 * d * d;
         let rows: u64 = self.cols.len() as u64 * (4 + 8 * d);
         xtx + rows + 8 * d + 8
+    }
+}
+
+impl Wire for YtxPartial {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.xtx.encode_into(out);
+        wire::write_uvarint(out, self.cols.len() as u64);
+        wire::write_ascending_u32(out, &self.cols);
+        for v in &self.slab {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self.sum_x.encode_into(out);
+        wire::write_uvarint(out, self.rows_seen);
+    }
+
+    fn encoded_size(&self) -> u64 {
+        self.xtx.encoded_size()
+            + wire::uvarint_len(self.cols.len() as u64)
+            + wire::ascending_u32_len(&self.cols)
+            + 8 * self.slab.len() as u64
+            + self.sum_x.encoded_size()
+            + wire::uvarint_len(self.rows_seen)
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let xtx = Mat::decode_from(r)?;
+        let d = xtx.rows();
+        if xtx.cols() != d {
+            return Err(WireError::Malformed("YtxPartial xtx is not square"));
+        }
+        let n = r.ulen()?;
+        let cols = wire::read_ascending_u32(r, n, u64::from(u32::MAX) + 1)?;
+        let slab_len = n
+            .checked_mul(d)
+            .ok_or(WireError::Malformed("YtxPartial slab overflows"))?;
+        let mut slab = Vec::with_capacity(slab_len.min(r.remaining() / 8 + 1));
+        for _ in 0..slab_len {
+            slab.push(r.f64_bits()?);
+        }
+        let sum_x = Vec::<f64>::decode_from(r)?;
+        if sum_x.len() != d {
+            return Err(WireError::Malformed("YtxPartial sum_x length mismatch"));
+        }
+        let rows_seen = r.uvarint()?;
+        Ok(YtxPartial { xtx, cols, slab, sum_x, rows_seen, scratch: Vec::new() })
     }
 }
 

@@ -16,6 +16,7 @@
 
 use dcluster::SimCluster;
 use linalg::bytes::ByteSized;
+use linalg::wire::{self, Wire, WireError, WireReader};
 use linalg::{Mat, SparseMat};
 use mapreduce::{Emitter, MapReduceEngine, MapReduceJob};
 
@@ -45,6 +46,36 @@ impl ByteSized for MrKey {
         match self {
             MrKey::Row(_) => 5,
             _ => 1,
+        }
+    }
+}
+
+/// Wire layout: one tag byte, plus a varint row index for [`MrKey::Row`].
+impl Wire for MrKey {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            MrKey::XtX => out.push(0),
+            MrKey::SumX => out.push(1),
+            MrKey::Count => out.push(2),
+            MrKey::Row(c) => {
+                out.push(3);
+                wire::write_uvarint(out, u64::from(*c));
+            }
+        }
+    }
+    fn encoded_size(&self) -> u64 {
+        match self {
+            MrKey::Row(c) => 1 + wire::uvarint_len(u64::from(*c)),
+            _ => 1,
+        }
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(MrKey::XtX),
+            1 => Ok(MrKey::SumX),
+            2 => Ok(MrKey::Count),
+            3 => Ok(MrKey::Row(u32::decode_from(r)?)),
+            _ => Err(WireError::Malformed("unknown MrKey tag")),
         }
     }
 }
@@ -183,10 +214,10 @@ impl EmJobs for MrJobs<'_> {
     }
 
     fn ytx_job(&mut self, cm: &Mat, xm: &[f64]) -> YtxPartial {
-        // Distributed-cache shipment of the broadcast matrices (CM, Xm).
-        self.engine
-            .cluster()
-            .charge_broadcast(linalg::Mat::size_bytes(cm) + 8 * xm.len() as u64);
+        // Distributed-cache shipment of the broadcast matrices (CM, Xm),
+        // priced under the cluster's sizing policy.
+        let cluster = self.engine.cluster();
+        cluster.charge_broadcast(cluster.wire_size(cm) + cluster.sizing().f64_payload(xm.len()));
         let job = YtXJob { cm: cm.clone(), xm: xm.to_vec(), d: self.d };
         let before = ytx_counter_snapshot();
         let (out, _) = self.engine.run_job("YtXJob", &job, &self.blocks, self.reducers);
@@ -213,10 +244,11 @@ impl EmJobs for MrJobs<'_> {
     fn ss3_job(&mut self, cm: &Mat, xm: &[f64], c_new: &Mat) -> f64 {
         // ss3Job re-ships CM/Xm plus the updated C (each MR job re-reads
         // its distributed cache; nothing persists across jobs).
-        self.engine.cluster().charge_broadcast(
-            linalg::Mat::size_bytes(cm)
-                + 8 * xm.len() as u64
-                + linalg::Mat::size_bytes(c_new),
+        let cluster = self.engine.cluster();
+        cluster.charge_broadcast(
+            cluster.wire_size(cm)
+                + cluster.sizing().f64_payload(xm.len())
+                + cluster.wire_size(c_new),
         );
         let job = Ss3Job { cm: cm.clone(), xm: xm.to_vec(), c_new: c_new.clone() };
         let (out, _) = self.engine.run_job("ss3Job", &job, &self.blocks, 1);
@@ -248,8 +280,9 @@ fn fit_with_input(
 
     // HDFS-materialized input: MapReduce recovery re-reads failed tasks'
     // splits from here (sized per task by the engine), and node crashes
-    // re-replicate it like any other file.
-    cluster.dfs().seed(cluster, input_file, linalg::bytes::ByteSized::size_bytes(y));
+    // re-replicate it like any other file — sized at its encoded CSR
+    // length under the default policy, so re-reads match the real file.
+    cluster.dfs().seed(cluster, input_file, cluster.wire_size(y));
 
     // Smart guess warms up on the sample with this same engine; its cost
     // is charged to this run (the paper counts the warm-up delay).

@@ -18,6 +18,7 @@
 use dcluster::SimCluster;
 use linalg::bytes::ByteSized;
 use linalg::sparse::SparseRow;
+use linalg::wire::{self, Wire, WireError, WireReader};
 use linalg::{Mat, SparseMat};
 use sparkle::{Lineage, Rdd, SparkleContext};
 
@@ -47,6 +48,32 @@ impl SpRow {
 impl ByteSized for SpRow {
     fn size_bytes(&self) -> u64 {
         (self.indices.len() * 12 + 8) as u64
+    }
+}
+
+/// Wire layout: `varint nnz`, delta-encoded ascending indices, raw f64
+/// values — the per-row record a Spark shuffle file would hold.
+impl Wire for SpRow {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::write_uvarint(out, self.indices.len() as u64);
+        wire::write_ascending_u32(out, &self.indices);
+        for &v in &self.values {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    fn encoded_size(&self) -> u64 {
+        wire::uvarint_len(self.indices.len() as u64)
+            + wire::ascending_u32_len(&self.indices)
+            + 8 * self.values.len() as u64
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let n = r.ulen()?;
+        let indices = wire::read_ascending_u32(r, n, u64::from(u32::MAX) + 1)?;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(r.f64_bits()?);
+        }
+        Ok(SpRow { indices, values })
     }
 }
 
@@ -80,12 +107,36 @@ impl ByteSized for Scalar {
     }
 }
 
+impl Wire for Scalar {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+    fn encoded_size(&self) -> u64 {
+        8
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(Scalar(f64::decode_from(r)?))
+    }
+}
+
 /// Dense vector accumulator (column sums of the mean job).
 struct DenseAcc(Vec<f64>);
 
 impl ByteSized for DenseAcc {
     fn size_bytes(&self) -> u64 {
         8 + 8 * self.0.len() as u64
+    }
+}
+
+impl Wire for DenseAcc {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+    fn encoded_size(&self) -> u64 {
+        self.0.encoded_size()
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(DenseAcc(Vec::<f64>::decode_from(r)?))
     }
 }
 
@@ -146,10 +197,10 @@ impl EmJobs for SparkJobs<'_> {
 
     fn ytx_job(&mut self, cm: &Mat, xm: &[f64]) -> YtxPartial {
         // Broadcast the iteration's in-memory matrices (Section 3.3) to
-        // every node: CM (D×d) and Xm (d).
-        self.rdd
-            .cluster()
-            .charge_broadcast(linalg::Mat::size_bytes(cm) + 8 * xm.len() as u64);
+        // every node: CM (D×d) and Xm (d), priced under the cluster's
+        // sizing policy like every other metered value.
+        let cluster = self.rdd.cluster();
+        cluster.charge_broadcast(cluster.wire_size(cm) + cluster.sizing().f64_payload(xm.len()));
         let d = self.d;
         let d_in = self.d_in;
         let before = ytx_counter_snapshot();
@@ -179,7 +230,8 @@ impl EmJobs for SparkJobs<'_> {
     fn ss3_job(&mut self, cm: &Mat, xm: &[f64], c_new: &Mat) -> f64 {
         // The updated C must reach every node for the ss3 pass; CM/Xm are
         // already resident from the YtX job's broadcast.
-        self.rdd.cluster().charge_broadcast(linalg::Mat::size_bytes(c_new));
+        let cluster = self.rdd.cluster();
+        cluster.charge_broadcast(cluster.wire_size(c_new));
         let d_in = self.d_in;
         let (part, _) = self.rdd.aggregate_partitions(
             "ss3Job",
@@ -215,7 +267,7 @@ pub fn transform(
 
     let cm = model.latent_projection()?;
     let xm = cm.vecmat(model.mean());
-    cluster.charge_broadcast(linalg::Mat::size_bytes(&cm) + 8 * xm.len() as u64);
+    cluster.charge_broadcast(cluster.wire_size(&cm) + cluster.sizing().f64_payload(xm.len()));
 
     let latent = rdd.map_partitions("transform", |part| {
         part.iter()
@@ -252,8 +304,9 @@ pub(crate) fn fit_with_input(
 
     // The input pre-exists the run on the DFS (seeded, not charged). It is
     // both what lineage recomputation re-reads after a cache loss and what
-    // node crashes re-replicate.
-    cluster.dfs().seed(cluster, input_file, y.size_bytes());
+    // node crashes re-replicate — sized at its encoded CSR length so
+    // re-reads and re-replication charge the same bytes a real file holds.
+    cluster.dfs().seed(cluster, input_file, cluster.wire_size(y));
 
     // Build and persist the input RDD (cached across all EM iterations),
     // with the lineage that rebuilds any partition a node crash evicts:
@@ -315,6 +368,10 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].indices, vec![1, 4]);
         assert_eq!(rows[0].size_bytes(), 32);
+        // Encoded: varint nnz (1) + indices 1,Δ2 (2) + two raw f64 (16).
+        assert_eq!(rows[0].encoded_size(), 19);
+        assert_eq!(rows[0].encode().len(), 19);
+        assert_eq!(SpRow::decode(&rows[0].encode()).unwrap(), rows[0]);
         assert_eq!(rows[1].view().dot_dense(&[1.0, 0.0, 0.0, 0.0, 0.0]), 3.0);
     }
 

@@ -189,6 +189,64 @@ fn tracing_disabled_is_inert_and_runs_unchanged() {
     assert_byte_invariant(&cluster, "untraced run");
 }
 
+/// Regression for the wire-codec rollout: every metered path now charges
+/// real encoded lengths, and none of them may double-charge by mixing a
+/// `ByteSized` estimate with an encoded size for the same traffic. The
+/// ledger invariant `intermediate == network + dfs_written` must hold for
+/// full fits under *both* sizing policies, on both engines, and under
+/// fault-driven re-execution (whose re-read charging derives from the
+/// same sized inputs as the original attempt).
+#[test]
+fn byte_invariant_holds_under_both_sizing_policies_and_faults() {
+    let y = datasets::tweets::generate(400, 120, &mut Prng::seed_from_u64(7));
+    let config = SpcaConfig::new(3).with_max_iters(2).with_partitions(4).with_seed(7);
+
+    let cluster_with = |estimated: bool| {
+        let cfg = ClusterConfig::paper_cluster().with_nodes(4).with_cores_per_node(2);
+        let cfg = if estimated { cfg.with_estimated_sizes() } else { cfg };
+        SimCluster::new(cfg)
+    };
+
+    for estimated in [false, true] {
+        let label = if estimated { "estimated" } else { "encoded" };
+
+        let spark = cluster_with(estimated);
+        Spca::new(config.clone()).fit_spark(&spark, &y).expect("spark fit");
+        assert_byte_invariant(&spark, &format!("spark fit ({label})"));
+
+        let mr = cluster_with(estimated);
+        Spca::new(config.clone()).fit_mapreduce(&mr, &y).expect("mapreduce fit");
+        assert_byte_invariant(&mr, &format!("mapreduce fit ({label})"));
+
+        // Compose with crashes: re-executed tasks re-read their split at
+        // the same sized bytes; re-replication charges network + disk in
+        // lockstep, so the ledger must still balance.
+        let faulty = cluster_with(estimated);
+        let spec = dcluster::FaultSpec::new(0xb0u64).with_speculation(true);
+        let plan = dcluster::FaultPlan::new().with_crash(1, 2).with_crash(3, 4);
+        faulty.install_fault_plan(spec, plan).unwrap();
+        Spca::new(config.clone()).fit_spark(&faulty, &y).expect("faulty fit");
+        assert_byte_invariant(&faulty, &format!("spark fit under faults ({label})"));
+        assert!(
+            !faulty.recovery_log().is_empty(),
+            "the fault plan must actually have fired for this regression to bite"
+        );
+    }
+
+    // The two policies must disagree on totals (the codec really engaged)
+    // while each keeps its own ledger balanced.
+    let enc = cluster_with(false);
+    let est = cluster_with(true);
+    Spca::new(config.clone()).fit_spark(&enc, &y).unwrap();
+    Spca::new(config).fit_spark(&est, &y).unwrap();
+    assert!(
+        enc.metrics().intermediate_bytes < est.metrics().intermediate_bytes,
+        "encoded traffic ({}) must undercut the flat estimate ({})",
+        enc.metrics().intermediate_bytes,
+        est.metrics().intermediate_bytes
+    );
+}
+
 #[test]
 fn backwards_clock_is_dropped_and_counted() {
     let cluster = small_cluster();

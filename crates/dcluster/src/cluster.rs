@@ -323,6 +323,20 @@ impl SimCluster {
         &self.cfg
     }
 
+    /// The byte-sizing policy metered traffic is priced under.
+    #[inline]
+    pub fn sizing(&self) -> linalg::Sizing {
+        self.cfg.byte_sizing
+    }
+
+    /// Metered size of `value` under this cluster's sizing policy:
+    /// real `Wire::encoded_size()` by default, the legacy `ByteSized`
+    /// estimate when the config selects [`linalg::Sizing::Estimated`].
+    #[inline]
+    pub fn wire_size<T: linalg::Wire>(&self, value: &T) -> u64 {
+        self.cfg.byte_sizing.size_of(value)
+    }
+
     fn faults_lock(&self) -> MutexGuard<'_, FaultDomain> {
         lock_plain(&self.faults)
     }

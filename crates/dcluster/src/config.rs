@@ -1,5 +1,7 @@
 //! Cluster hardware description.
 
+use linalg::wire::Sizing;
+
 use crate::cluster::ClusterError;
 
 /// Hardware and platform parameters of the simulated cluster.
@@ -39,6 +41,11 @@ pub struct ClusterConfig {
     /// last replica there are lost and reads fail with
     /// [`ClusterError::BlockLost`].
     pub dfs_replication: usize,
+    /// How the byte meters price metered values: real `wire` encoded
+    /// lengths (default) or the legacy flat `ByteSized` estimates. Only
+    /// moves byte counters and the virtual clock — fitted models are
+    /// bitwise identical under either policy.
+    pub byte_sizing: Sizing,
 }
 
 impl ClusterConfig {
@@ -54,6 +61,7 @@ impl ClusterConfig {
             task_failure_rate: 0.0,
             task_retry_delay_secs: 2.0,
             dfs_replication: 3,
+            byte_sizing: Sizing::Encoded,
         }
     }
 
@@ -80,7 +88,19 @@ impl ClusterConfig {
             task_failure_rate: 0.0,
             task_retry_delay_secs: 2.0,
             dfs_replication: 3,
+            byte_sizing: Sizing::Encoded,
         }
+    }
+
+    /// Builder-style override of the byte-sizing policy.
+    pub fn with_byte_sizing(mut self, sizing: Sizing) -> Self {
+        self.byte_sizing = sizing;
+        self
+    }
+
+    /// Builder-style shorthand for the legacy estimate-based meters.
+    pub fn with_estimated_sizes(self) -> Self {
+        self.with_byte_sizing(Sizing::Estimated)
     }
 
     /// Builder-style override of the task failure rate.
@@ -204,6 +224,9 @@ mod tests {
         let c = c.with_dfs_replication(2).with_task_retry_delay(0.5);
         assert_eq!(c.dfs_replication, 2);
         assert_eq!(c.task_retry_delay_secs, 0.5);
+        assert_eq!(c.byte_sizing, Sizing::Encoded);
+        let c = c.with_estimated_sizes();
+        assert_eq!(c.byte_sizing, Sizing::Estimated);
     }
 
     #[test]

@@ -1,12 +1,14 @@
-//! Byte-size estimation for shuffle metering.
+//! Legacy flat byte-size estimates for shuffle metering.
 //!
 //! The cluster simulator charges network and disk time per byte moved, and
 //! the paper's headline "intermediate data" numbers (961 GB vs 131 MB on
-//! Tweets) are byte counts of exactly this kind. Rather than serializing
-//! records for real, engines ask each record its wire size through this
-//! trait. Sizes follow the layouts a reasonable binary codec would use:
-//! 8 bytes per `f64`/`u64`, 12 bytes per sparse entry (4-byte index +
-//! 8-byte value).
+//! Tweets) are byte counts of exactly this kind. Metered paths now charge
+//! real *encoded* lengths from the [`crate::wire`] codec (varint + delta
+//! indices, raw-IEEE-bits f64 payloads); this trait keeps the original
+//! flat arithmetic — 8 bytes per `f64`/`u64`, 12 bytes per sparse entry
+//! (4-byte index + 8-byte value) — as the [`crate::wire::Sizing::Estimated`]
+//! policy, used for differential tests and for quoting the paper's own
+//! uncompressed accounting.
 //!
 //! The trait lives in `linalg` (the bottom crate) so that matrix types can
 //! implement it without a dependency cycle; it has no other coupling to

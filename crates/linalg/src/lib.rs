@@ -36,10 +36,12 @@ pub mod rng;
 pub mod scratch;
 pub mod sparse;
 pub mod vector;
+pub mod wire;
 
 pub mod decomp;
 
 pub use bytes::ByteSized;
+pub use wire::{Sizing, Wire, WireError, WireReader};
 pub use dense::Mat;
 pub use error::LinalgError;
 pub use pool::WorkerPool;

@@ -88,6 +88,24 @@ impl SparseMat {
         SparseMat::from_rows(m.rows(), m.cols(), per_row)
     }
 
+    /// Crate-internal: assembles from already-validated CSR parts.
+    ///
+    /// Used by `wire` decode, which must reproduce the encoded matrix
+    /// *bitwise* — routing through [`SparseMat::from_rows`] would drop
+    /// `-0.0` values and re-sort, breaking round-trip fidelity.
+    pub(crate) fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), rows + 1);
+        debug_assert_eq!(indices.len(), values.len());
+        debug_assert_eq!(*indptr.last().unwrap_or(&0), indices.len());
+        SparseMat { rows, cols, indptr, indices, values }
+    }
+
     /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {

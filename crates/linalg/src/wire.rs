@@ -1,0 +1,716 @@
+//! Versioned binary wire codec for all metered traffic.
+//!
+//! Every byte the cluster simulator charges — MapReduce shuffle records,
+//! sparkle RDD spill/broadcast, HDFS blocks, EM checkpoints — is priced by
+//! this codec instead of the flat per-field estimates in [`crate::bytes`].
+//! The encoding is what a production system would plausibly ship:
+//!
+//! * **varints** — unsigned LEB128 for all integer fields (lengths, shapes,
+//!   counts, keys), so small values cost one byte instead of eight;
+//! * **delta encoding** — strictly-ascending index lists (CSR column
+//!   indices, packed accumulator column tables) store the first index
+//!   absolute and each subsequent one as `varint(gap - 1)`; CSR row
+//!   pointers are stored as per-row length deltas;
+//! * **raw IEEE bits** — `f64` payloads are the 8 little-endian bytes of
+//!   [`f64::to_bits`], so `NaN` payloads, `-0.0` and signalling bit
+//!   patterns survive a round trip *bitwise* (the repo's determinism
+//!   invariants compare `to_bits`, so the codec must too);
+//! * **framing** — self-describing blobs carry the [`WIRE_MAGIC`] tag and a
+//!   format version ([`WIRE_VERSION`]); bare record encodings (shuffle
+//!   keys/values) omit the frame since the stream context fixes the type.
+//!
+//! The central contract, enforced by `tests/wire_roundtrip.rs`:
+//! `encoded_size() == encode().len()` and `decode(encode(v)) == v` bitwise,
+//! for every type that crosses a metered boundary.
+
+use crate::bytes::{ByteSized, SparseUpdate};
+use crate::dense::Mat;
+use crate::sparse::SparseMat;
+
+/// Magic tag opening every framed wire blob: `b"SPWR"`.
+pub const WIRE_MAGIC: [u8; 4] = *b"SPWR";
+
+/// Current framed-blob format version.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Decode-side failure. Encoding is infallible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// Structurally invalid input (bad tag, overflow, non-ascending
+    /// indices, trailing bytes, …).
+    Malformed(&'static str),
+    /// Framed blob did not start with [`WIRE_MAGIC`].
+    BadMagic,
+    /// Framed blob carried an unknown format version.
+    BadVersion(u16),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire: input truncated"),
+            WireError::Malformed(what) => write!(f, "wire: malformed input: {what}"),
+            WireError::BadMagic => write!(f, "wire: bad magic (expected SPWR)"),
+            WireError::BadVersion(v) => write!(f, "wire: unsupported format version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Cursor over an encoded byte buffer.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Consumes one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consumes an unsigned LEB128 varint.
+    pub fn uvarint(&mut self) -> Result<u64, WireError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(WireError::Malformed("varint overflows u64"));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::Malformed("varint too long"));
+            }
+        }
+    }
+
+    /// Consumes a varint that must fit in `usize`.
+    pub fn ulen(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.uvarint()?).map_err(|_| WireError::Malformed("length exceeds usize"))
+    }
+
+    /// Consumes 8 raw little-endian bytes as an `f64` bit pattern.
+    pub fn f64_bits(&mut self) -> Result<f64, WireError> {
+        let b = self.take(8)?;
+        Ok(f64::from_bits(u64::from_le_bytes(b.try_into().expect("take(8)"))))
+    }
+
+    /// Errors unless every byte has been consumed.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after value"))
+        }
+    }
+}
+
+/// Appends `v` as an unsigned LEB128 varint.
+pub fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Encoded length of `v` as a varint, in bytes (1..=10).
+pub fn uvarint_len(v: u64) -> u64 {
+    // bits 1..=64 → ceil(bits / 7) bytes; v == 0 still takes one byte.
+    let bits = 64 - v.leading_zeros().min(63) as u64;
+    bits.div_ceil(7).max(1)
+}
+
+/// Appends a strictly-ascending `u32` index list, delta-encoded: first
+/// index absolute, then `varint(gap - 1)` per subsequent index.
+pub fn write_ascending_u32(out: &mut Vec<u8>, indices: &[u32]) {
+    let mut prev: Option<u32> = None;
+    for &c in indices {
+        match prev {
+            None => write_uvarint(out, u64::from(c)),
+            Some(p) => {
+                debug_assert!(c > p, "write_ascending_u32: indices not strictly ascending");
+                write_uvarint(out, u64::from(c - p) - 1);
+            }
+        }
+        prev = Some(c);
+    }
+}
+
+/// Encoded length of [`write_ascending_u32`]'s output.
+pub fn ascending_u32_len(indices: &[u32]) -> u64 {
+    let mut total = 0;
+    let mut prev: Option<u32> = None;
+    for &c in indices {
+        total += match prev {
+            None => uvarint_len(u64::from(c)),
+            Some(p) => uvarint_len(u64::from(c - p) - 1),
+        };
+        prev = Some(c);
+    }
+    total
+}
+
+/// Reads `n` delta-encoded ascending indices, each `< max_exclusive`.
+pub fn read_ascending_u32(
+    r: &mut WireReader<'_>,
+    n: usize,
+    max_exclusive: u64,
+) -> Result<Vec<u32>, WireError> {
+    let mut out = Vec::with_capacity(n.min(r.remaining() + 1));
+    let mut prev: Option<u64> = None;
+    for _ in 0..n {
+        let raw = r.uvarint()?;
+        let c = match prev {
+            None => raw,
+            Some(p) => p
+                .checked_add(raw)
+                .and_then(|x| x.checked_add(1))
+                .ok_or(WireError::Malformed("index delta overflows"))?,
+        };
+        if c >= max_exclusive || c > u64::from(u32::MAX) {
+            return Err(WireError::Malformed("index out of bounds"));
+        }
+        out.push(c as u32);
+        prev = Some(c);
+    }
+    Ok(out)
+}
+
+/// A value with a real binary encoding.
+///
+/// Everything metered by the cluster simulator implements this; the meters
+/// charge [`Wire::encoded_size`], which must equal `encode().len()` exactly
+/// (property-tested), and [`Wire::decode`] must reproduce the input
+/// bitwise. [`ByteSized`] remains as the legacy flat estimate, selectable
+/// per cluster via [`Sizing::Estimated`] for differential testing.
+pub trait Wire: ByteSized + Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Exact length of [`Wire::encode`]'s output, without materializing it.
+    fn encoded_size(&self) -> u64;
+
+    /// Decodes one value from the reader, leaving the cursor after it.
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Encodes `self` into a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_size() as usize);
+        self.encode_into(&mut out);
+        debug_assert_eq!(out.len() as u64, self.encoded_size(), "encoded_size out of sync");
+        out
+    }
+
+    /// Decodes a value occupying the whole buffer.
+    fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let v = Self::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+impl Wire for f64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn encoded_size(&self) -> u64 {
+        8
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.f64_bits()
+    }
+}
+
+impl Wire for u64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        write_uvarint(out, *self);
+    }
+    fn encoded_size(&self) -> u64 {
+        uvarint_len(*self)
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.uvarint()
+    }
+}
+
+impl Wire for u32 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        write_uvarint(out, u64::from(*self));
+    }
+    fn encoded_size(&self) -> u64 {
+        uvarint_len(u64::from(*self))
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        u32::try_from(r.uvarint()?).map_err(|_| WireError::Malformed("u32 overflow"))
+    }
+}
+
+impl Wire for usize {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        write_uvarint(out, *self as u64);
+    }
+    fn encoded_size(&self) -> u64 {
+        uvarint_len(*self as u64)
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.ulen()
+    }
+}
+
+impl Wire for () {
+    fn encode_into(&self, _out: &mut Vec<u8>) {}
+    fn encoded_size(&self) -> u64 {
+        0
+    }
+    fn decode_from(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+    }
+    fn encoded_size(&self) -> u64 {
+        self.0.encoded_size() + self.1.encoded_size()
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode_from(r)?, B::decode_from(r)?))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        write_uvarint(out, self.len() as u64);
+        for v in self {
+            v.encode_into(out);
+        }
+    }
+    fn encoded_size(&self) -> u64 {
+        uvarint_len(self.len() as u64) + self.iter().map(Wire::encoded_size).sum::<u64>()
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.ulen()?;
+        let mut out = Vec::with_capacity(n.min(r.remaining() + 1));
+        for _ in 0..n {
+            out.push(T::decode_from(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+    fn encoded_size(&self) -> u64 {
+        1 + self.as_ref().map_or(0, Wire::encoded_size)
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_from(r)?)),
+            _ => Err(WireError::Malformed("Option tag must be 0 or 1")),
+        }
+    }
+}
+
+/// Dense block: `varint rows, varint cols`, then `rows·cols` raw f64 bits
+/// in row-major order.
+impl Wire for Mat {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        write_uvarint(out, self.rows() as u64);
+        write_uvarint(out, self.cols() as u64);
+        for &v in self.data() {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    fn encoded_size(&self) -> u64 {
+        uvarint_len(self.rows() as u64)
+            + uvarint_len(self.cols() as u64)
+            + 8 * self.data().len() as u64
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let rows = r.ulen()?;
+        let cols = r.ulen()?;
+        let n = rows.checked_mul(cols).ok_or(WireError::Malformed("Mat shape overflows"))?;
+        let raw = r.take(n.checked_mul(8).ok_or(WireError::Malformed("Mat payload overflows"))?)?;
+        let data = raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("chunks_exact(8)"))))
+            .collect();
+        Ok(Mat::from_vec(rows, cols, data))
+    }
+}
+
+/// CSR slice: `varint rows, varint cols, varint nnz`, then per row a
+/// `varint` length (the row-pointer delta) followed by its delta-encoded
+/// ascending column indices, then all `nnz` values as raw f64 bits.
+impl Wire for SparseMat {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        write_uvarint(out, self.rows() as u64);
+        write_uvarint(out, self.cols() as u64);
+        write_uvarint(out, self.nnz() as u64);
+        for row in 0..self.rows() {
+            let r = self.row(row);
+            write_uvarint(out, r.indices.len() as u64);
+            write_ascending_u32(out, r.indices);
+        }
+        for row in 0..self.rows() {
+            for &v in self.row(row).values {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    fn encoded_size(&self) -> u64 {
+        let mut total = uvarint_len(self.rows() as u64)
+            + uvarint_len(self.cols() as u64)
+            + uvarint_len(self.nnz() as u64)
+            + 8 * self.nnz() as u64;
+        for row in 0..self.rows() {
+            let r = self.row(row);
+            total += uvarint_len(r.indices.len() as u64) + ascending_u32_len(r.indices);
+        }
+        total
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let rows = r.ulen()?;
+        let cols = r.ulen()?;
+        let nnz = r.ulen()?;
+        let mut indptr = Vec::with_capacity(rows.min(r.remaining()) + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::with_capacity(nnz.min(r.remaining()));
+        for _ in 0..rows {
+            let len = r.ulen()?;
+            let total =
+                indptr.last().expect("non-empty").checked_add(len).ok_or(WireError::Truncated)?;
+            if total > nnz {
+                return Err(WireError::Malformed("row lengths exceed declared nnz"));
+            }
+            indices.extend(read_ascending_u32(r, len, cols as u64)?);
+            indptr.push(total);
+        }
+        if *indptr.last().expect("non-empty") != nnz {
+            return Err(WireError::Malformed("row lengths disagree with declared nnz"));
+        }
+        let raw = r.take(nnz.checked_mul(8).ok_or(WireError::Truncated)?)?;
+        let values = raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("chunks_exact(8)"))))
+            .collect();
+        Ok(SparseMat::from_raw_parts(rows, cols, indptr, indices, values))
+    }
+}
+
+/// Sparse-triple shuffle record: `varint entry count`, then per entry a
+/// `varint` row index, `varint` payload length and raw f64 bits.
+impl Wire for SparseUpdate {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        write_uvarint(out, self.entries.len() as u64);
+        for (idx, row) in &self.entries {
+            write_uvarint(out, u64::from(*idx));
+            write_uvarint(out, row.len() as u64);
+            for &v in row {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    fn encoded_size(&self) -> u64 {
+        uvarint_len(self.entries.len() as u64)
+            + self
+                .entries
+                .iter()
+                .map(|(idx, row)| {
+                    uvarint_len(u64::from(*idx))
+                        + uvarint_len(row.len() as u64)
+                        + 8 * row.len() as u64
+                })
+                .sum::<u64>()
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.ulen()?;
+        let mut entries = Vec::with_capacity(n.min(r.remaining() + 1));
+        for _ in 0..n {
+            let idx = u32::decode_from(r)?;
+            let len = r.ulen()?;
+            let raw = r.take(len.checked_mul(8).ok_or(WireError::Truncated)?)?;
+            let row = raw
+                .chunks_exact(8)
+                .map(|c| {
+                    f64::from_bits(u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+                })
+                .collect();
+            entries.push((idx, row));
+        }
+        Ok(SparseUpdate { entries })
+    }
+}
+
+/// Frame overhead in bytes: 4-byte magic + 2-byte little-endian version.
+pub const FRAME_OVERHEAD: u64 = 6;
+
+/// Encodes `v` as a self-describing framed blob: magic + version + payload.
+pub fn encode_framed<T: Wire>(v: &T) -> Vec<u8> {
+    let mut out = Vec::with_capacity((FRAME_OVERHEAD + v.encoded_size()) as usize);
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    v.encode_into(&mut out);
+    out
+}
+
+/// Exact length of [`encode_framed`]'s output.
+pub fn framed_size<T: Wire>(v: &T) -> u64 {
+    FRAME_OVERHEAD + v.encoded_size()
+}
+
+/// Decodes a framed blob, validating magic and version.
+pub fn decode_framed<T: Wire>(buf: &[u8]) -> Result<T, WireError> {
+    let mut r = WireReader::new(buf);
+    if r.take(4)? != WIRE_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = u16::from_le_bytes(r.take(2)?.try_into().expect("take(2)"));
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let v = T::decode_from(&mut r)?;
+    r.finish()?;
+    Ok(v)
+}
+
+/// How a cluster prices the bytes of a metered value.
+///
+/// [`Sizing::Encoded`] (the default) charges real [`Wire`] encoded lengths;
+/// [`Sizing::Estimated`] keeps the legacy flat [`ByteSized`] arithmetic for
+/// differential testing (`crates/core/tests/wire_determinism.rs` proves the
+/// fitted model is bitwise identical either way — sizing only moves the
+/// byte meters and the virtual clock).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Sizing {
+    /// Charge `Wire::encoded_size()` — real serialized bytes.
+    #[default]
+    Encoded,
+    /// Charge `ByteSized::size_bytes()` — the legacy flat estimate.
+    Estimated,
+}
+
+impl Sizing {
+    /// Metered size of `value` under this policy.
+    #[inline]
+    pub fn size_of<T: Wire>(self, value: &T) -> u64 {
+        match self {
+            Sizing::Encoded => value.encoded_size(),
+            Sizing::Estimated => value.size_bytes(),
+        }
+    }
+
+    /// Metered size of a length-`len` `f64` slice (a `Vec<f64>` on the
+    /// wire), for charge sites that hold `&[f64]` rather than an owned
+    /// vector.
+    #[inline]
+    pub fn f64_payload(self, len: usize) -> u64 {
+        match self {
+            Sizing::Encoded => uvarint_len(len as u64) + 8 * len as u64,
+            Sizing::Estimated => 8 + 8 * len as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let buf = v.encode();
+        assert_eq!(buf.len() as u64, v.encoded_size(), "encoded_size mismatch for {v:?}");
+        assert_eq!(&T::decode(&buf).expect("decode"), v);
+    }
+
+    #[test]
+    fn uvarint_boundaries() {
+        for v in
+            [0u64, 1, 127, 128, 129, 16_383, 16_384, 1 << 21, u64::from(u32::MAX), u64::MAX - 1, u64::MAX]
+        {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            assert_eq!(buf.len() as u64, uvarint_len(v), "len mismatch for {v}");
+            let mut r = WireReader::new(&buf);
+            assert_eq!(r.uvarint().unwrap(), v);
+            r.finish().unwrap();
+        }
+        assert_eq!(uvarint_len(0), 1);
+        assert_eq!(uvarint_len(127), 1);
+        assert_eq!(uvarint_len(128), 2);
+        assert_eq!(uvarint_len(u64::MAX), 10);
+    }
+
+    #[test]
+    fn uvarint_rejects_overflow_and_truncation() {
+        // 11 continuation bytes can never be a valid u64 varint.
+        let long = [0x80u8; 11];
+        assert!(matches!(WireReader::new(&long).uvarint(), Err(WireError::Malformed(_))));
+        // 2^64 exactly: ten bytes with top byte 2.
+        let overflow = [0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02];
+        assert!(matches!(WireReader::new(&overflow).uvarint(), Err(WireError::Malformed(_))));
+        assert_eq!(WireReader::new(&[0x80]).uvarint(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn ascending_indices_delta_roundtrip() {
+        for indices in [vec![], vec![0u32], vec![5], vec![0, 1, 2, 3], vec![7, 900, 901, 65_000]] {
+            let mut buf = Vec::new();
+            write_ascending_u32(&mut buf, &indices);
+            assert_eq!(buf.len() as u64, ascending_u32_len(&indices));
+            let mut r = WireReader::new(&buf);
+            let back = read_ascending_u32(&mut r, indices.len(), 1 << 20).unwrap();
+            assert_eq!(back, indices);
+        }
+        // Dense run 100..200 costs 1 absolute + 99 zero-gap bytes.
+        let dense: Vec<u32> = (100..200).collect();
+        assert_eq!(ascending_u32_len(&dense), 1 + 99);
+    }
+
+    #[test]
+    fn f64_preserves_bit_patterns() {
+        for v in [0.0f64, -0.0, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE]
+        {
+            let buf = v.encode();
+            assert_eq!(buf.len(), 8);
+            let back = f64::decode(&buf).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "bits changed for {v}");
+        }
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(&42u64);
+        roundtrip(&7u32);
+        roundtrip(&());
+        roundtrip(&(3u32, 2.5f64));
+        roundtrip(&vec![1.0f64, -0.0, 3.5]);
+        roundtrip(&Vec::<f64>::new());
+        roundtrip(&Some(9u64));
+        roundtrip(&None::<u64>);
+        roundtrip(&Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        roundtrip(&Mat::zeros(0, 5));
+        roundtrip(&SparseMat::from_triplets(3, 10, &[(0, 2, 1.5), (0, 9, -2.0), (2, 0, 4.0)]));
+        roundtrip(&SparseMat::from_triplets(0, 0, &[]));
+        roundtrip(&SparseUpdate { entries: vec![(3, vec![1.0, 2.0]), (90, vec![-0.5])] });
+    }
+
+    #[test]
+    fn varints_beat_flat_estimates_on_small_values() {
+        // The whole point: a (u32, f64) shuffle record estimated at 12
+        // bytes encodes to 9 when the key is small.
+        let record = (1u32, 2.5f64);
+        assert_eq!(ByteSized::size_bytes(&record), 12);
+        assert_eq!(record.encoded_size(), 9);
+        // Sparse entries estimated at 12 bytes each cost ~9 with deltas.
+        let s = SparseMat::from_triplets(1, 1000, &[(0, 10, 1.0), (0, 11, 2.0), (0, 12, 3.0)]);
+        assert!(s.encoded_size() < ByteSized::size_bytes(&s));
+    }
+
+    #[test]
+    fn decode_rejects_trailing_and_truncated() {
+        let mut buf = 5u64.encode();
+        buf.push(0);
+        assert!(matches!(u64::decode(&buf), Err(WireError::Malformed(_))));
+        let m = Mat::zeros(2, 2);
+        let enc = m.encode();
+        assert_eq!(Mat::decode(&enc[..enc.len() - 1]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn sparse_decode_validates_structure() {
+        // Column index >= cols.
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 1); // rows
+        write_uvarint(&mut buf, 4); // cols
+        write_uvarint(&mut buf, 1); // nnz
+        write_uvarint(&mut buf, 1); // row len
+        write_uvarint(&mut buf, 9); // index 9 out of bounds
+        buf.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
+        assert!(matches!(SparseMat::decode(&buf), Err(WireError::Malformed(_))));
+
+        // Row lengths disagree with declared nnz.
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 1); // rows
+        write_uvarint(&mut buf, 4); // cols
+        write_uvarint(&mut buf, 2); // nnz = 2
+        write_uvarint(&mut buf, 1); // but the only row has 1
+        write_uvarint(&mut buf, 0);
+        buf.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
+        assert!(matches!(SparseMat::decode(&buf), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn framed_blob_checks_magic_and_version() {
+        let v = vec![1.0f64, 2.0];
+        let blob = encode_framed(&v);
+        assert_eq!(blob.len() as u64, framed_size(&v));
+        assert_eq!(decode_framed::<Vec<f64>>(&blob).unwrap(), v);
+
+        let mut bad = blob.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_framed::<Vec<f64>>(&bad), Err(WireError::BadMagic));
+
+        let mut future = blob.clone();
+        future[4] = 0xff;
+        future[5] = 0xff;
+        assert_eq!(decode_framed::<Vec<f64>>(&future), Err(WireError::BadVersion(0xffff)));
+
+        assert_eq!(decode_framed::<Vec<f64>>(&blob[..3]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn sizing_dispatches_between_codec_and_estimate() {
+        let v = vec![1.0f64; 4];
+        assert_eq!(Sizing::Encoded.size_of(&v), 33);
+        assert_eq!(Sizing::Estimated.size_of(&v), 40);
+        assert_eq!(Sizing::Encoded.f64_payload(4), 33);
+        assert_eq!(Sizing::Estimated.f64_payload(4), 40);
+        assert_eq!(Sizing::default(), Sizing::Encoded);
+    }
+}

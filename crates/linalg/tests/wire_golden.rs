@@ -1,0 +1,133 @@
+//! Golden-blob conformance fixtures for the wire format.
+//!
+//! Each fixture is a committed hex string captured from the version-1
+//! encoder. The tests pin the format in both directions:
+//!
+//! * **encoder conformance** — encoding the documented value reproduces the
+//!   fixture byte-for-byte, so an accidental layout change (varint width,
+//!   field order, delta base) fails loudly instead of silently re-encoding
+//!   old data differently;
+//! * **decoder conformance** — the fixture decodes back to the documented
+//!   value, so blobs written by any v1 encoder stay readable.
+//!
+//! The companion SPCACKPT-v1 checkpoint fixture lives with the checkpoint
+//! codec in `spca-core` (`checkpoint::tests::v1_golden_blob_still_decodes`).
+//! If a fixture here ever needs to change, that is a format break: bump
+//! `wire::WIRE_VERSION` and keep the old decoder path.
+
+use linalg::bytes::SparseUpdate;
+use linalg::wire::{decode_framed, encode_framed, Wire};
+use linalg::{Mat, SparseMat};
+
+fn unhex(s: &str) -> Vec<u8> {
+    assert!(s.len() % 2 == 0, "odd hex fixture");
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("bad hex fixture"))
+        .collect()
+}
+
+fn assert_golden<T: Wire>(value: &T, hex: &str, what: &str) -> T {
+    let blob = unhex(hex);
+    assert_eq!(value.encode(), blob, "{what}: encoder no longer reproduces the fixture");
+    assert_eq!(value.encoded_size(), blob.len() as u64, "{what}: size contract");
+    T::decode(&blob).unwrap_or_else(|e| panic!("{what}: fixture no longer decodes: {e}"))
+}
+
+#[test]
+fn golden_u64_varint() {
+    // 624485 is the canonical LEB128 worked example: 0xE5 0x8E 0x26.
+    let back = assert_golden(&624_485u64, "e58e26", "u64");
+    assert_eq!(back, 624_485);
+}
+
+#[test]
+fn golden_f64_negative_zero() {
+    // Raw IEEE-754 little-endian bits; -0.0 keeps its sign bit.
+    let back = assert_golden(&-0.0f64, "0000000000000080", "f64");
+    assert_eq!(back.to_bits(), (-0.0f64).to_bits());
+}
+
+#[test]
+fn golden_vec_f64_with_nan_payload() {
+    // varint len 3, then raw bits: 1.0, quiet NaN 0x7ff8…, -2.5.
+    let v = vec![1.0, f64::from_bits(0x7ff8_0000_0000_0000), -2.5];
+    let back = assert_golden(
+        &v,
+        "03000000000000f03f000000000000f87f00000000000004c0",
+        "Vec<f64>",
+    );
+    let bits: Vec<u64> = back.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(bits, v.iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+}
+
+#[test]
+fn golden_key_value_pair() {
+    // Shuffle record shape: varint key 300 (0xAC 0x02), then 1.5 raw bits.
+    let back = assert_golden(&(300u32, 1.5f64), "ac02000000000000f83f", "(u32, f64)");
+    assert_eq!(back, (300, 1.5));
+}
+
+#[test]
+fn golden_option_tag() {
+    // 1-byte presence tag, then varint 128 (0x80 0x01).
+    let back = assert_golden(&Some(128u64), "018001", "Option<u64>");
+    assert_eq!(back, Some(128));
+}
+
+#[test]
+fn golden_dense_mat() {
+    // varint rows 2, cols 3, then 6 raw f64s row-major.
+    let m = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    let back = assert_golden(
+        &m,
+        "0203000000000000f03f000000000000004000000000000008400000000000001040\
+         00000000000014400000000000001840",
+        "Mat",
+    );
+    assert_eq!(back.data(), m.data());
+}
+
+#[test]
+fn golden_sparse_mat_delta_indices() {
+    // Layout: rows 3, cols 8, nnz 3; per row varint length then
+    // delta-encoded indices (first absolute, then gap−1): row 0 holds
+    // columns {1, 4} → 02 01 02; row 1 is empty → 00; row 2 holds {7} →
+    // 01 07; then the three values' raw bits (0.5, −0.25, 1e−3).
+    let m = SparseMat::from_rows(
+        3,
+        8,
+        vec![vec![(1, 0.5), (4, -0.25)], vec![], vec![(7, 1e-3)]],
+    );
+    let back = assert_golden(
+        &m,
+        "030803020102000107000000000000e03f000000000000d0bffca9f1d24d62503f",
+        "SparseMat",
+    );
+    assert_eq!(back, m);
+}
+
+#[test]
+fn golden_sparse_update() {
+    // varint entry count, then per entry: varint index, varint row length,
+    // raw f64s. Index 700 encodes as 0xBC 0x05; its row is empty.
+    let u = SparseUpdate { entries: vec![(2, vec![0.5, -0.5]), (700, vec![])] };
+    let back = assert_golden(
+        &u,
+        "020202000000000000e03f000000000000e0bfbc0500",
+        "SparseUpdate",
+    );
+    assert_eq!(back, u);
+}
+
+#[test]
+fn golden_framed_blob() {
+    // "SPWR" magic, version 1 little-endian u16, then the payload (1×1
+    // matrix holding 42.0).
+    let m = Mat::from_vec(1, 1, vec![42.0]);
+    let blob = unhex("53505752010001010000000000004540");
+    assert_eq!(encode_framed(&m), blob, "framed encoder drifted");
+    let back: Mat = decode_framed(&blob).expect("framed fixture decodes");
+    assert_eq!(back.data(), m.data());
+    assert_eq!(&blob[..4], b"SPWR", "magic is the literal ASCII tag");
+}

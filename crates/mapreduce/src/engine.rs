@@ -5,7 +5,6 @@ use std::collections::BTreeMap;
 use dcluster::{SimCluster, StageOptions};
 
 use crate::job::{Emitter, MapReduceJob};
-use linalg::bytes::ByteSized;
 
 /// Per-job byte and record counters (the Hadoop counters the paper quotes).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -79,6 +78,9 @@ impl<'a> MapReduceEngine<'a> {
             );
         }
         self.cluster.advance_time(self.job_overhead_secs);
+        // Byte meters price records under the cluster's sizing policy:
+        // real encoded lengths by default.
+        let sizing = self.cluster.sizing();
 
         // ---- Map stage (with per-mapper combine, inside the timed task).
         type MapOut<K, V> = (Vec<(K, V)>, u64, usize);
@@ -87,7 +89,7 @@ impl<'a> MapReduceEngine<'a> {
             .map(|p| {
                 move || -> MapOut<J::Key, J::Value> {
                     let combiner = |k: &J::Key, vs: Vec<J::Value>| job.combine(k, vs);
-                    let mut emitter = Emitter::with_combiner(&combiner);
+                    let mut emitter = Emitter::with_combiner(&combiner).with_sizing(sizing);
                     job.map(p, &mut emitter);
                     let (pairs, bytes, records) = emitter.into_parts();
                     // Per-mapper grouping + combine.
@@ -108,7 +110,7 @@ impl<'a> MapReduceEngine<'a> {
         // Recovery sizing: a map task killed by a node crash re-reads its
         // HDFS split (MapReduce's recovery path — inputs are materialized,
         // unlike Spark's recompute-from-lineage).
-        let input_bytes: u64 = partitions.iter().map(ByteSized::size_bytes).sum();
+        let input_bytes: u64 = partitions.iter().map(|p| sizing.size_of(p)).sum();
         let map_reexec_bytes = input_bytes / partitions.len().max(1) as u64;
         let map_outputs = self.cluster.run_stage(
             StageOptions::new(format!("{name}/map"))
@@ -123,7 +125,7 @@ impl<'a> MapReduceEngine<'a> {
             stats.map_emit_bytes += bytes;
             stats.map_emit_records += records;
             stats.shuffle_bytes +=
-                pairs.iter().map(|(k, v)| k.size_bytes() + v.size_bytes()).sum::<u64>();
+                pairs.iter().map(|(k, v)| sizing.size_of(k) + sizing.size_of(v)).sum::<u64>();
             all_pairs.extend(pairs);
         }
         // Mapper spill to local disk at pre-combine size; shuffle over the
@@ -239,7 +241,20 @@ mod tests {
         let engine = MapReduceEngine::new(&c).with_overheads(0.0, 0.0);
         let parts: Vec<Vec<u64>> = vec![(0..1000).collect()];
         let (_, stats) = engine.run_job("modcount", &ModCount { modulus: 2 }, &parts, 1);
-        // 1000 emitted records of 16 B each, combined to 2 per mapper.
+        // 1000 emitted records of 2 encoded bytes each (1-byte varint key
+        // 0/1 + 1-byte varint value 1), combined to 2 pairs per mapper of
+        // (key, 500) = 1 + 2 encoded bytes.
+        assert_eq!(stats.map_emit_bytes, 2_000);
+        assert_eq!(stats.shuffle_bytes, 6);
+    }
+
+    #[test]
+    fn estimated_sizing_restores_legacy_byte_counts() {
+        let c = SimCluster::new(ClusterConfig::paper_cluster().with_estimated_sizes());
+        let engine = MapReduceEngine::new(&c).with_overheads(0.0, 0.0);
+        let parts: Vec<Vec<u64>> = vec![(0..1000).collect()];
+        let (_, stats) = engine.run_job("modcount", &ModCount { modulus: 2 }, &parts, 1);
+        // Legacy flat estimate: 1000 records of 8 + 8 B, combined to 2.
         assert_eq!(stats.map_emit_bytes, 16_000);
         assert_eq!(stats.shuffle_bytes, 32);
     }

@@ -2,7 +2,8 @@
 
 use std::collections::BTreeMap;
 
-use linalg::bytes::ByteSized;
+use linalg::wire::Sizing;
+use linalg::Wire;
 
 /// How many buffered records trigger an in-memory spill-combine.
 ///
@@ -15,29 +16,52 @@ const SPILL_THRESHOLD: usize = 65_536;
 type CombineFn<'a, K, V> = &'a dyn Fn(&K, Vec<V>) -> Vec<V>;
 
 /// Collects the `(key, value)` pairs a mapper emits and meters their wire
-/// size at emission time — the "map output bytes" Hadoop counter.
+/// size at emission time — the "map output bytes" Hadoop counter. Sizes
+/// are real `wire` encoded lengths (or the legacy `ByteSized` estimate,
+/// per the cluster's [`Sizing`] policy).
 pub struct Emitter<'a, K, V> {
     pairs: Vec<(K, V)>,
     bytes: u64,
     records: usize,
     combiner: Option<CombineFn<'a, K, V>>,
+    sizing: Sizing,
 }
 
-impl<K: ByteSized + Ord + Clone, V: ByteSized> Emitter<'_, K, V> {
-    /// Creates an empty emitter with no spill combining.
+impl<K: Wire + Ord + Clone, V: Wire> Emitter<'_, K, V> {
+    /// Creates an empty emitter with no spill combining, metering encoded
+    /// sizes.
     pub fn new() -> Self {
-        Emitter { pairs: Vec::new(), bytes: 0, records: 0, combiner: None }
+        Emitter {
+            pairs: Vec::new(),
+            bytes: 0,
+            records: 0,
+            combiner: None,
+            sizing: Sizing::Encoded,
+        }
     }
 
     /// Creates an emitter that compacts its buffer through `combiner`
     /// whenever it exceeds the spill threshold (what the engine uses).
     pub fn with_combiner(combiner: CombineFn<'_, K, V>) -> Emitter<'_, K, V> {
-        Emitter { pairs: Vec::new(), bytes: 0, records: 0, combiner: Some(combiner) }
+        Emitter {
+            pairs: Vec::new(),
+            bytes: 0,
+            records: 0,
+            combiner: Some(combiner),
+            sizing: Sizing::Encoded,
+        }
+    }
+
+    /// Builder-style override of the byte-sizing policy (the engine passes
+    /// its cluster's).
+    pub fn with_sizing(mut self, sizing: Sizing) -> Self {
+        self.sizing = sizing;
+        self
     }
 
     /// Emits one pair.
     pub fn emit(&mut self, key: K, value: V) {
-        self.bytes += key.size_bytes() + value.size_bytes();
+        self.bytes += self.sizing.size_of(&key) + self.sizing.size_of(&value);
         self.records += 1;
         self.pairs.push((key, value));
         if self.combiner.is_some() && self.pairs.len() >= SPILL_THRESHOLD {
@@ -76,7 +100,7 @@ impl<K: ByteSized + Ord + Clone, V: ByteSized> Emitter<'_, K, V> {
     }
 }
 
-impl<K: ByteSized + Ord + Clone, V: ByteSized> Default for Emitter<'_, K, V> {
+impl<K: Wire + Ord + Clone, V: Wire> Default for Emitter<'_, K, V> {
     fn default() -> Self {
         Emitter::new()
     }
@@ -88,16 +112,16 @@ impl<K: ByteSized + Ord + Clone, V: ByteSized> Default for Emitter<'_, K, V> {
 /// broadcast state — the paper's in-memory `CM` matrix, the mean vector —
 /// lives in the job struct, mirroring Hadoop's distributed-cache pattern.
 pub trait MapReduceJob: Sync {
-    /// One input partition (e.g. a block of matrix rows). `ByteSized` so
-    /// the engine knows how many HDFS bytes a crashed task's re-execution
+    /// One input partition (e.g. a block of matrix rows). `Wire` so the
+    /// engine knows how many HDFS bytes a crashed task's re-execution
     /// must re-read (MapReduce's recovery path: inputs are materialized,
     /// failed tasks restart against their split).
-    type Input: Sync + ByteSized;
+    type Input: Sync + Wire;
     /// Shuffle key. `Ord + Clone` because Hadoop sorts keys between map
     /// and reduce (and spills re-insert combined pairs).
-    type Key: Ord + Clone + Send + ByteSized;
+    type Key: Ord + Clone + Send + Wire;
     /// Shuffle value.
-    type Value: Send + ByteSized;
+    type Value: Send + Wire;
     /// Per-key reducer output.
     type Output: Send;
 
@@ -122,17 +146,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn emitter_counts_bytes_and_records() {
+    fn emitter_counts_encoded_bytes_and_records() {
         let mut e: Emitter<'_, u32, f64> = Emitter::new();
         assert_eq!(e.bytes(), 0);
         e.emit(1, 2.0);
         e.emit(2, 3.0);
         assert_eq!(e.records(), 2);
-        assert_eq!(e.bytes(), 2 * (4 + 8));
+        // Encoded: 1-byte varint key + 8-byte raw f64 value.
+        assert_eq!(e.bytes(), 2 * (1 + 8));
         let (pairs, bytes, records) = e.into_parts();
         assert_eq!(pairs, vec![(1, 2.0), (2, 3.0)]);
-        assert_eq!(bytes, 24);
+        assert_eq!(bytes, 18);
         assert_eq!(records, 2);
+    }
+
+    #[test]
+    fn emitter_charges_what_encode_produces() {
+        let mut e: Emitter<'_, u32, Vec<f64>> = Emitter::new();
+        let (k, v) = (300u32, vec![1.5, -0.0, f64::NAN]);
+        let expect = (k.encode().len() + v.encode().len()) as u64;
+        e.emit(k, v);
+        assert_eq!(e.bytes(), expect);
+    }
+
+    #[test]
+    fn estimated_sizing_restores_legacy_arithmetic() {
+        let mut e: Emitter<'_, u32, f64> =
+            Emitter::new().with_sizing(Sizing::Estimated);
+        e.emit(1, 2.0);
+        e.emit(2, 3.0);
+        // Legacy flat estimate: 4-byte key + 8-byte value.
+        assert_eq!(e.bytes(), 2 * (4 + 8));
     }
 
     #[test]
@@ -143,9 +187,9 @@ mod tests {
         for i in 0..n {
             e.emit((i % 3) as u32, 1.0);
         }
-        // Counters reflect every emission…
+        // Counters reflect every emission (keys 0..3 are 1-byte varints)…
         assert_eq!(e.records(), n);
-        assert_eq!(e.bytes(), (n as u64) * 12);
+        assert_eq!(e.bytes(), (n as u64) * 9);
         // …but the buffer was compacted down to a few combined pairs.
         let (pairs, _, _) = e.into_parts();
         assert!(pairs.len() < SPILL_THRESHOLD, "buffer was not compacted: {}", pairs.len());

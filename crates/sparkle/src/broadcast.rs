@@ -9,7 +9,7 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 use dcluster::SimCluster;
-use linalg::bytes::ByteSized;
+use linalg::Wire;
 
 /// A value broadcast to every node of the cluster.
 #[derive(Debug, Clone)]
@@ -18,11 +18,12 @@ pub struct Broadcast<T> {
     bytes: u64,
 }
 
-impl<T: ByteSized> Broadcast<T> {
+impl<T: Wire> Broadcast<T> {
     /// Ships `value` to every node, charging the transfer to the cluster's
-    /// intermediate-data meters.
+    /// intermediate-data meters at its encoded size (or the legacy
+    /// estimate, per the cluster's sizing policy).
     pub fn new(cluster: &SimCluster, value: T) -> Self {
-        let bytes = value.size_bytes();
+        let bytes = cluster.wire_size(&value);
         cluster.charge_broadcast(bytes);
         if obs::enabled() {
             cluster.registry().counter("sparkle.broadcast_bytes").add(bytes);
@@ -52,10 +53,21 @@ mod tests {
     #[test]
     fn creation_charges_one_copy_per_node() {
         let cluster = SimCluster::new(ClusterConfig::paper_cluster()); // 8 nodes
-        let b = Broadcast::new(&cluster, vec![0.0_f64; 100]); // 808 B payload
+        // Encoded payload: 1-byte varint length + 100 raw f64s.
+        let b = Broadcast::new(&cluster, vec![0.0_f64; 100]);
+        assert_eq!(b.size_bytes(), 801);
+        assert_eq!(cluster.metrics().network_bytes, 801 * 8);
+        assert_eq!(b.len(), 100, "deref reaches the payload");
+    }
+
+    #[test]
+    fn estimated_sizing_restores_legacy_broadcast_bytes() {
+        let cluster =
+            SimCluster::new(ClusterConfig::paper_cluster().with_estimated_sizes());
+        // Legacy flat estimate: 8-byte length prefix + 100 f64s.
+        let b = Broadcast::new(&cluster, vec![0.0_f64; 100]);
         assert_eq!(b.size_bytes(), 808);
         assert_eq!(cluster.metrics().network_bytes, 808 * 8);
-        assert_eq!(b.len(), 100, "deref reaches the payload");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use dcluster::{SimCluster, StageOptions};
-use linalg::bytes::ByteSized;
+use linalg::Wire;
 
 /// Deterministic pairwise tree reduction: adjacent values merge in rounds
 /// until one remains. The merge structure is a function of the input count
@@ -324,7 +324,7 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
         merge: FM,
     ) -> (A, u64)
     where
-        A: Send + ByteSized,
+        A: Send + Wire,
         FI: Fn() -> A + Sync,
         FF: Fn(&mut A, &T) + Sync,
         FM: Fn(&mut A, A),
@@ -362,7 +362,7 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
         merge: FM,
     ) -> (A, u64)
     where
-        A: Send + ByteSized,
+        A: Send + Wire,
         FI: Fn() -> A + Sync,
         FF: Fn(&mut A, &[T]) + Sync,
         FM: Fn(&mut A, A),
@@ -391,11 +391,11 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
     /// produces the same result).
     fn reduce_partials<A, FI, FM>(&self, partials: Vec<A>, init: FI, merge: FM) -> (A, u64)
     where
-        A: ByteSized,
+        A: Wire,
         FI: Fn() -> A,
         FM: Fn(&mut A, A),
     {
-        let bytes: u64 = partials.iter().map(ByteSized::size_bytes).sum();
+        let bytes: u64 = partials.iter().map(|p| self.cluster.wire_size(p)).sum();
         self.cluster.charge_network(bytes);
         if obs::enabled() {
             self.cluster.registry().counter("sparkle.accumulator_bytes").add(bytes);
@@ -406,14 +406,14 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
     /// Copies every element to the driver, charging the transfer.
     pub fn collect(&self) -> Vec<T>
     where
-        T: Clone + ByteSized,
+        T: Clone + Wire,
     {
         self.charge_spill();
         let mut out = Vec::with_capacity(self.count());
         for p in self.snapshot() {
             out.extend(p.iter().cloned());
         }
-        let bytes: u64 = out.iter().map(ByteSized::size_bytes).sum();
+        let bytes: u64 = out.iter().map(|t| self.cluster.wire_size(t)).sum();
         self.cluster.charge_network(bytes);
         out
     }
@@ -428,12 +428,12 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
     /// of the cluster".
     pub fn persist(&mut self) -> u64
     where
-        T: ByteSized,
+        T: Wire,
     {
         let total = match &self.storage {
             Storage::Plain(parts) => parts
                 .iter()
-                .map(|p| p.iter().map(ByteSized::size_bytes).sum::<u64>())
+                .map(|p| p.iter().map(|t| self.cluster.wire_size(t)).sum::<u64>())
                 .sum(),
             Storage::Cached(c) => c.total_bytes,
         };
@@ -449,7 +449,7 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
     /// stage reads them. Returns the dataset's size in bytes.
     pub fn persist_with_lineage(&mut self, lineage: Lineage<'a, T>) -> u64
     where
-        T: ByteSized,
+        T: Wire,
     {
         let parts = match &self.storage {
             Storage::Plain(parts) => parts.clone(),
@@ -457,8 +457,10 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
             Storage::Cached(c) => return c.total_bytes,
         };
         let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
-        let total: u64 =
-            parts.iter().map(|p| p.iter().map(ByteSized::size_bytes).sum::<u64>()).sum();
+        let total: u64 = parts
+            .iter()
+            .map(|p| p.iter().map(|t| self.cluster.wire_size(t)).sum::<u64>())
+            .sum();
         self.spill_bytes = total.saturating_sub(self.cluster.config().total_memory());
         let id = self.cluster.register_cache(parts.len());
         self.storage = Storage::Cached(Arc::new(CachedStorage {
@@ -591,7 +593,20 @@ mod tests {
             |acc, other| *acc += other,
         );
         assert_eq!(sum, 5050);
-        // 4 partials of 8 bytes each.
+        // 4 u64 partials (325, 950, 1575, 2200), each a 2-byte varint.
+        assert_eq!(bytes, 8);
+        assert_eq!(c.metrics().network_bytes, 8);
+    }
+
+    #[test]
+    fn aggregate_charges_legacy_bytes_under_estimated_sizing() {
+        let c = SimCluster::new(ClusterConfig::paper_cluster().with_estimated_sizes());
+        let ctx = SparkleContext::new(&c);
+        let rdd = ctx.parallelize((1_u64..=100).collect(), 4);
+        let (sum, bytes) =
+            rdd.aggregate("sum", || 0_u64, |acc, x| *acc += x, |acc, other| *acc += other);
+        assert_eq!(sum, 5050);
+        // Legacy flat estimate: 4 partials of 8 bytes each.
         assert_eq!(bytes, 32);
         assert_eq!(c.metrics().network_bytes, 32);
     }
@@ -611,7 +626,8 @@ mod tests {
         let ctx = SparkleContext::new(&c);
         let rdd = ctx.parallelize((0_u64..10).collect(), 2);
         let _ = rdd.collect();
-        assert_eq!(c.metrics().network_bytes, 80);
+        // Each u64 in 0..10 encodes to a 1-byte varint.
+        assert_eq!(c.metrics().network_bytes, 10);
     }
 
     #[test]
@@ -620,7 +636,8 @@ mod tests {
             ClusterConfig::paper_cluster().with_nodes(1).with_memory_per_node(100),
         );
         let ctx = SparkleContext::new(&small);
-        let mut rdd = ctx.parallelize((0_u64..50).collect(), 2); // 400 B
+        // 50 f64 elements encode to 8 B each: 400 B total.
+        let mut rdd = ctx.parallelize((0..50).map(|x| x as f64).collect(), 2);
         let total = rdd.persist();
         assert_eq!(total, 400);
         assert_eq!(rdd.spill_bytes(), 300);

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 gate: offline build, full test suite, smoke runs of the kernel and
-# EM benchmarks (both assert agreement against naive/row-at-a-time references
-# internally, and bench_em additionally asserts worker-count bit-determinism),
-# and the observability smoke: collect Chrome traces from the smoke benches
-# and from a traced two-engine sPCA run, then validate all of them with the
-# std-only trace_check (strict JSON + traceEvents key; benchmark result JSON
-# is validated via --plain).
+# Tier-1 gate: offline build, full test suite, a bounded wire-codec fuzz,
+# smoke runs of the kernel, EM, fault and wire benchmarks (the first two
+# assert agreement against naive/row-at-a-time references internally,
+# bench_em additionally asserts worker-count bit-determinism, and bench_wire
+# asserts the encoded-size contract plus bitwise decode), and the
+# observability smoke: collect Chrome traces from the smoke benches and from
+# a traced two-engine sPCA run, then validate all of them with the std-only
+# trace_check (strict JSON + traceEvents key; benchmark result JSON is
+# validated via --plain).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,16 +17,22 @@ mkdir -p "$TRACE_DIR"
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo test -q --release --offline --workspace
+# Bounded wire-codec fuzz: the seeded round-trip property suite at a higher
+# iteration count (deterministic — failures reproduce with the same seed).
+WIRE_FUZZ_ITERS=512 cargo test -q --release --offline -p linalg --test wire_roundtrip
 cargo run --release --offline -p spca-bench --bin bench_kernels -- \
     --smoke --out /tmp/BENCH_kernels_smoke.json --trace "$TRACE_DIR/bench_kernels.json"
 cargo run --release --offline -p spca-bench --bin bench_em -- \
     --smoke --out "$TRACE_DIR/BENCH_em.json" --trace "$TRACE_DIR/bench_em.json"
 cargo run --release --offline -p spca-bench --bin bench_faults -- \
     --smoke --out "$TRACE_DIR/BENCH_faults.json"
+cargo run --release --offline -p spca-bench --bin bench_wire -- \
+    --smoke --out "$TRACE_DIR/BENCH_wire.json"
 cargo run --release --offline -p spca-bench --bin trace_report -- \
     --trace "$TRACE_DIR/trace_report.json" > "$TRACE_DIR/trace_report.txt"
 cargo run --release --offline -p spca-bench --bin trace_check -- \
     "$TRACE_DIR/bench_kernels.json" "$TRACE_DIR/bench_em.json" \
     "$TRACE_DIR/trace_report.json" \
-    --plain "$TRACE_DIR/BENCH_em.json" "$TRACE_DIR/BENCH_faults.json"
+    --plain "$TRACE_DIR/BENCH_em.json" "$TRACE_DIR/BENCH_faults.json" \
+    "$TRACE_DIR/BENCH_wire.json"
 echo "ci: all gates passed (traces in $TRACE_DIR)"
