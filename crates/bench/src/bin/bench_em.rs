@@ -88,6 +88,32 @@ fn run_batched(pool: &WorkerPool, blocks: &[SparseMat], cm: &Mat, xm: &[f64]) ->
     tree_merge(partials, || YtxPartial::new(d), |a, b| a.merge(b))
 }
 
+/// Mixed-precision arm: the batched fold through a reduced-precision
+/// kernel arm (`--precision f32|bf16`), merged in full `f64` like the EM
+/// engines do.
+fn run_precision(
+    pool: &WorkerPool,
+    blocks: &[SparseMat],
+    cm: &Mat,
+    xm: &[f64],
+    precision: linalg::Precision,
+) -> YtxPartial {
+    let d = cm.cols();
+    let partials = pool.run(
+        blocks
+            .iter()
+            .map(|b| {
+                move || {
+                    let mut p = YtxPartial::new(d);
+                    p.add_block_prec_with_pool(pool, b, cm, xm, precision);
+                    p
+                }
+            })
+            .collect(),
+    );
+    tree_merge(partials, || YtxPartial::new(d), |a, b| a.merge(b))
+}
+
 fn main() {
     let _trace = spca_bench::cli::trace_args(
         "bench_em",
@@ -96,6 +122,7 @@ fn main() {
             ("--smoke", "Small shape (quick CI sanity run)"),
             ("--out FILE", "Results JSON path (default BENCH_em.json)"),
             ("--partitions N", "Partition count override"),
+            ("--precision ARM", "Also time a reduced-precision arm (f32|bf16)"),
         ],
     );
     let args: Vec<String> = std::env::args().collect();
@@ -105,6 +132,11 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_em.json".to_string());
+    let precision = args
+        .iter()
+        .position(|a| a == "--precision")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| linalg::Precision::parse(v).expect("--precision takes f64|f32|bf16"));
 
     // The paper's regime: tall sparse Y (N ≫ D ≫ d), ~0.1% dense.
     let (n, d_in, density, d, default_parts, reps) = if smoke {
@@ -185,8 +217,44 @@ fn main() {
          maxreldiff {max_rel_diff:.2e}  deterministic {bitwise_deterministic}"
     );
 
+    // Optional reduced-precision arm: same fold, narrower kernels. Its
+    // speedup is measured against the batched f64 arm and its divergence
+    // against the f64 result (relative to the result's own scale).
+    let mut precision_json = String::new();
+    if let Some(arm) = precision.filter(|&p| p != linalg::Precision::F64) {
+        let mut arm_secs = f64::INFINITY;
+        let mut arm_result = None;
+        for _ in 0..reps {
+            let (t, p) = timed(|| run_precision(pool, &blocks, &cm, &xm, arm));
+            if t < arm_secs {
+                arm_secs = t;
+            }
+            arm_result = Some(p);
+        }
+        let arm_result = arm_result.expect("reps >= 1");
+        let arm_speedup = batched_secs / arm_secs.max(1e-12);
+        let arm_ytx = arm_result.finalize_ytx(&mean);
+        let arm_rel_diff =
+            arm_ytx.max_abs_diff(&bt_ytx).max(arm_result.xtx.max_abs_diff(&batched.xtx)) / scale;
+        let arm_deterministic = {
+            let small = WorkerPool::new(2);
+            let p = run_precision(&small, &blocks, &cm, &xm, arm);
+            p.finalize_ytx(&mean).max_abs_diff(&arm_ytx) == 0.0
+                && p.xtx.max_abs_diff(&arm_result.xtx) == 0.0
+        };
+        assert!(arm_deterministic, "{arm} arm is not worker-count deterministic");
+        println!(
+            "{arm} arm {arm_secs:>9.4}s  speedup-vs-f64 {arm_speedup:.2}x  \
+             maxreldiff {arm_rel_diff:.2e}  deterministic {arm_deterministic}"
+        );
+        precision_json = format!(
+            ",\n  \"precision\": {{\"arm\": \"{}\", \"secs\": {arm_secs:.6e}, \"speedup_vs_f64\": {arm_speedup:.3}, \"max_rel_diff_vs_f64\": {arm_rel_diff:.3e}, \"bitwise_deterministic\": {arm_deterministic}}}",
+            arm.label(),
+        );
+    }
+
     let json = format!(
-        "{{\n  \"mode\": \"{}\",\n  \"pool_workers\": {},\n  \"shape\": {{\"rows\": {n}, \"cols\": {d_in}, \"density\": {density}, \"nnz\": {}, \"d\": {d}, \"partitions\": {partitions}}},\n  \"reps\": {reps},\n  \"rowwise_secs\": {rowwise_secs:.6e},\n  \"batched_secs\": {batched_secs:.6e},\n  \"speedup\": {speedup:.3},\n  \"max_rel_diff\": {max_rel_diff:.3e},\n  \"bitwise_deterministic\": {bitwise_deterministic}\n}}\n",
+        "{{\n  \"mode\": \"{}\",\n  \"pool_workers\": {},\n  \"shape\": {{\"rows\": {n}, \"cols\": {d_in}, \"density\": {density}, \"nnz\": {}, \"d\": {d}, \"partitions\": {partitions}}},\n  \"reps\": {reps},\n  \"rowwise_secs\": {rowwise_secs:.6e},\n  \"batched_secs\": {batched_secs:.6e},\n  \"speedup\": {speedup:.3},\n  \"max_rel_diff\": {max_rel_diff:.3e},\n  \"bitwise_deterministic\": {bitwise_deterministic}{precision_json}\n}}\n",
         if smoke { "smoke" } else { "full" },
         pool.workers(),
         y.nnz(),

@@ -13,7 +13,7 @@
 use std::time::Instant;
 
 use linalg::kernels::{self, naive};
-use linalg::{Prng, SparseMat, WorkerPool};
+use linalg::{kernels_f32, MatF32, Prng, SparseMat, WorkerPool};
 
 /// Times `f` best-of-`reps` (minimum wall time, the usual noise filter for
 /// single-machine microbenchmarks).
@@ -177,6 +177,59 @@ fn main() {
         });
     }
 
+    // Mixed-precision f32 arms of the two EM-dominant kernels, timed
+    // against their threaded f64 counterparts on the same inputs. The
+    // f32 result is compared to f64 after widening; the tolerance scales
+    // with the reduction length (f32 has ~1e-7 ulps).
+    struct F32Result {
+        kernel: &'static str,
+        shape: String,
+        f64_secs: f64,
+        f32_secs: f64,
+        max_rel_diff: f64,
+    }
+    let mut f32_results: Vec<F32Result> = Vec::new();
+
+    // matmul_tn f32: the packed-panel YtX reduction.
+    {
+        let a = rng.normal_mat(n_rows, d_cols);
+        let b = rng.normal_mat(n_rows, d_small);
+        let (a32, b32) = (MatF32::from_f64(&a), MatF32::from_f64(&b));
+        let (t64, reference) = best_of(reps, || kernels::matmul_tn_with_pool(global, &a, &b));
+        let (t32, half) =
+            best_of(reps, || kernels_f32::matmul_tn_f32_with_pool(global, &a32, &b32));
+        let scale = reference.data().iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+        f32_results.push(F32Result {
+            kernel: "matmul_tn_f32",
+            shape: format!("({n_rows}x{d_cols})^T * ({n_rows}x{d_small})"),
+            f64_secs: t64,
+            f32_secs: t32,
+            max_rel_diff: half.to_f64().max_abs_diff(&reference) / scale,
+        });
+    }
+
+    // sparse_mul_dense f32: the Y·CM recompute.
+    {
+        let y = random_sparse(&mut rng, n_rows, d_cols, 0.01);
+        let c = rng.normal_mat(d_cols, d_small);
+        let c32 = MatF32::from_f64(&c);
+        let (t64, reference) =
+            best_of(reps, || kernels::sparse_mul_dense_with_pool(global, &y, &c));
+        let (t32, half) = best_of(reps, || {
+            let mut out = MatF32::zeros(n_rows, d_small);
+            kernels_f32::sparse_mul_dense_f32_into_with_pool(global, &y, &c32, out.data_mut());
+            out
+        });
+        let scale = reference.data().iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+        f32_results.push(F32Result {
+            kernel: "sparse_mul_dense_f32",
+            shape: format!("sparse({n_rows}x{d_cols}, 1%) * ({d_cols}x{d_small})"),
+            f64_secs: t64,
+            f32_secs: t32,
+            max_rel_diff: half.to_f64().max_abs_diff(&reference) / scale,
+        });
+    }
+
     // Report + hand-rolled JSON.
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"mode\": \"{}\",\n", if smoke { "smoke" } else { "full" }));
@@ -207,6 +260,24 @@ fn main() {
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
+    json.push_str("  ],\n  \"mixed_precision\": [\n");
+    for (i, r) in f32_results.iter().enumerate() {
+        let speedup = r.f64_secs / r.f32_secs.max(1e-12);
+        println!(
+            "{:>18} {:40} f64 {:>9.4}s  f32 {:>9.4}s ({:.2}x)  maxreldiff {:.2e}",
+            r.kernel, r.shape, r.f64_secs, r.f32_secs, speedup, r.max_rel_diff,
+        );
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"f64_secs\": {:.6e}, \"f32_secs\": {:.6e}, \"speedup_f32\": {:.3}, \"max_rel_diff\": {:.3e}}}{}\n",
+            r.kernel,
+            r.shape,
+            r.f64_secs,
+            r.f32_secs,
+            speedup,
+            r.max_rel_diff,
+            if i + 1 < f32_results.len() { "," } else { "" },
+        ));
+    }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark output");
     println!("wrote {out_path}");
@@ -217,6 +288,16 @@ fn main() {
             "{}: kernel disagrees with the naive reference ({:.3e})",
             r.kernel,
             r.max_abs_diff
+        );
+    }
+    for r in &f32_results {
+        // f32 accumulations over n_rows-length reductions: allow ~1e-7·√n
+        // of relative drift, which these shapes stay far under.
+        assert!(
+            r.max_rel_diff <= 1e-3,
+            "{}: f32 arm drifted too far from f64 ({:.3e})",
+            r.kernel,
+            r.max_rel_diff
         );
     }
 }

@@ -81,6 +81,69 @@ fn measure<T: Wire + PartialEq>(kind: &'static str, records: &[T]) -> Line {
     Line { kind, count: records.len() as u64, encoded, estimated, encode_secs, decode_secs }
 }
 
+/// Per-codec totals for one shuffle record family — v2 (lossless framed),
+/// v3 (bitpacked lossless), v3q (bitpacked + f32 payloads) — with the v3
+/// size/round-trip contracts asserted on every record.
+struct CodecLine {
+    kind: &'static str,
+    v2: u64,
+    v3: u64,
+    v3q: u64,
+}
+
+impl CodecLine {
+    fn json(&self) -> String {
+        format!(
+            "{{\"kind\": \"{}\", \"v2_bytes\": {}, \"v3_bytes\": {}, \"v3q_bytes\": {}, \
+             \"v2_over_v3\": {:.3}, \"v2_over_v3q\": {:.3}}}",
+            self.kind,
+            self.v2,
+            self.v3,
+            self.v3q,
+            self.v2 as f64 / self.v3.max(1) as f64,
+            self.v2 as f64 / self.v3q.max(1) as f64,
+        )
+    }
+}
+
+fn measure_codecs<T: Wire + PartialEq>(kind: &'static str, records: &[T]) -> CodecLine {
+    let v2: u64 = records.iter().map(Wire::encoded_size).sum();
+    let mut v3 = 0u64;
+    let mut v3q = 0u64;
+    for r in records {
+        let blob = r.encode_v3(false);
+        assert_eq!(blob.len() as u64, r.encoded_size_v3(false), "{kind}: v3 size contract");
+        let back = T::decode_v3(&blob).expect("fresh v3 encoding must decode");
+        assert!(&back == r, "{kind}: lossless v3 decode is not the identity");
+        v3 += blob.len() as u64;
+        let qblob = r.encode_v3(true);
+        assert_eq!(qblob.len() as u64, r.encoded_size_v3(true), "{kind}: v3q size contract");
+        T::decode_v3(&qblob).expect("fresh v3q encoding must decode");
+        v3q += qblob.len() as u64;
+    }
+    CodecLine { kind, v2, v3, v3q }
+}
+
+/// `intermediate_bytes` of a short Spark fit with the given shuffle codec.
+fn fit_intermediate_codec(
+    codec: linalg::WireCodec,
+    y: &SparseMat,
+    d: usize,
+    iters: usize,
+) -> u64 {
+    let cluster = SimCluster::new(ClusterConfig::paper_cluster().with_wire_codec(codec));
+    let run = Spca::new(
+        SpcaConfig::new(d)
+            .with_max_iters(iters)
+            .with_rel_tolerance(None)
+            .with_partitions(8)
+            .with_seed(7),
+    )
+    .fit_spark(&cluster, y)
+    .expect("bench fit");
+    run.intermediate_bytes
+}
+
 /// `intermediate_bytes` of a short MapReduce fit under one sizing policy.
 fn fit_intermediate(estimated: bool, y: &SparseMat, d: usize, iters: usize) -> u64 {
     let cfg = ClusterConfig::paper_cluster();
@@ -176,6 +239,35 @@ fn main() {
             );
         }
 
+        // The v3 fast path, family by family. The term-count datasets are
+        // integral-valued, so lossless v3 collapses the 8-byte payloads to
+        // ~1 byte and bitpacks the index gaps: the acceptance bar is a 2x
+        // shrink on the sparse shuffle family without any quantization.
+        let codec_lines = vec![
+            measure_codecs("input_block", &blocks),
+            measure_codecs("latent_row", &latent_rows),
+            measure_codecs("broadcast_cm", &cm),
+        ];
+        for l in &codec_lines {
+            println!(
+                "  {:>12}: v2 {:>12} B  v3 {:>12} B ({:.3}x)  v3q {:>12} B ({:.3}x)",
+                l.kind,
+                l.v2,
+                l.v3,
+                l.v2 as f64 / l.v3.max(1) as f64,
+                l.v3q,
+                l.v2 as f64 / l.v3q.max(1) as f64,
+            );
+        }
+        let sparse = &codec_lines[0];
+        assert!(
+            sparse.v3 * 2 <= sparse.v2,
+            "{name}: v3 must shrink sparse shuffle records at least 2x \
+             (v2={} v3={})",
+            sparse.v2,
+            sparse.v3
+        );
+
         let enc_fit = fit_intermediate(false, y, d, iters);
         let est_fit = fit_intermediate(true, y, d, iters);
         assert!(enc_fit < est_fit, "{name}: encoded fit must undercut the estimate");
@@ -184,13 +276,28 @@ fn main() {
             est_fit as f64 / enc_fit as f64
         );
 
+        // End-to-end: the same short Spark fit under each shuffle codec.
+        // The model is codec-invariant; only the byte meters move.
+        let fit_v2 = fit_intermediate_codec(linalg::WireCodec::V2, y, d, iters);
+        let fit_v3 = fit_intermediate_codec(linalg::WireCodec::V3, y, d, iters);
+        let fit_v3q = fit_intermediate_codec(linalg::WireCodec::V3Quantized, y, d, iters);
+        assert!(fit_v3 < fit_v2, "{name}: v3 fit must undercut v2");
+        assert!(fit_v3q <= fit_v3, "{name}: quantized v3 must never exceed lossless v3");
+        println!(
+            "  fit by codec: v2 {fit_v2} B  v3 {fit_v3} B ({:.3}x)  v3q {fit_v3q} B ({:.3}x)",
+            fit_v2 as f64 / fit_v3 as f64,
+            fit_v2 as f64 / fit_v3q as f64,
+        );
+
         let records = lines.iter().map(Line::json).collect::<Vec<_>>().join(",\n      ");
+        let codecs = codec_lines.iter().map(CodecLine::json).collect::<Vec<_>>().join(",\n      ");
         dataset_jsons.push(format!(
-            "{{\n    \"name\": \"{name}\",\n    \"shape\": {{\"rows\": {}, \"cols\": {}, \"nnz\": {}}},\n    \"records\": [\n      {records}\n    ],\n    \"fit\": {{\"engine\": \"mapreduce\", \"iters\": {iters}, \"encoded_intermediate_bytes\": {enc_fit}, \"estimated_intermediate_bytes\": {est_fit}, \"estimate_over_encoded\": {:.3}}}\n  }}",
+            "{{\n    \"name\": \"{name}\",\n    \"shape\": {{\"rows\": {}, \"cols\": {}, \"nnz\": {}}},\n    \"records\": [\n      {records}\n    ],\n    \"codecs\": [\n      {codecs}\n    ],\n    \"fit\": {{\"engine\": \"mapreduce\", \"iters\": {iters}, \"encoded_intermediate_bytes\": {enc_fit}, \"estimated_intermediate_bytes\": {est_fit}, \"estimate_over_encoded\": {:.3}}},\n    \"fit_by_codec\": {{\"engine\": \"spark\", \"iters\": {iters}, \"v2_bytes\": {fit_v2}, \"v3_bytes\": {fit_v3}, \"v3q_bytes\": {fit_v3q}, \"v2_over_v3\": {:.3}}}\n  }}",
             y.rows(),
             y.cols(),
             y.nnz(),
             est_fit as f64 / enc_fit as f64,
+            fit_v2 as f64 / fit_v3.max(1) as f64,
         ));
     }
 

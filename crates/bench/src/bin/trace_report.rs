@@ -10,9 +10,10 @@
 
 use std::collections::BTreeMap;
 
-use dcluster::{FaultPlan, FaultSpec, SimCluster};
+use dcluster::{ClusterConfig, FaultPlan, FaultSpec, SimCluster};
+use linalg::{Precision, WireCodec};
 use spca_bench::{data, fmt_bytes, fmt_secs, fresh_cluster, Table};
-use spca_core::{Spca, SpcaConfig, SpcaError};
+use spca_core::{Spca, SpcaConfig, SpcaError, SpcaRun};
 
 fn stage_table(label: &str, cluster: &SimCluster) {
     let metrics = cluster.metrics();
@@ -73,6 +74,44 @@ fn main() {
 
     stage_table("sPCA-Spark", &spark_cluster);
     stage_table("sPCA-MapReduce", &mr_cluster);
+
+    // A cheap-arm run — f32 kernels plus the quantized v3 shuffle codec —
+    // traced alongside the reference arms and summarized per arm below.
+    let f32_cluster = SimCluster::new(
+        ClusterConfig::scaled_cluster().with_wire_codec(WireCodec::V3Quantized),
+    );
+    let f32_run = Spca::new(config.clone().with_precision(Precision::F32))
+        .fit_spark(&f32_cluster, &y)
+        .expect("sPCA-Spark f32 run");
+    stage_table("sPCA-Spark f32+v3q", &f32_cluster);
+
+    println!("\n-- arms: precision x codec --");
+    let mut arms = Table::new(&[
+        "Run",
+        "Precision",
+        "Codec",
+        "Virtual (s)",
+        "Intermediate",
+        "Final error",
+    ]);
+    let mut arm_row = |label: &str, precision: Precision, cluster: &SimCluster, run: &SpcaRun| {
+        arms.row(&[
+            label.to_string(),
+            precision.label().to_string(),
+            cluster.wire_codec().label().to_string(),
+            format!("{:.4}", run.virtual_time_secs),
+            fmt_bytes(run.intermediate_bytes),
+            format!("{:.4}", run.final_error()),
+        ]);
+    };
+    arm_row("sPCA-Spark", Precision::F64, &spark_cluster, &spark_run);
+    arm_row("sPCA-MapReduce", Precision::F64, &mr_cluster, &mr_run);
+    arm_row("sPCA-Spark f32+v3q", Precision::F32, &f32_cluster, &f32_run);
+    arms.print();
+    assert!(
+        f32_run.intermediate_bytes < spark_run.intermediate_bytes,
+        "the v3q arm must shrink the shuffle byte meter"
+    );
 
     // A third run under chaos — two node crashes, stragglers, speculation,
     // a checkpointed driver crash with resume — to exercise the recovery

@@ -1,5 +1,7 @@
 //! Configuration of a PCA fit.
 
+use linalg::Precision;
+
 /// Smart-guess initialization (the paper's sPCA-SG, Section 5.2): run the
 /// algorithm on a small random row sample first and seed the full run with
 /// the resulting `C` and `ss`.
@@ -50,6 +52,12 @@ pub struct SpcaConfig {
     /// completes (and after any due checkpoint is written). The fit
     /// returns `SpcaError::DriverCrashed`; `None` disables.
     pub crash_at_iteration: Option<usize>,
+    /// Which arithmetic the EM inner loop runs in. The default `F64` arm
+    /// is bit-identical to every previous release; the reduced-precision
+    /// arms trade accuracy (tracked by the `em.precision.divergence`
+    /// meter) for kernel speed, and each arm is itself bitwise
+    /// reproducible across worker counts and engines.
+    pub precision: Precision,
 }
 
 impl SpcaConfig {
@@ -68,7 +76,14 @@ impl SpcaConfig {
             smart_guess: None,
             checkpoint_every: None,
             crash_at_iteration: None,
+            precision: Precision::F64,
         }
+    }
+
+    /// Selects the EM arithmetic arm (`f64`, `f32`, or `bf16`).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 
     /// Sets the iteration cap.
@@ -161,6 +176,9 @@ mod tests {
         let c = c.with_checkpoint_every(2).with_crash_at_iteration(3);
         assert_eq!(c.checkpoint_every, Some(2));
         assert_eq!(c.crash_at_iteration, Some(3));
+        assert_eq!(c.precision, Precision::F64);
+        let c = c.with_precision(Precision::F32);
+        assert_eq!(c.precision, Precision::F32);
     }
 
     #[test]

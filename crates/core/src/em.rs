@@ -39,6 +39,26 @@ pub trait EmJobs {
     fn ss3_job(&mut self, cm: &Mat, xm: &[f64], c_new: &Mat) -> f64;
 }
 
+/// Relative max-abs divergence between the reduced-precision arm's
+/// `YtXJob` partial and the `f64` reference, both computed on the same
+/// small row sample. Driver-local instrumentation: never shipped, never
+/// charged.
+pub(crate) fn precision_divergence(
+    sample: &SparseMat,
+    cm: &Mat,
+    xm: &[f64],
+    d: usize,
+    precision: linalg::Precision,
+) -> f64 {
+    let mut arm = YtxPartial::new(d);
+    arm.add_block_prec(sample, cm, xm, precision);
+    let mut reference = YtxPartial::new(d);
+    reference.add_block(sample, cm, xm);
+    let abs = arm.xtx.max_abs_diff(&reference.xtx);
+    let scale = reference.xtx.data().iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-300);
+    abs / scale
+}
+
 /// Runs the EM driver loop over the given engine jobs.
 ///
 /// `error_sample` is the pre-drawn row sample the per-iteration accuracy
@@ -68,7 +88,13 @@ pub fn run_em(
         cluster.trace_begin(
             "run",
             "run_em",
-            vec![("N", (n as u64).into()), ("D", (d_in as u64).into()), ("d", (d as u64).into())],
+            vec![
+                ("N", (n as u64).into()),
+                ("D", (d_in as u64).into()),
+                ("d", (d as u64).into()),
+                ("precision", config.precision.label().into()),
+                ("codec", cluster.wire_codec().label().into()),
+            ],
         );
     }
 
@@ -172,6 +198,15 @@ pub fn run_em(
             cluster.trace_counter("em.error", error);
             cluster.trace_counter("em.ss", ss);
             cluster.trace_counter("em.objective", objective);
+            // Reduced-precision arms: track how far this iteration's arm
+            // drifts from the f64 reference on the (uncharged) error
+            // sample — the divergence meter the precision ladder is
+            // judged by. One small local block, never shipped.
+            if config.precision != linalg::Precision::F64 {
+                let divergence =
+                    precision_divergence(error_sample, &cm, &xm, d, config.precision);
+                cluster.trace_counter("em.precision.divergence", divergence);
+            }
             cluster.trace_end(
                 "iteration",
                 &format!("iteration {iter}"),

@@ -38,7 +38,7 @@
 use linalg::bytes::ByteSized;
 use linalg::sparse::SparseRow;
 use linalg::wire::{self, Wire, WireError, WireReader};
-use linalg::{Mat, SparseMat, WorkerPool};
+use linalg::{bf16_round, Mat, MatF32, Precision, SparseMat, WorkerPool};
 
 /// Latent row `x = y·CM − Xm` for one sparse row (O(z·d)).
 pub fn latent_row(row: SparseRow<'_>, cm: &Mat, xm: &[f64]) -> Vec<f64> {
@@ -271,6 +271,131 @@ impl YtxPartial {
         }
     }
 
+    /// [`Self::add_block_prec_with_pool`] on the process-global pool.
+    pub fn add_block_prec(
+        &mut self,
+        block: &SparseMat,
+        cm: &Mat,
+        xm: &[f64],
+        precision: Precision,
+    ) {
+        self.add_block_prec_with_pool(WorkerPool::global(), block, cm, xm, precision)
+    }
+
+    /// [`Self::add_block_with_pool`] with a selectable arithmetic arm.
+    ///
+    /// * [`Precision::F64`] dispatches to the unchanged double-precision
+    ///   path — byte-for-byte the reference result.
+    /// * [`Precision::F32`] narrows `CM` and `Xm` once per call, runs the
+    ///   whole block pipeline (`Y·CM`, Gram, packed scatter, `Σx`) through
+    ///   the `f32` kernels, and widens the per-block results into the
+    ///   `f64` accumulator fields. Cross-block and cross-partition merges
+    ///   stay in `f64`, so error does not compound across the reduction
+    ///   tree.
+    /// * [`Precision::Bf16AccF64`] rounds the block's values, `CM` and
+    ///   `Xm` to bfloat16 and then runs the unchanged `f64` kernels —
+    ///   representation error only, full-width accumulation.
+    ///
+    /// Every arm inherits the kernels' determinism contract, so each is
+    /// bitwise reproducible across worker counts; only the *arms* differ
+    /// from one another.
+    pub fn add_block_prec_with_pool(
+        &mut self,
+        pool: &WorkerPool,
+        block: &SparseMat,
+        cm: &Mat,
+        xm: &[f64],
+        precision: Precision,
+    ) {
+        match precision {
+            Precision::F64 => self.add_block_with_pool(pool, block, cm, xm),
+            Precision::F32 => self.add_block_f32(pool, block, cm, xm),
+            Precision::Bf16AccF64 => {
+                let (block, cm, xm) = bf16_inputs(block, cm, xm);
+                self.add_block_with_pool(pool, &block, &cm, &xm);
+            }
+        }
+    }
+
+    /// The `f32` arm of [`Self::add_block_prec_with_pool`]: same block
+    /// pipeline and same ascending-row accumulation order as the `f64`
+    /// path, in single precision end to end, widened once per block.
+    fn add_block_f32(&mut self, pool: &WorkerPool, block: &SparseMat, cm: &Mat, xm: &[f64]) {
+        let d = self.d();
+        assert_eq!(cm.cols(), d, "add_block: CM has {} columns, expected {d}", cm.cols());
+        assert_eq!(block.cols(), cm.rows(), "add_block: block/CM inner dimensions differ");
+        let n = block.rows();
+        if n == 0 {
+            return;
+        }
+        let z = block.nnz();
+        let flops = (4 * z * d + n * d * (d + 3)) as u64;
+        let _span = obs::span_lazy("em", || {
+            format!("ytx add_block f32 {n}x{}x{d}", block.cols())
+        })
+        .with_flops(flops);
+
+        let cm32 = MatF32::from_f64(cm);
+        let xm32: Vec<f32> = xm.iter().map(|&v| v as f32).collect();
+
+        // Column support + slab-offset table, identical to the f64 path.
+        let mut map = vec![u32::MAX; block.cols()];
+        for &c in block.col_indices() {
+            map[c as usize] = 0;
+        }
+        let mut cols: Vec<u32> = Vec::new();
+        for (c, slot) in map.iter_mut().enumerate() {
+            if *slot == 0 {
+                *slot = cols.len() as u32;
+                cols.push(c as u32);
+            }
+        }
+
+        // X_blk = Y·CM − 1⊗Xm in f32.
+        let mut x32 = MatF32::zeros(n, d);
+        linalg::kernels_f32::sparse_mul_dense_f32_into_with_pool(
+            pool,
+            block,
+            &cm32,
+            x32.data_mut(),
+        );
+        for row in x32.data_mut().chunks_exact_mut(d) {
+            for (o, &m) in row.iter_mut().zip(&xm32) {
+                *o -= m;
+            }
+        }
+
+        // XtX += X'X, widened element-wise after the f32 Gram.
+        let xtx32 = linalg::kernels_f32::syrk_tn_f32_with_pool(pool, &x32);
+        for (dst, &src) in self.xtx.data_mut().iter_mut().zip(xtx32.data()) {
+            *dst += f64::from(src);
+        }
+
+        // YtX: f32 packed scatter, widened into a fresh f64 slab.
+        let mut slab32 = vec![0.0f32; cols.len() * d];
+        linalg::kernels_f32::spmm_tn_packed_f32_with_pool(pool, block, &x32, &map, &mut slab32);
+        let slab: Vec<f64> = slab32.iter().map(|&v| f64::from(v)).collect();
+        self.merge_packed(cols, slab);
+
+        // Σx: f32 row sums in ascending order, widened once.
+        let mut sum32 = vec![0.0f32; d];
+        for row in x32.data().chunks_exact(d) {
+            for (s, &v) in sum32.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for (dst, &src) in self.sum_x.iter_mut().zip(&sum32) {
+            *dst += f64::from(src);
+        }
+        self.rows_seen += n as u64;
+
+        if let Some(c) = obs::collector() {
+            let reg = c.registry();
+            reg.counter("em.ytx.batch_rows").add(n as u64);
+            reg.counter("em.ytx.flops").add(flops);
+        }
+    }
+
     /// Merges another partial (accumulator semantics: associative add).
     pub fn merge(&mut self, mut other: YtxPartial) {
         self.xtx.add_assign(&other.xtx);
@@ -395,6 +520,46 @@ impl Wire for YtxPartial {
         let rows_seen = r.uvarint()?;
         Ok(YtxPartial { xtx, cols, slab, sum_x, rows_seen, scratch: Vec::new() })
     }
+
+    // v3 fast path: the touched-column set is strictly ascending, so it
+    // bitpacks; the slab and sum_x ride the mode-tagged f64 payloads.
+    fn encode_v3_into(&self, out: &mut Vec<u8>, quantize: bool) {
+        self.xtx.encode_v3_into(out, quantize);
+        wire::write_uvarint(out, self.cols.len() as u64);
+        wire::write_bitpacked_u32(out, &self.cols);
+        wire::write_f64_slice_v3(out, &self.slab, quantize);
+        self.sum_x.encode_v3_into(out, quantize);
+        wire::write_uvarint(out, self.rows_seen);
+    }
+
+    fn encoded_size_v3(&self, quantize: bool) -> u64 {
+        self.xtx.encoded_size_v3(quantize)
+            + wire::uvarint_len(self.cols.len() as u64)
+            + wire::bitpacked_u32_len(&self.cols)
+            + wire::f64_slice_v3_len(&self.slab, quantize)
+            + self.sum_x.encoded_size_v3(quantize)
+            + wire::uvarint_len(self.rows_seen)
+    }
+
+    fn decode_v3_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let xtx = Mat::decode_v3_from(r)?;
+        let d = xtx.rows();
+        if xtx.cols() != d {
+            return Err(WireError::Malformed("YtxPartial xtx is not square"));
+        }
+        let n = r.ulen()?;
+        let cols = wire::read_bitpacked_u32(r, n, u64::from(u32::MAX) + 1)?;
+        let slab_len = n
+            .checked_mul(d)
+            .ok_or(WireError::Malformed("YtxPartial slab overflows"))?;
+        let slab = wire::read_f64_slice_v3(r, slab_len)?;
+        let sum_x = Vec::<f64>::decode_v3_from(r)?;
+        if sum_x.len() != d {
+            return Err(WireError::Malformed("YtxPartial sum_x length mismatch"));
+        }
+        let rows_seen = r.uvarint()?;
+        Ok(YtxPartial { xtx, cols, slab, sum_x, rows_seen, scratch: Vec::new() })
+    }
 }
 
 /// Current totals of the batched-path throughput counters
@@ -456,6 +621,91 @@ pub fn ss3_block_with_pool(
         part += linalg::vector::dot(x.row(r), cy.row(r));
     }
     part
+}
+
+/// [`ss3_block_prec_with_pool`] on the process-global pool.
+pub fn ss3_block_prec(
+    block: &SparseMat,
+    cm: &Mat,
+    xm: &[f64],
+    c_new: &Mat,
+    precision: Precision,
+) -> f64 {
+    ss3_block_prec_with_pool(WorkerPool::global(), block, cm, xm, c_new, precision)
+}
+
+/// [`ss3_block_with_pool`] with a selectable arithmetic arm — the same
+/// per-arm contract as [`YtxPartial::add_block_prec_with_pool`].
+pub fn ss3_block_prec_with_pool(
+    pool: &WorkerPool,
+    block: &SparseMat,
+    cm: &Mat,
+    xm: &[f64],
+    c_new: &Mat,
+    precision: Precision,
+) -> f64 {
+    match precision {
+        Precision::F64 => ss3_block_with_pool(pool, block, cm, xm, c_new),
+        Precision::F32 => {
+            let n = block.rows();
+            if n == 0 {
+                return 0.0;
+            }
+            let d = cm.cols();
+            let cm32 = MatF32::from_f64(cm);
+            let xm32: Vec<f32> = xm.iter().map(|&v| v as f32).collect();
+            let c32 = MatF32::from_f64(c_new);
+            let mut x32 = MatF32::zeros(n, d);
+            linalg::kernels_f32::sparse_mul_dense_f32_into_with_pool(
+                pool,
+                block,
+                &cm32,
+                x32.data_mut(),
+            );
+            for row in x32.data_mut().chunks_exact_mut(d) {
+                for (o, &m) in row.iter_mut().zip(&xm32) {
+                    *o -= m;
+                }
+            }
+            let mut cy32 = MatF32::zeros(n, d);
+            linalg::kernels_f32::sparse_mul_dense_f32_into_with_pool(
+                pool,
+                block,
+                &c32,
+                cy32.data_mut(),
+            );
+            // Per-row f32 dot products, summed in ascending row order in
+            // f32, widened once per block.
+            let mut part = 0.0f32;
+            for (xr, cr) in x32.data().chunks_exact(d).zip(cy32.data().chunks_exact(d)) {
+                let mut dot = 0.0f32;
+                for (a, b) in xr.iter().zip(cr) {
+                    dot += a * b;
+                }
+                part += dot;
+            }
+            f64::from(part)
+        }
+        Precision::Bf16AccF64 => {
+            let (block, cm, xm) = bf16_inputs(block, cm, xm);
+            let c_new = bf16_mat(c_new);
+            ss3_block_with_pool(pool, &block, &cm, &xm, &c_new)
+        }
+    }
+}
+
+/// The bf16 arm's input rounding: block values, `CM` and `Xm` all rounded
+/// to bfloat16, everything downstream unchanged `f64`.
+fn bf16_inputs(block: &SparseMat, cm: &Mat, xm: &[f64]) -> (SparseMat, Mat, Vec<f64>) {
+    (block.map_values(bf16_round), bf16_mat(cm), xm.iter().map(|&v| bf16_round(v)).collect())
+}
+
+fn bf16_mat(m: &Mat) -> Mat {
+    let mut out = m.clone();
+    for v in out.data_mut() {
+        *v = bf16_round(*v);
+    }
+    out
 }
 
 /// Driver-side completion of ss3:

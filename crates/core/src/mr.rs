@@ -24,7 +24,7 @@ use crate::config::SpcaConfig;
 use crate::em::{run_em, EmJobs};
 use crate::frobenius;
 use crate::init;
-use crate::mean_prop::{ss3_block, ytx_counter_snapshot, YtxPartial};
+use crate::mean_prop::{ss3_block_prec, ytx_counter_snapshot, YtxPartial};
 use crate::model::SpcaRun;
 use crate::Result;
 
@@ -124,6 +124,7 @@ struct YtXJob {
     cm: Mat,
     xm: Vec<f64>,
     d: usize,
+    precision: linalg::Precision,
 }
 
 impl MapReduceJob for YtXJob {
@@ -137,7 +138,7 @@ impl MapReduceJob for YtXJob {
         // partials through the batched kernels (the block is already a
         // CSR matrix — no reassembly needed), emit once at "cleanup".
         let mut partial = YtxPartial::new(self.d);
-        partial.add_block(block, &self.cm, &self.xm);
+        partial.add_block_prec(block, &self.cm, &self.xm, self.precision);
         emitter.emit(MrKey::XtX, partial.xtx.data().to_vec());
         emitter.emit(MrKey::SumX, partial.sum_x.clone());
         emitter.emit(MrKey::Count, vec![partial.rows_seen as f64]);
@@ -156,6 +157,7 @@ struct Ss3Job {
     cm: Mat,
     xm: Vec<f64>,
     c_new: Mat,
+    precision: linalg::Precision,
 }
 
 impl MapReduceJob for Ss3Job {
@@ -165,7 +167,7 @@ impl MapReduceJob for Ss3Job {
     type Output = f64;
 
     fn map(&self, block: &SparseMat, emitter: &mut Emitter<(), f64>) {
-        emitter.emit((), ss3_block(block, &self.cm, &self.xm, &self.c_new));
+        emitter.emit((), ss3_block_prec(block, &self.cm, &self.xm, &self.c_new, self.precision));
     }
 
     fn reduce(&self, _key: (), values: Vec<f64>) -> f64 {
@@ -188,6 +190,7 @@ struct MrJobs<'a> {
     d_in: usize,
     d: usize,
     reducers: usize,
+    precision: linalg::Precision,
 }
 
 impl EmJobs for MrJobs<'_> {
@@ -218,7 +221,8 @@ impl EmJobs for MrJobs<'_> {
         // priced under the cluster's sizing policy.
         let cluster = self.engine.cluster();
         cluster.charge_broadcast(cluster.wire_size(cm) + cluster.sizing().f64_payload(xm.len()));
-        let job = YtXJob { cm: cm.clone(), xm: xm.to_vec(), d: self.d };
+        let job =
+            YtXJob { cm: cm.clone(), xm: xm.to_vec(), d: self.d, precision: self.precision };
         let before = ytx_counter_snapshot();
         let (out, _) = self.engine.run_job("YtXJob", &job, &self.blocks, self.reducers);
         if obs::enabled() {
@@ -250,7 +254,12 @@ impl EmJobs for MrJobs<'_> {
                 + cluster.sizing().f64_payload(xm.len())
                 + cluster.wire_size(c_new),
         );
-        let job = Ss3Job { cm: cm.clone(), xm: xm.to_vec(), c_new: c_new.clone() };
+        let job = Ss3Job {
+            cm: cm.clone(),
+            xm: xm.to_vec(),
+            c_new: c_new.clone(),
+            precision: self.precision,
+        };
         let (out, _) = self.engine.run_job("ss3Job", &job, &self.blocks, 1);
         out.into_iter().next().expect("ss3Job output").1
     }
@@ -331,6 +340,7 @@ fn fit_with_input(
         d_in: y.cols(),
         d: config.components,
         reducers,
+        precision: config.precision,
     };
     let mut run = run_em(cluster, &mut jobs, &error_sample, config, init_state)?;
     for it in &mut run.iterations {

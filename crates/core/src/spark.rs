@@ -25,7 +25,7 @@ use sparkle::{Lineage, Rdd, SparkleContext};
 use crate::config::SpcaConfig;
 use crate::em::{run_em, EmJobs};
 use crate::init;
-use crate::mean_prop::{ss3_block, ytx_counter_snapshot, YtxPartial};
+use crate::mean_prop::{ss3_block_prec, ytx_counter_snapshot, YtxPartial};
 use crate::model::SpcaRun;
 use crate::Result;
 
@@ -73,6 +73,25 @@ impl Wire for SpRow {
         for _ in 0..n {
             values.push(r.f64_bits()?);
         }
+        Ok(SpRow { indices, values })
+    }
+    // v3 fast path: bitpacked index deltas + mode-tagged value payload —
+    // the sparse shuffle record the codec's ≥2x reduction target is about
+    // (on the binary text datasets the values collapse to one byte each).
+    fn encode_v3_into(&self, out: &mut Vec<u8>, quantize: bool) {
+        wire::write_uvarint(out, self.indices.len() as u64);
+        wire::write_bitpacked_u32(out, &self.indices);
+        wire::write_f64_slice_v3(out, &self.values, quantize);
+    }
+    fn encoded_size_v3(&self, quantize: bool) -> u64 {
+        wire::uvarint_len(self.indices.len() as u64)
+            + wire::bitpacked_u32_len(&self.indices)
+            + wire::f64_slice_v3_len(&self.values, quantize)
+    }
+    fn decode_v3_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let n = r.ulen()?;
+        let indices = wire::read_bitpacked_u32(r, n, u64::from(u32::MAX) + 1)?;
+        let values = wire::read_f64_slice_v3(r, n)?;
         Ok(SpRow { indices, values })
     }
 }
@@ -145,6 +164,7 @@ struct SparkJobs<'a> {
     n: usize,
     d_in: usize,
     d: usize,
+    precision: linalg::Precision,
 }
 
 impl EmJobs for SparkJobs<'_> {
@@ -203,6 +223,7 @@ impl EmJobs for SparkJobs<'_> {
         cluster.charge_broadcast(cluster.wire_size(cm) + cluster.sizing().f64_payload(xm.len()));
         let d = self.d;
         let d_in = self.d_in;
+        let precision = self.precision;
         let before = ytx_counter_snapshot();
         // Batched path: each task reassembles its partition slice into a
         // CSR block (O(z) copy, no sorting) and runs the blocked kernels
@@ -214,7 +235,7 @@ impl EmJobs for SparkJobs<'_> {
             |acc, part| {
                 let views: Vec<SparseRow> = part.iter().map(SpRow::view).collect();
                 let block = SparseMat::from_row_views(d_in, &views);
-                acc.add_block(&block, cm, xm);
+                acc.add_block_prec(&block, cm, xm, precision);
             },
             |acc, other| acc.merge(other),
         );
@@ -233,13 +254,14 @@ impl EmJobs for SparkJobs<'_> {
         let cluster = self.rdd.cluster();
         cluster.charge_broadcast(cluster.wire_size(c_new));
         let d_in = self.d_in;
+        let precision = self.precision;
         let (part, _) = self.rdd.aggregate_partitions(
             "ss3Job",
             || Scalar(0.0),
             |acc, part| {
                 let views: Vec<SparseRow> = part.iter().map(SpRow::view).collect();
                 let block = SparseMat::from_row_views(d_in, &views);
-                acc.0 += ss3_block(&block, cm, xm, c_new);
+                acc.0 += ss3_block_prec(&block, cm, xm, c_new, precision);
             },
             |acc, other| acc.0 += other.0,
         );
@@ -346,7 +368,13 @@ pub(crate) fn fit_with_input(
     let warm_intermediate = cluster.metrics().intermediate_bytes - warm_bytes;
 
     let error_sample = crate::accuracy::sample_rows(y, config.error_sample_rows, config.seed);
-    let mut jobs = SparkJobs { rdd, n: y.rows(), d_in: y.cols(), d: config.components };
+    let mut jobs = SparkJobs {
+        rdd,
+        n: y.rows(),
+        d_in: y.cols(),
+        d: config.components,
+        precision: config.precision,
+    };
     let mut run = run_em(cluster, &mut jobs, &error_sample, config, init_state)?;
     for it in &mut run.iterations {
         it.virtual_time_secs += warm_elapsed;

@@ -1,0 +1,201 @@
+//! Contracts of the precision ladder and the v3 wire codec.
+//!
+//! 1. **Per-arm determinism** — each reduced-precision arm is itself a
+//!    pure function of (data, config): fits are bitwise identical across
+//!    host worker counts (1/2/8) on both engines. The arms differ from
+//!    the `f64` reference, never from themselves.
+//! 2. **Bounded divergence** — the f32 arm's objective and components
+//!    track the f64 reference within a documented tolerance at
+//!    paper-shaped problems (sparse binary text-like data, d latent
+//!    components). Tolerances: final sampled reconstruction error within
+//!    `1e-3` relative, components within `1e-2` max-abs. The bf16 arm is
+//!    representation-rounding only, so it gets the looser `5e-2` / `2e-1`.
+//! 3. **Codec invariance** — the wire codec moves byte meters only: the
+//!    fitted model is bitwise identical under v2/v3/v3q, v3 charges
+//!    strictly fewer shuffle bytes than v2 on the binary datasets, and
+//!    the quantized arm never charges more than lossless v3.
+//! 4. **Default unchanged** — `Precision::F64` + `WireCodec::V2` is the
+//!    config default, so existing callers keep byte-identical behavior.
+
+use std::sync::Arc;
+
+use dcluster::{ClusterConfig, SimCluster};
+use linalg::{Precision, Prng, WireCodec, WorkerPool};
+use spca_core::{Spca, SpcaConfig, SpcaRun};
+
+fn paperish_data() -> linalg::SparseMat {
+    // Shaped like the paper's text datasets: sparse, binary, Zipf columns.
+    let mut rng = Prng::seed_from_u64(2015);
+    let spec = datasets::LowRankSpec {
+        rows: 400,
+        cols: 160,
+        topics: 6,
+        words_per_row: 10.0,
+        topic_affinity: 0.7,
+        zipf_exponent: 1.0,
+    };
+    datasets::sparse_lowrank(&spec, &mut rng)
+}
+
+fn fit_both(
+    y: &linalg::SparseMat,
+    config: &SpcaConfig,
+    codec: WireCodec,
+    workers: usize,
+) -> (SpcaRun, SpcaRun) {
+    let pool = Arc::new(WorkerPool::new(workers));
+    let cfg = || {
+        ClusterConfig::paper_cluster()
+            .with_nodes(2)
+            .with_cores_per_node(2)
+            .with_wire_codec(codec)
+    };
+    let spca = Spca::new(config.clone());
+    let c1 = SimCluster::new_with_pool(cfg(), pool.clone());
+    let spark = spca.fit_spark(&c1, y).unwrap();
+    let c2 = SimCluster::new_with_pool(cfg(), pool);
+    let mr = spca.fit_mapreduce(&c2, y).unwrap();
+    (spark, mr)
+}
+
+fn assert_bitwise_equal(a: &SpcaRun, b: &SpcaRun, ctx: &str) {
+    assert_eq!(a.iterations.len(), b.iterations.len(), "iteration count ({ctx})");
+    for (x, y) in a.iterations.iter().zip(&b.iterations) {
+        assert_eq!(
+            x.error.to_bits(),
+            y.error.to_bits(),
+            "iteration {} error diverged ({ctx})",
+            x.iteration
+        );
+    }
+    assert_eq!(
+        a.model.components().max_abs_diff(b.model.components()),
+        0.0,
+        "components diverged ({ctx})"
+    );
+    assert_eq!(
+        a.model.noise_variance().to_bits(),
+        b.model.noise_variance().to_bits(),
+        "noise variance diverged ({ctx})"
+    );
+}
+
+/// Contract 1: every arm is bitwise deterministic across worker counts on
+/// both engines.
+#[test]
+fn reduced_precision_arms_are_bitwise_deterministic_across_workers() {
+    let y = paperish_data();
+    for precision in [Precision::F32, Precision::Bf16AccF64] {
+        let config = SpcaConfig::new(4)
+            .with_max_iters(3)
+            .with_rel_tolerance(None)
+            .with_partitions(4)
+            .with_precision(precision);
+        let (spark_ref, mr_ref) = fit_both(&y, &config, WireCodec::V2, 1);
+        for workers in [2usize, 8] {
+            let (spark, mr) = fit_both(&y, &config, WireCodec::V2, workers);
+            assert_bitwise_equal(
+                &spark,
+                &spark_ref,
+                &format!("spark {precision} workers={workers}"),
+            );
+            assert_bitwise_equal(&mr, &mr_ref, &format!("mr {precision} workers={workers}"));
+        }
+        // The two engines agree with each other to round-off within the
+        // arm (platform independence holds per arm).
+        for (s, m) in spark_ref.iterations.iter().zip(&mr_ref.iterations) {
+            assert!(
+                (s.error - m.error).abs() <= 1e-6 * s.error.abs().max(1.0),
+                "{precision}: engines diverged {} vs {}",
+                s.error,
+                m.error
+            );
+        }
+    }
+}
+
+/// Contract 2: reduced-precision fits track the f64 reference within the
+/// documented tolerances at paper shapes.
+#[test]
+fn reduced_precision_divergence_is_bounded() {
+    let y = paperish_data();
+    let base = SpcaConfig::new(4).with_max_iters(4).with_rel_tolerance(None).with_partitions(4);
+    let spca = Spca::new(base.clone());
+    let reference = spca
+        .fit_spark(&SimCluster::new(ClusterConfig::paper_cluster()), &y)
+        .unwrap();
+
+    for (precision, err_tol, comp_tol) in
+        [(Precision::F32, 1e-3, 1e-2), (Precision::Bf16AccF64, 5e-2, 2e-1)]
+    {
+        let spca = Spca::new(base.clone().with_precision(precision));
+        let run = spca
+            .fit_spark(&SimCluster::new(ClusterConfig::paper_cluster()), &y)
+            .unwrap();
+        let ref_err = reference.final_error();
+        let rel = (run.final_error() - ref_err).abs() / ref_err.abs().max(1e-12);
+        assert!(
+            rel <= err_tol,
+            "{precision}: final error diverged {rel:.2e} > {err_tol:.0e} \
+             ({} vs {ref_err})",
+            run.final_error()
+        );
+        let comp_diff = run.model.components().max_abs_diff(reference.model.components());
+        assert!(
+            comp_diff <= comp_tol,
+            "{precision}: components diverged {comp_diff:.2e} > {comp_tol:.0e}"
+        );
+        // The arm still converges: error never increases overall.
+        let first = run.iterations.first().unwrap().error;
+        assert!(run.final_error() <= first, "{precision}: error increased");
+    }
+}
+
+/// Contract 3: the wire codec moves byte meters only — fitted models are
+/// bitwise identical under every codec, and v3 charges strictly fewer
+/// shuffle bytes on binary sparse data.
+#[test]
+fn wire_codec_moves_bytes_not_models() {
+    let y = paperish_data();
+    let config = SpcaConfig::new(4).with_max_iters(3).with_rel_tolerance(None).with_partitions(4);
+
+    let fit_with = |codec: WireCodec| {
+        let cluster =
+            SimCluster::new(ClusterConfig::paper_cluster().with_wire_codec(codec));
+        let run = Spca::new(config.clone()).fit_spark(&cluster, &y).unwrap();
+        (run, cluster.metrics().intermediate_bytes)
+    };
+
+    let (run_v2, bytes_v2) = fit_with(WireCodec::V2);
+    let (run_v3, bytes_v3) = fit_with(WireCodec::V3);
+    let (run_v3q, bytes_v3q) = fit_with(WireCodec::V3Quantized);
+
+    assert_bitwise_equal(&run_v2, &run_v3, "v2 vs v3");
+    assert_bitwise_equal(&run_v2, &run_v3q, "v2 vs v3q");
+    assert!(
+        bytes_v3 < bytes_v2,
+        "v3 should shrink shuffle-family bytes: v2={bytes_v2} v3={bytes_v3}"
+    );
+    assert!(
+        bytes_v3q <= bytes_v3,
+        "quantized v3 should never charge more than lossless v3: \
+         v3={bytes_v3} v3q={bytes_v3q}"
+    );
+}
+
+/// Contract 4: the defaults are the reference arm, so an explicit
+/// `F64`+`V2` config fits bitwise identically to an untouched one.
+#[test]
+fn explicit_defaults_match_implicit_defaults() {
+    let y = paperish_data();
+    let implicit = SpcaConfig::new(3).with_max_iters(2).with_rel_tolerance(None);
+    let explicit = implicit.clone().with_precision(Precision::F64);
+    assert_eq!(implicit, explicit);
+
+    let base = SimCluster::new(ClusterConfig::paper_cluster());
+    let run_a = Spca::new(implicit).fit_spark(&base, &y).unwrap();
+    let with_codec =
+        SimCluster::new(ClusterConfig::paper_cluster().with_wire_codec(WireCodec::V2));
+    let run_b = Spca::new(explicit).fit_spark(&with_codec, &y).unwrap();
+    assert_bitwise_equal(&run_a, &run_b, "explicit defaults");
+}

@@ -337,6 +337,24 @@ impl SimCluster {
         self.cfg.byte_sizing.size_of(value)
     }
 
+    /// The negotiated shuffle codec. Only shuffle-family charge sites
+    /// consult this; everything else prices exact v2 via [`wire_size`].
+    ///
+    /// [`wire_size`]: SimCluster::wire_size
+    #[inline]
+    pub fn wire_codec(&self) -> linalg::WireCodec {
+        self.cfg.wire_codec
+    }
+
+    /// Metered size of a shuffle-family record: the negotiated codec's
+    /// encoded length under [`Sizing::Encoded`](linalg::Sizing::Encoded),
+    /// or the flat legacy estimate under `Estimated` (codec-independent,
+    /// so the differential-sizing tests keep one fixed reference).
+    #[inline]
+    pub fn shuffle_size<T: linalg::Wire>(&self, value: &T) -> u64 {
+        self.cfg.wire_codec.shuffle_size_of(self.cfg.byte_sizing, value)
+    }
+
     fn faults_lock(&self) -> MutexGuard<'_, FaultDomain> {
         lock_plain(&self.faults)
     }

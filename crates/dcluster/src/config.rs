@@ -1,6 +1,6 @@
 //! Cluster hardware description.
 
-use linalg::wire::Sizing;
+use linalg::wire::{Sizing, WireCodec};
 
 use crate::cluster::ClusterError;
 
@@ -46,6 +46,13 @@ pub struct ClusterConfig {
     /// moves byte counters and the virtual clock — fitted models are
     /// bitwise identical under either policy.
     pub byte_sizing: Sizing,
+    /// Which frame generation shuffle-family records are priced in: exact
+    /// v2 (default), bitpacked v3, or v3 with lossy `f32` payload
+    /// quantization. Applies only to shuffle charge sites — broadcasts,
+    /// collects, DFS blocks and checkpoints always stay exact v2. Like
+    /// `byte_sizing`, this moves byte meters and the virtual clock only;
+    /// fitted models are bitwise identical under every codec.
+    pub wire_codec: WireCodec,
 }
 
 impl ClusterConfig {
@@ -62,6 +69,7 @@ impl ClusterConfig {
             task_retry_delay_secs: 2.0,
             dfs_replication: 3,
             byte_sizing: Sizing::Encoded,
+            wire_codec: WireCodec::V2,
         }
     }
 
@@ -89,12 +97,19 @@ impl ClusterConfig {
             task_retry_delay_secs: 2.0,
             dfs_replication: 3,
             byte_sizing: Sizing::Encoded,
+            wire_codec: WireCodec::V2,
         }
     }
 
     /// Builder-style override of the byte-sizing policy.
     pub fn with_byte_sizing(mut self, sizing: Sizing) -> Self {
         self.byte_sizing = sizing;
+        self
+    }
+
+    /// Builder-style override of the shuffle wire codec.
+    pub fn with_wire_codec(mut self, codec: WireCodec) -> Self {
+        self.wire_codec = codec;
         self
     }
 
@@ -227,6 +242,10 @@ mod tests {
         assert_eq!(c.byte_sizing, Sizing::Encoded);
         let c = c.with_estimated_sizes();
         assert_eq!(c.byte_sizing, Sizing::Estimated);
+        assert_eq!(c.wire_codec, WireCodec::V2);
+        let c = c.with_wire_codec(WireCodec::V3Quantized);
+        assert_eq!(c.wire_codec, WireCodec::V3Quantized);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

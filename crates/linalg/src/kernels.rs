@@ -51,15 +51,15 @@ const MAX_CHUNKS: usize = 16;
 /// rows is kept to at most this many f64s (32 KiB) so the random-row
 /// axpys land in L1. Non-zeros are bucketed by band up front (one stable
 /// counting pass), so extra bands cost no rescans.
-const SCATTER_BAND_ELEMS: usize = 4_096;
+pub(crate) const SCATTER_BAND_ELEMS: usize = 4_096;
 
 /// Upper bound on scatter band count: bounds task-dispatch overhead and
 /// the size of the per-band bucket table for very wide outputs.
-const MAX_SCATTER_BANDS: usize = 64;
+pub(crate) const MAX_SCATTER_BANDS: usize = 64;
 
 /// Deterministic chunk count for a loop of `rows` iterations costing
 /// `flops_per_row` each: a function of the problem shape only.
-fn chunk_count(rows: usize, flops_per_row: usize) -> usize {
+pub(crate) fn chunk_count(rows: usize, flops_per_row: usize) -> usize {
     let total = rows.saturating_mul(flops_per_row);
     if total < PAR_MIN_FLOPS || rows <= 1 {
         return 1;
@@ -69,7 +69,7 @@ fn chunk_count(rows: usize, flops_per_row: usize) -> usize {
 
 /// Splits `0..rows` into `chunks` near-equal ranges (first `rows % chunks`
 /// ranges get one extra row) — the same fixed split regardless of workers.
-fn row_ranges(rows: usize, chunks: usize) -> Vec<(usize, usize)> {
+pub(crate) fn row_ranges(rows: usize, chunks: usize) -> Vec<(usize, usize)> {
     let base = rows / chunks;
     let extra = rows % chunks;
     let mut out = Vec::with_capacity(chunks);
@@ -80,6 +80,49 @@ fn row_ranges(rows: usize, chunks: usize) -> Vec<(usize, usize)> {
         start += len;
     }
     out
+}
+
+/// Splits `0..y.rows()` into `chunks` ranges holding near-equal *non-zero*
+/// counts: boundary `c` is the first row at which the cumulative nnz
+/// reaches `c/chunks` of the total (a binary search on the CSR row
+/// pointers). A function of the matrix only — worker counts never move a
+/// boundary — and each output row is still produced by exactly one task,
+/// so row-parallel kernels stay bit-identical under this split. This is
+/// what fixes the skew that equal *row* splits suffer on power-law
+/// sparsity: one hot chunk used to serialize the whole product.
+pub(crate) fn nnz_ranges(y: &SparseMat, chunks: usize) -> Vec<(usize, usize)> {
+    let rows = y.rows();
+    let total = y.nnz();
+    let indptr = y.indptr();
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for c in 1..=chunks {
+        let end = if c == chunks {
+            rows
+        } else {
+            let target = total * c / chunks;
+            indptr.partition_point(|&p| p < target).clamp(start, rows)
+        };
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+/// Best-effort prefetch of dense row `c` of `b` into L1 — the sparse
+/// product's B-row reads are data-dependent gathers, so the hardware
+/// prefetcher cannot see them coming.
+#[inline(always)]
+fn prefetch_row(b: &Mat, c: usize) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch has no architectural effect beyond the cache, and
+    // the pointer is a live in-bounds row.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(b.row(c).as_ptr() as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (b, c);
 }
 
 // ---------------------------------------------------------------------------
@@ -668,16 +711,18 @@ pub fn sparse_mul_dense_into_with_pool(pool: &WorkerPool, y: &SparseMat, b: &Mat
     if m == 0 || n == 0 {
         return;
     }
-    // Flops per row vary with the sparsity pattern; use the mean nnz — the
-    // split must depend on the matrix only, and near-equal row counts keep
-    // the virtual-task story simple.
+    // Chunk count from the mean row cost, but chunk *boundaries* from the
+    // cumulative nnz: equal-row splits serialize on skewed sparsity (one
+    // hot chunk holds most of the work), while the nnz-balanced split
+    // keeps every task near the same flop count. Both are functions of
+    // the matrix only, so any pool produces identical bits.
     let mean_nnz = y.nnz() / m.max(1);
     let chunks = chunk_count(m, 2 * n * mean_nnz.max(1));
     if chunks == 1 {
         sparse_rows_mul(y, b, 0, m, out);
         return;
     }
-    let ranges = row_ranges(m, chunks);
+    let ranges = nnz_ranges(y, chunks);
     let mut slices: Vec<(usize, usize, &mut [f64])> = Vec::with_capacity(chunks);
     let mut rest = out;
     for &(start, end) in &ranges {
@@ -696,7 +741,10 @@ pub fn sparse_mul_dense_into_with_pool(pool: &WorkerPool, y: &SparseMat, b: &Mat
 /// Computes output rows `[start, end)` of `Y·B` into `out`. Non-zeros are
 /// consumed in quads, then a pair, then a single, with fused updates
 /// ([`vector::axpy4`]/[`vector::axpy2`]) — bit-identical to sequential
-/// axpys, a quarter of the passes over the output row.
+/// axpys, a quarter of the passes over the output row. The next quad's
+/// `B` rows are prefetched while the current one computes: the row
+/// gathers are data-dependent, so without the hint every quad starts on
+/// a cold DRAM access.
 fn sparse_rows_mul(y: &SparseMat, b: &Mat, start: usize, end: usize, out: &mut [f64]) {
     let n = b.cols();
     for r in start..end {
@@ -705,6 +753,9 @@ fn sparse_rows_mul(y: &SparseMat, b: &Mat, start: usize, end: usize, out: &mut [
         let nnz = row.indices.len();
         let mut t = 0;
         while t + 4 <= nnz {
+            for &c in row.indices[t + 4..nnz.min(t + 8)].iter() {
+                prefetch_row(b, c as usize);
+            }
             vector::axpy4(
                 row.values[t],
                 b.row(row.indices[t] as usize),
@@ -1160,6 +1211,62 @@ mod tests {
             if map[c] == u32::MAX {
                 assert!(full.row(c).iter().all(|&v| v == 0.0));
             }
+        }
+    }
+
+    #[test]
+    fn nnz_ranges_balance_skewed_rows() {
+        // Row 0 holds almost all the non-zeros; an equal-row split would
+        // put ~all work in chunk 0.
+        let mut entries = vec![Vec::new(); 100];
+        entries[0] = (0..900u32).map(|c| (c, 1.0)).collect();
+        for (r, row) in entries.iter_mut().enumerate().skip(1) {
+            row.push((r as u32, 1.0));
+        }
+        let y = SparseMat::from_rows(100, 1000, entries);
+        let ranges = nnz_ranges(&y, 4);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0].0, 0);
+        assert_eq!(ranges[3].1, 100);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "ranges tile the rows");
+        }
+        // The hot row is alone in its chunk: everything else spreads out.
+        assert_eq!(ranges[0], (0, 1), "hot row isolated: {ranges:?}");
+        // Uniform matrices still split near-equally by rows.
+        let uniform = SparseMat::from_rows(
+            12,
+            4,
+            (0..12).map(|_| vec![(0u32, 1.0), (2, 1.0)]).collect(),
+        );
+        assert_eq!(nnz_ranges(&uniform, 3), vec![(0, 4), (4, 8), (8, 12)]);
+    }
+
+    #[test]
+    fn sparse_mul_dense_is_bitwise_naive_on_any_pool() {
+        // Skewed sparsity exercises the nnz-balanced split; every output
+        // row is computed by one task in scan order, so all pools (and
+        // the naive reference) agree bitwise.
+        let mut rng = Prng::seed_from_u64(15);
+        let (n, dd, d) = (600usize, 500usize, 24usize);
+        let mut entries: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for (r, row) in entries.iter_mut().enumerate() {
+            // Power-law-ish: early rows are much denser.
+            let nnz = (400 / (r + 1)).max(2);
+            let mut cols: Vec<u32> = (0..nnz).map(|_| rng.index(dd) as u32).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            *row = cols.into_iter().map(|c| (c, rng.normal())).collect();
+        }
+        let y = SparseMat::from_rows(n, dd, entries);
+        let b = rng.normal_mat(dd, d);
+        let reference = naive::sparse_mul_dense(&y, &b);
+        let serial = WorkerPool::new(1);
+        let two = WorkerPool::new(2);
+        let wide = WorkerPool::new(8);
+        for pool in [&serial, &two, &wide, WorkerPool::global()] {
+            let got = sparse_mul_dense_with_pool(pool, &y, &b);
+            assert_eq!(got.max_abs_diff(&reference), 0.0, "sparse_mul_dense reassociated");
         }
     }
 

@@ -1,0 +1,743 @@
+//! Single-precision variants of the hot EM kernels.
+//!
+//! The [`Precision::F32`](crate::precision::Precision) arm narrows each
+//! block's inputs once, runs the whole inner loop — `Y·CM` (spmm), `XᵀX`
+//! (syrk), `YᵀX` (spmm_tn) and the packed-panel `AᵀB` GEMM — in `f32`,
+//! and widens the per-block results into the `f64` cross-partition
+//! accumulators. Half the memory traffic and twice the SIMD lanes of the
+//! `f64` kernels; the AVX-512 `matmul_tn` tile gets an `f32` twin with
+//! 16-lane zmm groups behind the same runtime dispatch.
+//!
+//! # Determinism contract
+//!
+//! Identical to [`kernels`](crate::kernels): chunk splits are a function
+//! of the problem shape only (the *same* `chunk_count`/`row_ranges` the
+//! `f64` kernels use), reductions merge partials in chunk-index order,
+//! and every output element accumulates its terms in ascending input-row
+//! order. The `f32` arm is therefore bitwise reproducible across 1, 2 or
+//! 64 workers — it differs from the `f64` arm, never from itself.
+
+use crate::dense::Mat;
+use crate::kernels::{chunk_count, row_ranges, MAX_SCATTER_BANDS, SCATTER_BAND_ELEMS};
+use crate::pool::WorkerPool;
+use crate::sparse::SparseMat;
+
+/// A row-major `f32` matrix: the narrowed operand the `f32` arm threads
+/// between kernels. Deliberately minimal — it exists so a block's dense
+/// operands are narrowed once, not once per kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatF32 {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        MatF32 { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Narrows an `f64` matrix element-wise (round-to-nearest-even, the
+    /// hardware `f64`→`f32` conversion).
+    pub fn from_f64(m: &Mat) -> Self {
+        MatF32 {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.data().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Widens back to `f64` (exact — every `f32` is representable).
+    pub fn to_f64(&self) -> Mat {
+        Mat::from_vec(self.rows, self.cols, self.data.iter().map(|&v| v as f64).collect())
+    }
+}
+
+/// `y += alpha * x` in `f32`.
+fn axpy_f32(alpha: f32, x: &[f32], y: &mut [f32]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sparse_mul_dense_f32: X = Y·B for CSR Y (values narrowed on the fly)
+// ---------------------------------------------------------------------------
+
+/// `out += Y·B` in `f32`; `out` is a caller-zeroed `y.rows() × b.cols()`
+/// row-major buffer. Row-parallel with the same nnz-balanced split as the
+/// `f64` kernel, so results are bit-identical on any pool.
+pub fn sparse_mul_dense_f32_into_with_pool(
+    pool: &WorkerPool,
+    y: &SparseMat,
+    b: &MatF32,
+    out: &mut [f32],
+) {
+    let m = y.rows();
+    let n = b.cols();
+    assert_eq!(y.cols(), b.rows(), "mul_dense_f32: inner dimensions differ");
+    assert_eq!(out.len(), m * n, "mul_dense_f32: output buffer is {} not {}", out.len(), m * n);
+    let _span = obs::span_lazy("kernel", || format!("sparse_mul_dense_f32 {m}x{n} nnz={}", y.nnz()))
+        .with_flops(2 * y.nnz() as u64 * n as u64);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let mean_nnz = y.nnz() / m.max(1);
+    let chunks = chunk_count(m, 2 * n * mean_nnz.max(1));
+    if chunks == 1 {
+        sparse_rows_mul_f32(y, b, 0, m, out);
+        return;
+    }
+    let ranges = crate::kernels::nnz_ranges(y, chunks);
+    let mut slices: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(chunks);
+    let mut rest = out;
+    for &(start, end) in &ranges {
+        let (head, tail) = rest.split_at_mut((end - start) * n);
+        slices.push((start, end, head));
+        rest = tail;
+    }
+    pool.run(
+        slices
+            .into_iter()
+            .map(|(start, end, slice)| move || sparse_rows_mul_f32(y, b, start, end, slice))
+            .collect(),
+    );
+}
+
+/// Output rows `[start, end)` of `Y·B` in `f32`, ascending non-zero order.
+fn sparse_rows_mul_f32(y: &SparseMat, b: &MatF32, start: usize, end: usize, out: &mut [f32]) {
+    let n = b.cols();
+    for r in start..end {
+        let row = y.row(r);
+        let o = &mut out[(r - start) * n..(r - start + 1) * n];
+        for (&c, &v) in row.indices.iter().zip(row.values) {
+            axpy_f32(v as f32, b.row(c as usize), o);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// syrk_tn_f32: C = XᵀX
+// ---------------------------------------------------------------------------
+
+/// `XᵀX` in `f32` on an explicit pool: output-row bands over the upper
+/// triangle, exact mirror at the end — the `f64` kernel's structure with
+/// narrow arithmetic. Bit-identical on any pool size.
+pub fn syrk_tn_f32_with_pool(pool: &WorkerPool, x: &MatF32) -> MatF32 {
+    let (n, d) = (x.rows(), x.cols());
+    let _span = obs::span_lazy("kernel", || format!("syrk_tn_f32 {n}x{d}"))
+        .with_flops(n as u64 * d as u64 * (d as u64 + 1));
+    let mut out = MatF32::zeros(d, d);
+    if n == 0 || d == 0 {
+        return out;
+    }
+    let chunks = chunk_count(d, n * (d + 1));
+    if chunks == 1 {
+        syrk_tn_band_f32(x, 0, d, out.data_mut());
+    } else {
+        let ranges = row_ranges(d, chunks);
+        let mut slices: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(chunks);
+        let mut rest = out.data_mut();
+        for &(start, end) in &ranges {
+            let (head, tail) = rest.split_at_mut((end - start) * d);
+            slices.push((start, end, head));
+            rest = tail;
+        }
+        pool.run(
+            slices
+                .into_iter()
+                .map(|(start, end, slice)| move || syrk_tn_band_f32(x, start, end, slice))
+                .collect(),
+        );
+    }
+    for i in 0..d {
+        for j in 0..i {
+            out.data[i * d + j] = out.data[j * d + i];
+        }
+    }
+    out
+}
+
+fn syrk_tn_band_f32(x: &MatF32, lo: usize, hi: usize, out: &mut [f32]) {
+    let d = x.cols();
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        for i in lo..hi {
+            let xi = row[i];
+            if xi != 0.0 {
+                let base = (i - lo) * d;
+                axpy_f32(xi, &row[i..], &mut out[base + i..base + d]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// spmm_tn_f32: C = YᵀX — the packed scatter of the batched EM path
+// ---------------------------------------------------------------------------
+
+/// `YᵀX` (`D×d` dense) in `f32` on an explicit pool.
+pub fn spmm_tn_f32_with_pool(pool: &WorkerPool, y: &SparseMat, x: &MatF32) -> MatF32 {
+    assert_eq!(y.rows(), x.rows(), "spmm_tn_f32: row counts differ");
+    let mut out = MatF32::zeros(y.cols(), x.cols());
+    spmm_scatter_f32(pool, y, x, None, out.data_mut());
+    out
+}
+
+/// Packed `YᵀX` in `f32`: output row `map[c]` accumulates column `c`,
+/// into a caller-zeroed `out_rows × x.cols()` slab — the `f32` twin of
+/// the hash-free `YtxPartial` inner loop.
+pub fn spmm_tn_packed_f32_with_pool(
+    pool: &WorkerPool,
+    y: &SparseMat,
+    x: &MatF32,
+    map: &[u32],
+    out: &mut [f32],
+) {
+    assert_eq!(y.rows(), x.rows(), "spmm_tn_f32: row counts differ");
+    assert_eq!(map.len(), y.cols(), "spmm_tn_f32: column map covers every Y column");
+    spmm_scatter_f32(pool, y, x, Some(map), out)
+}
+
+/// Banded scatter, structurally identical to the `f64` driver: non-zeros
+/// are bucketed per output band in one stable counting pass (preserving
+/// scan order), bands run in parallel over disjoint output slices.
+fn spmm_scatter_f32(
+    pool: &WorkerPool,
+    y: &SparseMat,
+    x: &MatF32,
+    map: Option<&[u32]>,
+    out: &mut [f32],
+) {
+    let d = x.cols();
+    if d == 0 {
+        return;
+    }
+    assert_eq!(out.len() % d, 0, "spmm_tn_f32: output is a whole number of rows");
+    let out_rows = out.len() / d;
+    let _span = obs::span_lazy("kernel", || {
+        format!("spmm_tn_f32 {}x{out_rows}x{d} nnz={}", y.rows(), y.nnz())
+    })
+    .with_flops(2 * y.nnz() as u64 * d as u64);
+    if out_rows == 0 || y.nnz() == 0 {
+        return;
+    }
+    // Same band geometry as the f64 scatter; f32 elements are half the
+    // bytes but the band size is an element count, so the f32 bands are
+    // simply more cache-resident.
+    let bands = out.len().div_ceil(SCATTER_BAND_ELEMS).clamp(1, MAX_SCATTER_BANDS.min(out_rows));
+    if bands == 1 {
+        spmm_scatter_band_f32(y, x, map, 0, out_rows, out);
+        return;
+    }
+    let band_rows = out_rows.div_ceil(bands);
+
+    let mut starts = vec![0usize; bands + 1];
+    let target = |c: u32| -> usize {
+        match map {
+            Some(m) => m[c as usize] as usize,
+            None => c as usize,
+        }
+    };
+    for &c in y.col_indices() {
+        starts[target(c) / band_rows + 1] += 1;
+    }
+    for b in 0..bands {
+        starts[b + 1] += starts[b];
+    }
+    let mut entries: Vec<(u32, u32, f32)> = vec![(0, 0, 0.0); y.nnz()];
+    let mut next = starts.clone();
+    for r in 0..y.rows() {
+        let row = y.row(r);
+        for (&c, &v) in row.indices.iter().zip(row.values) {
+            let t = target(c);
+            let slot = &mut next[t / band_rows];
+            entries[*slot] = (t as u32, r as u32, v as f32);
+            *slot += 1;
+        }
+    }
+
+    let mut tasks: Vec<(usize, &[(u32, u32, f32)], &mut [f32])> = Vec::with_capacity(bands);
+    let mut rest = out;
+    for b in 0..bands {
+        let lo = b * band_rows;
+        let hi = ((b + 1) * band_rows).min(out_rows);
+        let (head, tail) = rest.split_at_mut((hi - lo) * d);
+        tasks.push((lo, &entries[starts[b]..starts[b + 1]], head));
+        rest = tail;
+    }
+    pool.run(
+        tasks
+            .into_iter()
+            .map(|(lo, band_entries, slice)| {
+                move || {
+                    for &(t, r, v) in band_entries {
+                        let base = (t as usize - lo) * d;
+                        axpy_f32(v, x.row(r as usize), &mut slice[base..base + d]);
+                    }
+                }
+            })
+            .collect(),
+    );
+}
+
+fn spmm_scatter_band_f32(
+    y: &SparseMat,
+    x: &MatF32,
+    map: Option<&[u32]>,
+    lo: usize,
+    hi: usize,
+    out: &mut [f32],
+) {
+    let d = x.cols();
+    for r in 0..y.rows() {
+        let row = y.row(r);
+        if row.indices.is_empty() {
+            continue;
+        }
+        let xr = x.row(r);
+        for (&c, &v) in row.indices.iter().zip(row.values) {
+            let t = match map {
+                Some(m) => m[c as usize] as usize,
+                None => c as usize,
+            };
+            if t >= lo && t < hi {
+                axpy_f32(v as f32, xr, &mut out[(t - lo) * d..(t - lo + 1) * d]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// matmul_tn_f32: C = AᵀB — the packed-panel GEMM with an AVX-512 f32 tile
+// ---------------------------------------------------------------------------
+
+/// Register-tile width over the output columns (portable `f32` path):
+/// one full 16-lane f32 SIMD vector on AVX-512, two on AVX2.
+const TN_JR_F32: usize = 16;
+/// Register-tile height over the output rows (portable `f32` path).
+const TN_IR_F32: usize = 8;
+
+/// `AᵀB` in `f32` on an explicit pool. Same chunked reduction over the
+/// shared row dimension as the `f64` kernel: fixed chunks, partials
+/// summed in chunk order, single-worker fast path with the identical
+/// association — bit-identical for every worker count.
+pub fn matmul_tn_f32_with_pool(pool: &WorkerPool, a: &MatF32, b: &MatF32) -> MatF32 {
+    let rows = a.rows();
+    let (acols, bcols) = (a.cols(), b.cols());
+    assert_eq!(rows, b.rows(), "matmul_tn_f32: row counts differ ({} vs {})", rows, b.rows());
+    let _span = obs::span_lazy("kernel", || format!("matmul_tn_f32 {rows}x{acols}x{bcols}"))
+        .with_flops(2 * rows as u64 * acols as u64 * bcols as u64);
+    let mut out = MatF32::zeros(acols, bcols);
+    if rows == 0 || acols == 0 || bcols == 0 {
+        return out;
+    }
+    let chunks = chunk_count(rows, 2 * acols * bcols);
+    if chunks == 1 {
+        matmul_tn_rows_f32(a, b, 0, rows, out.data_mut());
+        return out;
+    }
+    let ranges = row_ranges(rows, chunks);
+    if pool.workers() == 1 {
+        for (start, end) in ranges {
+            matmul_tn_rows_f32(a, b, start, end, out.data_mut());
+        }
+        return out;
+    }
+    let partials: Vec<Vec<f32>> = pool.run(
+        ranges
+            .into_iter()
+            .map(|(start, end)| {
+                move || {
+                    let mut partial = vec![0.0f32; acols * bcols];
+                    matmul_tn_rows_f32(a, b, start, end, &mut partial);
+                    partial
+                }
+            })
+            .collect(),
+    );
+    let data = out.data_mut();
+    for partial in &partials {
+        axpy_f32(1.0, partial, data);
+    }
+    out
+}
+
+/// Chunk kernel dispatch: AVX-512 tile when the CPU has it, portable
+/// packed panels otherwise (same split as the `f64` dispatch).
+fn matmul_tn_rows_f32(a: &MatF32, b: &MatF32, start: usize, end: usize, out: &mut [f32]) {
+    if end == start {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: avx512f presence was just checked; every pointer the
+            // kernel dereferences stays inside `a`, `b`, or `out`.
+            unsafe { matmul_tn_rows_f32_avx512(a, b, start, end, out) };
+            return;
+        }
+    }
+    matmul_tn_rows_f32_portable(a, b, start, end, out);
+}
+
+/// Output-row block of the AVX-512 `f32` tile — same register budget as
+/// the `f64` tile (4·G accumulators + G B vectors + 1 broadcast), but
+/// each zmm now carries 16 lanes, so a full `G = 4` pass feeds 64 output
+/// columns per broadcast.
+#[cfg(target_arch = "x86_64")]
+const TN_AVX_IR_F32: usize = 4;
+
+/// AVX-512 `matmul_tn_f32` chunk kernel: the `f64` kernel's structure at
+/// twice the lane width. No packing; A is walked at its natural stride
+/// with the same rightward prefetch.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn matmul_tn_rows_f32_avx512(
+    a: &MatF32,
+    b: &MatF32,
+    start: usize,
+    end: usize,
+    out: &mut [f32],
+) {
+    let acols = a.cols();
+    let bcols = b.cols();
+    let len = end - start;
+    let imain = acols - acols % TN_AVX_IR_F32;
+    let jmain = bcols - bcols % 16;
+
+    let abase = a.data().as_ptr().add(start * acols);
+    let bbase = b.data().as_ptr().add(start * bcols);
+    let obase = out.as_mut_ptr();
+
+    let mut i0 = 0;
+    while i0 < imain {
+        let a0 = abase.add(i0);
+        let mut j0 = 0;
+        while j0 + 64 <= jmain {
+            tn_tile_f32_avx512::<TN_AVX_IR_F32, 4>(a0, acols, bbase.add(j0), bcols, len, obase.add(i0 * bcols + j0), bcols);
+            j0 += 64;
+        }
+        if j0 + 32 <= jmain {
+            tn_tile_f32_avx512::<TN_AVX_IR_F32, 2>(a0, acols, bbase.add(j0), bcols, len, obase.add(i0 * bcols + j0), bcols);
+            j0 += 32;
+        }
+        if j0 + 16 <= jmain {
+            tn_tile_f32_avx512::<TN_AVX_IR_F32, 1>(a0, acols, bbase.add(j0), bcols, len, obase.add(i0 * bcols + j0), bcols);
+        }
+        i0 += TN_AVX_IR_F32;
+    }
+
+    tn_remainders_f32(a, b, start, end, out, imain, jmain);
+}
+
+/// One AVX-512 `f32` register tile: `R × (16·G)` outputs accumulated over
+/// `len` rows, added into `out` once. Fused multiply-add, like the `f64`
+/// tile — the `f32` arm's contract is self-consistency, not agreement
+/// with a separately-rounded reference.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn tn_tile_f32_avx512<const R: usize, const G: usize>(
+    a0: *const f32,
+    astride: usize,
+    b0: *const f32,
+    bstride: usize,
+    len: usize,
+    o0: *mut f32,
+    ostride: usize,
+) {
+    use std::arch::x86_64::{
+        _mm_prefetch, _mm512_add_ps, _mm512_fmadd_ps, _mm512_loadu_ps, _mm512_set1_ps,
+        _mm512_setzero_ps, _mm512_storeu_ps, _MM_HINT_T0,
+    };
+    let mut acc = [[_mm512_setzero_ps(); G]; R];
+    let mut ap = a0;
+    let mut bp = b0;
+    for _ in 0..len {
+        // Rightward prefetch of this row's next-but-one column sweep —
+        // same rationale as the f64 tile (the line is on an
+        // already-mapped page, so the prefetch always lands).
+        _mm_prefetch::<_MM_HINT_T0>(ap.wrapping_add(16) as *const i8);
+        let mut bv = [_mm512_setzero_ps(); G];
+        for (g, v) in bv.iter_mut().enumerate() {
+            *v = _mm512_loadu_ps(bp.add(16 * g));
+        }
+        for (t, acc_row) in acc.iter_mut().enumerate() {
+            let at = _mm512_set1_ps(*ap.add(t));
+            for (g, acc_tg) in acc_row.iter_mut().enumerate() {
+                *acc_tg = _mm512_fmadd_ps(at, bv[g], *acc_tg);
+            }
+        }
+        ap = ap.add(astride);
+        bp = bp.add(bstride);
+    }
+    for (t, acc_row) in acc.iter().enumerate() {
+        for (g, acc_tg) in acc_row.iter().enumerate() {
+            let o = o0.add(t * ostride + 16 * g);
+            _mm512_storeu_ps(o, _mm512_add_ps(_mm512_loadu_ps(o), *acc_tg));
+        }
+    }
+}
+
+/// Portable packed-panel `f32` chunk kernel — row-interleaved panels and
+/// an `#[inline(never)]` register tile, exactly the `f64` portable path
+/// at a 16-wide tile.
+fn matmul_tn_rows_f32_portable(a: &MatF32, b: &MatF32, start: usize, end: usize, out: &mut [f32]) {
+    let acols = a.cols();
+    let bcols = b.cols();
+    let len = end - start;
+    let imain = acols - acols % TN_IR_F32;
+    let jmain = bcols - bcols % TN_JR_F32;
+    let igroups = imain / TN_IR_F32;
+    let jgroups = jmain / TN_JR_F32;
+
+    let mut apack = vec![0.0f32; igroups * len * TN_IR_F32];
+    let mut bpack = vec![0.0f32; jgroups * len * TN_JR_F32];
+    for rr in 0..len {
+        let a_row = a.row(start + rr);
+        for (p, a_blk) in a_row[..imain].chunks_exact(TN_IR_F32).enumerate() {
+            let a_blk: &[f32; TN_IR_F32] = a_blk.try_into().expect("panel width");
+            let dst: &mut [f32; TN_IR_F32] = (&mut apack[(p * len + rr) * TN_IR_F32..][..TN_IR_F32])
+                .try_into()
+                .expect("panel slot");
+            *dst = *a_blk;
+        }
+        let b_row = b.row(start + rr);
+        for (g, b_blk) in b_row[..jmain].chunks_exact(TN_JR_F32).enumerate() {
+            let b_blk: &[f32; TN_JR_F32] = b_blk.try_into().expect("panel width");
+            let dst: &mut [f32; TN_JR_F32] = (&mut bpack[(g * len + rr) * TN_JR_F32..][..TN_JR_F32])
+                .try_into()
+                .expect("panel slot");
+            *dst = *b_blk;
+        }
+    }
+
+    for p in 0..igroups {
+        let apanel = &apack[p * len * TN_IR_F32..(p + 1) * len * TN_IR_F32];
+        let i0 = p * TN_IR_F32;
+        for g in 0..jgroups {
+            let bgrp = &bpack[g * len * TN_JR_F32..(g + 1) * len * TN_JR_F32];
+            let acc = tn_tile_f32_portable(apanel, bgrp);
+            let j0 = g * TN_JR_F32;
+            for (t, acc_row) in acc.iter().enumerate() {
+                let o = &mut out[(i0 + t) * bcols + j0..(i0 + t) * bcols + j0 + TN_JR_F32];
+                for (u, &v) in acc_row.iter().enumerate() {
+                    o[u] += v;
+                }
+            }
+        }
+    }
+
+    tn_remainders_f32(a, b, start, end, out, imain, jmain);
+}
+
+/// The portable `f32` micro-kernel; `#[inline(never)]` for the same
+/// vectorizer reason as the `f64` tile.
+#[inline(never)]
+fn tn_tile_f32_portable(apack: &[f32], bgrp: &[f32]) -> [[f32; TN_JR_F32]; TN_IR_F32] {
+    let mut acc = [[0.0f32; TN_JR_F32]; TN_IR_F32];
+    for (a_blk, b_blk) in apack.chunks_exact(TN_IR_F32).zip(bgrp.chunks_exact(TN_JR_F32)) {
+        let a_blk: &[f32; TN_IR_F32] = a_blk.try_into().expect("tile height");
+        let b_blk: &[f32; TN_JR_F32] = b_blk.try_into().expect("tile width");
+        for u in 0..TN_JR_F32 {
+            let bu = b_blk[u];
+            for t in 0..TN_IR_F32 {
+                acc[t][u] += a_blk[t] * bu;
+            }
+        }
+    }
+    acc
+}
+
+/// Remainder rows/columns: per-row axpys in ascending `r`, shared by both
+/// chunk kernels.
+fn tn_remainders_f32(
+    a: &MatF32,
+    b: &MatF32,
+    start: usize,
+    end: usize,
+    out: &mut [f32],
+    imain: usize,
+    jmain: usize,
+) {
+    let acols = a.cols();
+    let bcols = b.cols();
+    if imain < acols {
+        for r in start..end {
+            let a_row = a.row(r);
+            let b_row = b.row(r);
+            for i in imain..acols {
+                let c = a_row[i];
+                if c != 0.0 {
+                    axpy_f32(c, b_row, &mut out[i * bcols..(i + 1) * bcols]);
+                }
+            }
+        }
+    }
+    if jmain < bcols {
+        for r in start..end {
+            let a_row = a.row(r);
+            let b_row = b.row(r);
+            for i in 0..imain {
+                let c = a_row[i];
+                if c != 0.0 {
+                    let o = &mut out[i * bcols + jmain..(i + 1) * bcols];
+                    for (oj, &bj) in o.iter_mut().zip(&b_row[jmain..]) {
+                        *oj += c * bj;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    fn random_sparse(rng: &mut Prng, rows: usize, cols: usize, nnz: usize) -> SparseMat {
+        let mut triplets = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            triplets.push((rng.index(rows), rng.index(cols) as u32, rng.normal()));
+        }
+        SparseMat::from_triplets(rows, cols, &triplets)
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn f32_kernels_are_bitwise_deterministic_across_pools() {
+        let mut rng = Prng::seed_from_u64(31);
+        let (n, dd, d) = (900usize, 400usize, 24usize);
+        let y = random_sparse(&mut rng, n, dd, 8_000);
+        let cm = MatF32::from_f64(&rng.normal_mat(dd, d));
+        let x = MatF32::from_f64(&rng.normal_mat(n, d));
+        let a = MatF32::from_f64(&rng.normal_mat(n, 40));
+        let b = MatF32::from_f64(&rng.normal_mat(n, 32));
+
+        let serial = WorkerPool::new(1);
+        let two = WorkerPool::new(2);
+        let wide = WorkerPool::new(8);
+        let reference_mul = {
+            let mut out = vec![0.0f32; n * d];
+            sparse_mul_dense_f32_into_with_pool(&serial, &y, &cm, &mut out);
+            out
+        };
+        let reference_syrk = syrk_tn_f32_with_pool(&serial, &x);
+        let reference_spmm = spmm_tn_f32_with_pool(&serial, &y, &x);
+        let reference_tn = matmul_tn_f32_with_pool(&serial, &a, &b);
+        for pool in [&two, &wide, WorkerPool::global()] {
+            let mut out = vec![0.0f32; n * d];
+            sparse_mul_dense_f32_into_with_pool(pool, &y, &cm, &mut out);
+            assert_eq!(bits(&out), bits(&reference_mul), "sparse_mul_dense_f32 reassociated");
+            assert_eq!(
+                bits(syrk_tn_f32_with_pool(pool, &x).data()),
+                bits(reference_syrk.data()),
+                "syrk_tn_f32 reassociated"
+            );
+            assert_eq!(
+                bits(spmm_tn_f32_with_pool(pool, &y, &x).data()),
+                bits(reference_spmm.data()),
+                "spmm_tn_f32 reassociated"
+            );
+            assert_eq!(
+                bits(matmul_tn_f32_with_pool(pool, &a, &b).data()),
+                bits(reference_tn.data()),
+                "matmul_tn_f32 reassociated"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_kernels_track_the_f64_results() {
+        // Not bitwise — the arm's whole point is different arithmetic —
+        // but the products must agree to f32-roundoff at these shapes.
+        let mut rng = Prng::seed_from_u64(32);
+        let (n, dd, d) = (300usize, 200usize, 12usize);
+        let y = random_sparse(&mut rng, n, dd, 3_000);
+        let cm64 = rng.normal_mat(dd, d);
+        let cm = MatF32::from_f64(&cm64);
+        let pool = WorkerPool::new(4);
+
+        let exact = crate::kernels::sparse_mul_dense_with_pool(&pool, &y, &cm64);
+        let mut narrow = vec![0.0f32; n * d];
+        sparse_mul_dense_f32_into_with_pool(&pool, &y, &cm, &mut narrow);
+        let scale = exact.data().iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (g, e) in narrow.iter().zip(exact.data()) {
+            assert!(
+                (*g as f64 - e).abs() <= 1e-4 * scale,
+                "f32 spmm drifted: {g} vs {e}"
+            );
+        }
+
+        let x64 = rng.normal_mat(n, d);
+        let x = MatF32::from_f64(&x64);
+        let exact_syrk = crate::kernels::syrk_tn_with_pool(&pool, &x64);
+        let narrow_syrk = syrk_tn_f32_with_pool(&pool, &x);
+        let scale = exact_syrk.data().iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (g, e) in narrow_syrk.data().iter().zip(exact_syrk.data()) {
+            assert!((*g as f64 - e).abs() <= 1e-3 * scale, "f32 syrk drifted: {g} vs {e}");
+        }
+
+        let a64 = rng.normal_mat(n, 17); // odd widths exercise remainders
+        let b64 = rng.normal_mat(n, 19);
+        let exact_tn = crate::kernels::matmul_tn_with_pool(&pool, &a64, &b64);
+        let narrow_tn =
+            matmul_tn_f32_with_pool(&pool, &MatF32::from_f64(&a64), &MatF32::from_f64(&b64));
+        let scale = exact_tn.data().iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (g, e) in narrow_tn.data().iter().zip(exact_tn.data()) {
+            assert!((*g as f64 - e).abs() <= 1e-3 * scale, "f32 matmul_tn drifted: {g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn packed_f32_scatter_matches_full() {
+        let mut rng = Prng::seed_from_u64(33);
+        let (n, dd, d) = (120usize, 300usize, 8usize);
+        let y = random_sparse(&mut rng, n, dd, 700);
+        let x = MatF32::from_f64(&rng.normal_mat(n, d));
+        let pool = WorkerPool::new(3);
+        let full = spmm_tn_f32_with_pool(&pool, &y, &x);
+        // Ascending support map, like the YtxPartial slab uses.
+        let mut map = vec![u32::MAX; dd];
+        let mut support: Vec<u32> = y.col_indices().to_vec();
+        support.sort_unstable();
+        support.dedup();
+        for (i, &c) in support.iter().enumerate() {
+            map[c as usize] = i as u32;
+        }
+        let mut slab = vec![0.0f32; support.len() * d];
+        spmm_tn_packed_f32_with_pool(&pool, &y, &x, &map, &mut slab);
+        for (i, &c) in support.iter().enumerate() {
+            assert_eq!(
+                bits(&slab[i * d..(i + 1) * d]),
+                bits(full.row(c as usize)),
+                "packed f32 row {c}"
+            );
+        }
+    }
+}

@@ -21,17 +21,21 @@
 //!   bit-for-bit determinism contract, running on the persistent
 //!   [`pool::WorkerPool`] shared with the simulated cluster's stages.
 //!
-//! The numeric scalar is `f64` throughout; the paper's workloads are
-//! communication-bound, so there is nothing to gain from `f32` here.
+//! The default numeric scalar is `f64` throughout. The [`precision`]
+//! ladder adds opt-in reduced-precision arms for the hot EM kernels
+//! ([`kernels_f32`]), each bitwise-reproducible across worker counts;
+//! `f64` remains the reference every arm is measured against.
 
 pub mod bytes;
 pub mod dense;
 pub mod error;
 pub mod io;
 pub mod kernels;
+pub mod kernels_f32;
 pub mod norms;
 pub mod ops;
 pub mod pool;
+pub mod precision;
 pub mod rng;
 pub mod scratch;
 pub mod sparse;
@@ -41,7 +45,9 @@ pub mod wire;
 pub mod decomp;
 
 pub use bytes::ByteSized;
-pub use wire::{Sizing, Wire, WireError, WireReader};
+pub use kernels_f32::MatF32;
+pub use precision::{bf16_round, Precision};
+pub use wire::{Sizing, Wire, WireCodec, WireError, WireReader};
 pub use dense::Mat;
 pub use error::LinalgError;
 pub use pool::WorkerPool;

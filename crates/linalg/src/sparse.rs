@@ -106,6 +106,36 @@ impl SparseMat {
         SparseMat { rows, cols, indptr, indices, values }
     }
 
+    /// CSR row pointers (`indptr[r]..indptr[r+1]` spans row `r`): the
+    /// cumulative-nnz table the kernels' load-balanced splits binary
+    /// search.
+    #[inline]
+    pub(crate) fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// All stored non-zero values in CSR order (row-major, ascending
+    /// column within each row) — the wire codec's payload view.
+    #[inline]
+    pub(crate) fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// A copy with `f` applied to every stored value — the precision
+    /// ladder's input-rounding hook. The structure (`indptr`/`indices`)
+    /// is cloned unchanged: values that map to `0.0` stay as explicit
+    /// entries, so row shapes and the kernels' nnz-balanced splits are
+    /// identical to the source matrix.
+    pub fn map_values(&self, f: impl Fn(f64) -> f64) -> SparseMat {
+        SparseMat {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
     /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {

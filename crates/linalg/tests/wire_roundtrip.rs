@@ -14,7 +14,10 @@
 //! reproduce deterministically.
 
 use linalg::bytes::SparseUpdate;
-use linalg::wire::{decode_framed, encode_framed, framed_size, Wire};
+use linalg::wire::{
+    decode_framed, decode_framed_v3, encode_framed, encode_framed_v3, framed_size, framed_size_v3,
+    Wire,
+};
 use linalg::{Mat, Prng, SparseMat};
 
 fn iters() -> u64 {
@@ -213,6 +216,116 @@ fn framed_blobs_roundtrip_and_size_contract_holds() {
         assert_eq!(blob.len() as u64, framed_size(&m));
         let back: Mat = decode_framed(&blob).expect("framed decode");
         assert_bits_eq(back.data(), m.data(), "framed Mat");
+    }
+}
+
+/// Encodes via the v3 fast path, checks the size contract, decodes.
+fn roundtrip_v3<T: Wire>(v: &T, quantize: bool) -> T {
+    let bytes = v.encode_v3(quantize);
+    assert_eq!(
+        bytes.len() as u64,
+        v.encoded_size_v3(quantize),
+        "encoded_size_v3() must equal encode_v3().len()"
+    );
+    T::decode_v3(&bytes).expect("v3 decode of a fresh encoding must succeed")
+}
+
+/// Lossless v3 is bitwise: the integral fast mode only fires when the
+/// zigzag re-expansion reproduces the exact f64 bits, so -0.0, NaN and
+/// subnormals all fall back to raw mode and survive untouched.
+#[test]
+fn v3_lossless_roundtrip_is_bitwise() {
+    let mut rng = Prng::seed_from_u64(0x51ca_000a);
+    for _ in 0..iters() {
+        let v: Vec<f64> = (0..rng.index(64)).map(|_| edge_f64(&mut rng)).collect();
+        assert_bits_eq(&roundtrip_v3(&v, false), &v, "Vec<f64> v3");
+
+        // Integral-heavy vectors hit the zigzag mode; verify it too.
+        let ints: Vec<f64> =
+            (0..1 + rng.index(32)).map(|_| (rng.next_u64() >> 40) as f64 - 8000.0).collect();
+        assert_bits_eq(&roundtrip_v3(&ints, false), &ints, "Vec<f64> v3 INT");
+
+        let m = Mat::from_fn(rng.index(6), rng.index(6), |_, _| edge_f64(&mut rng));
+        assert_bits_eq(roundtrip_v3(&m, false).data(), m.data(), "Mat v3");
+    }
+    let mut rng = Prng::seed_from_u64(0x51ca_000b);
+    for _ in 0..iters() {
+        let rows = 1 + rng.index(10);
+        let cols = 1 + rng.index(600);
+        let entries: Vec<Vec<(u32, f64)>> = (0..rows)
+            .map(|_| {
+                let k = rng.index((cols / 4).max(2));
+                rng.sample_indices(cols, k)
+                    .into_iter()
+                    .map(|c| {
+                        let mut v = edge_f64(&mut rng);
+                        if v == 0.0 {
+                            v = 1.0;
+                        }
+                        (c as u32, v)
+                    })
+                    .collect()
+            })
+            .collect();
+        let m = SparseMat::from_rows(rows, cols, entries);
+        assert_sparse_bits_eq(&roundtrip_v3(&m, false), &m);
+    }
+}
+
+/// The quantized arm rounds each value through f32 — exactly the
+/// `f64::from(v as f32)` the decoder applies, nothing else.
+#[test]
+fn v3_quantized_roundtrip_matches_f32_rounding() {
+    let mut rng = Prng::seed_from_u64(0x51ca_000c);
+    for _ in 0..iters() {
+        let v: Vec<f64> = (0..rng.index(48)).map(|_| rng.normal() * 1e3).collect();
+        let back = roundtrip_v3(&v, true);
+        let expect: Vec<f64> = v.iter().map(|&x| f64::from(x as f32)).collect();
+        assert_bits_eq(&back, &expect, "Vec<f64> v3 quantized");
+    }
+}
+
+#[test]
+fn v3_framed_blobs_roundtrip_and_size_contract_holds() {
+    let mut rng = Prng::seed_from_u64(0x51ca_000d);
+    for _ in 0..iters().min(16) {
+        let m = Mat::from_fn(1 + rng.index(4), 1 + rng.index(4), |_, _| edge_f64(&mut rng));
+        let blob = encode_framed_v3(&m, false);
+        assert_eq!(blob.len() as u64, framed_size_v3(&m, false));
+        let back: Mat = decode_framed_v3(&blob).expect("framed v3 decode");
+        assert_bits_eq(back.data(), m.data(), "framed v3 Mat");
+    }
+}
+
+/// Same crash-safety bound as the v1 decoder: damaged v3 bytes must
+/// return, never panic or hang — bitpacked widths and payload mode tags
+/// are both attacker-controlled here.
+#[test]
+fn v3_decoder_survives_truncation_and_corruption() {
+    let mut rng = Prng::seed_from_u64(0x51ca_000e);
+    for _ in 0..iters() {
+        let m = SparseMat::from_triplets(
+            4,
+            512,
+            &[(0, 2, 1.0), (1, 0, -2.5), (1, 505, f64::NAN), (3, 77, 1e300)],
+        );
+        let mut bytes = m.encode_v3(rng.index(2) == 0);
+        match rng.index(3) {
+            0 => {
+                bytes.truncate(rng.index(bytes.len()));
+            }
+            1 => {
+                let i = rng.index(bytes.len());
+                bytes[i] ^= 1 << rng.index(8);
+            }
+            _ => {
+                bytes.push(rng.next_u64() as u8);
+            }
+        }
+        let _ = SparseMat::decode_v3(&bytes);
+        let _ = Mat::decode_v3(&bytes);
+        let _ = Vec::<f64>::decode_v3(&bytes);
+        let _ = SparseUpdate::decode_v3(&bytes);
     }
 }
 

@@ -79,8 +79,11 @@ impl<'a> MapReduceEngine<'a> {
         }
         self.cluster.advance_time(self.job_overhead_secs);
         // Byte meters price records under the cluster's sizing policy:
-        // real encoded lengths by default.
+        // real encoded lengths by default. Shuffle-family records (map
+        // emits, spills, the shuffle itself) additionally go through the
+        // negotiated wire codec; input splits stay exact v2.
         let sizing = self.cluster.sizing();
+        let codec = self.cluster.wire_codec();
 
         // ---- Map stage (with per-mapper combine, inside the timed task).
         type MapOut<K, V> = (Vec<(K, V)>, u64, usize);
@@ -89,7 +92,8 @@ impl<'a> MapReduceEngine<'a> {
             .map(|p| {
                 move || -> MapOut<J::Key, J::Value> {
                     let combiner = |k: &J::Key, vs: Vec<J::Value>| job.combine(k, vs);
-                    let mut emitter = Emitter::with_combiner(&combiner).with_sizing(sizing);
+                    let mut emitter =
+                        Emitter::with_combiner(&combiner).with_sizing(sizing).with_codec(codec);
                     job.map(p, &mut emitter);
                     let (pairs, bytes, records) = emitter.into_parts();
                     // Per-mapper grouping + combine.
@@ -124,8 +128,12 @@ impl<'a> MapReduceEngine<'a> {
         for (pairs, bytes, records) in map_outputs {
             stats.map_emit_bytes += bytes;
             stats.map_emit_records += records;
-            stats.shuffle_bytes +=
-                pairs.iter().map(|(k, v)| sizing.size_of(k) + sizing.size_of(v)).sum::<u64>();
+            stats.shuffle_bytes += pairs
+                .iter()
+                .map(|(k, v)| {
+                    codec.shuffle_size_of(sizing, k) + codec.shuffle_size_of(sizing, v)
+                })
+                .sum::<u64>();
             all_pairs.extend(pairs);
         }
         // Mapper spill to local disk at pre-combine size; shuffle over the

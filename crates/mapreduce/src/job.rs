@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use linalg::wire::Sizing;
+use linalg::wire::{Sizing, WireCodec};
 use linalg::Wire;
 
 /// How many buffered records trigger an in-memory spill-combine.
@@ -18,13 +18,17 @@ type CombineFn<'a, K, V> = &'a dyn Fn(&K, Vec<V>) -> Vec<V>;
 /// Collects the `(key, value)` pairs a mapper emits and meters their wire
 /// size at emission time — the "map output bytes" Hadoop counter. Sizes
 /// are real `wire` encoded lengths (or the legacy `ByteSized` estimate,
-/// per the cluster's [`Sizing`] policy).
+/// per the cluster's [`Sizing`] policy), priced under the cluster's
+/// negotiated shuffle [`WireCodec`]: map output is shuffle-family data, so
+/// the v3 fast path applies here (input splits and DFS blocks stay exact
+/// v2).
 pub struct Emitter<'a, K, V> {
     pairs: Vec<(K, V)>,
     bytes: u64,
     records: usize,
     combiner: Option<CombineFn<'a, K, V>>,
     sizing: Sizing,
+    codec: WireCodec,
 }
 
 impl<K: Wire + Ord + Clone, V: Wire> Emitter<'_, K, V> {
@@ -37,6 +41,7 @@ impl<K: Wire + Ord + Clone, V: Wire> Emitter<'_, K, V> {
             records: 0,
             combiner: None,
             sizing: Sizing::Encoded,
+            codec: WireCodec::V2,
         }
     }
 
@@ -49,6 +54,7 @@ impl<K: Wire + Ord + Clone, V: Wire> Emitter<'_, K, V> {
             records: 0,
             combiner: Some(combiner),
             sizing: Sizing::Encoded,
+            codec: WireCodec::V2,
         }
     }
 
@@ -59,9 +65,17 @@ impl<K: Wire + Ord + Clone, V: Wire> Emitter<'_, K, V> {
         self
     }
 
+    /// Builder-style override of the shuffle codec (the engine passes its
+    /// cluster's negotiated one).
+    pub fn with_codec(mut self, codec: WireCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+
     /// Emits one pair.
     pub fn emit(&mut self, key: K, value: V) {
-        self.bytes += self.sizing.size_of(&key) + self.sizing.size_of(&value);
+        self.bytes += self.codec.shuffle_size_of(self.sizing, &key)
+            + self.codec.shuffle_size_of(self.sizing, &value);
         self.records += 1;
         self.pairs.push((key, value));
         if self.combiner.is_some() && self.pairs.len() >= SPILL_THRESHOLD {

@@ -389,13 +389,18 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
     /// accumulator bytes, then [`tree_merge`] the partials (pairwise rounds
     /// — a function of the partition count only, so any worker count
     /// produces the same result).
+    ///
+    /// Partial accumulators are shuffle-family records, so they are priced
+    /// under the cluster's negotiated wire codec — the one charge site in
+    /// sparkle where the v3 fast path applies. Collects, broadcasts and
+    /// persisted partitions stay on exact v2 pricing.
     fn reduce_partials<A, FI, FM>(&self, partials: Vec<A>, init: FI, merge: FM) -> (A, u64)
     where
         A: Wire,
         FI: Fn() -> A,
         FM: Fn(&mut A, A),
     {
-        let bytes: u64 = partials.iter().map(|p| self.cluster.wire_size(p)).sum();
+        let bytes: u64 = partials.iter().map(|p| self.cluster.shuffle_size(p)).sum();
         self.cluster.charge_network(bytes);
         if obs::enabled() {
             self.cluster.registry().counter("sparkle.accumulator_bytes").add(bytes);

@@ -14,6 +14,18 @@ cd "$(dirname "$0")/.."
 TRACE_DIR="${TRACE_DIR:-/tmp/spca-traces}"
 mkdir -p "$TRACE_DIR"
 
+# Every benchmark artifact the docs reference must actually be committed —
+# a BENCH_*.json mentioned in README/DESIGN but absent at the repo root
+# fails the gate (this is how BENCH_faults.json went missing once).
+missing=0
+for ref in $(grep -ohE 'BENCH_[A-Za-z0-9_]+\.json' README.md DESIGN.md | sort -u); do
+    if [[ ! -f "$ref" ]]; then
+        echo "ci: docs reference $ref but it is not committed at the repo root" >&2
+        missing=1
+    fi
+done
+[[ "$missing" -eq 0 ]] || exit 1
+
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo test -q --release --offline --workspace
@@ -24,8 +36,16 @@ cargo run --release --offline -p spca-bench --bin bench_kernels -- \
     --smoke --out /tmp/BENCH_kernels_smoke.json --trace "$TRACE_DIR/bench_kernels.json"
 cargo run --release --offline -p spca-bench --bin bench_em -- \
     --smoke --out "$TRACE_DIR/BENCH_em.json" --trace "$TRACE_DIR/bench_em.json"
+# Per-arm smoke runs of the precision ladder: each asserts worker-count
+# bit-determinism of its own arm and records speedup/divergence vs f64.
+cargo run --release --offline -p spca-bench --bin bench_em -- \
+    --smoke --precision f32 --out "$TRACE_DIR/BENCH_em_f32.json"
+cargo run --release --offline -p spca-bench --bin bench_em -- \
+    --smoke --precision bf16 --out "$TRACE_DIR/BENCH_em_bf16.json"
 cargo run --release --offline -p spca-bench --bin bench_faults -- \
     --smoke --out "$TRACE_DIR/BENCH_faults.json"
+# bench_wire covers the codec arms (v2/v3/v3q) per record family in one
+# run and asserts the v3 2x bar on sparse shuffle records internally.
 cargo run --release --offline -p spca-bench --bin bench_wire -- \
     --smoke --out "$TRACE_DIR/BENCH_wire.json"
 cargo run --release --offline -p spca-bench --bin trace_report -- \
@@ -33,6 +53,7 @@ cargo run --release --offline -p spca-bench --bin trace_report -- \
 cargo run --release --offline -p spca-bench --bin trace_check -- \
     "$TRACE_DIR/bench_kernels.json" "$TRACE_DIR/bench_em.json" \
     "$TRACE_DIR/trace_report.json" \
-    --plain "$TRACE_DIR/BENCH_em.json" "$TRACE_DIR/BENCH_faults.json" \
+    --plain "$TRACE_DIR/BENCH_em.json" "$TRACE_DIR/BENCH_em_f32.json" \
+    "$TRACE_DIR/BENCH_em_bf16.json" "$TRACE_DIR/BENCH_faults.json" \
     "$TRACE_DIR/BENCH_wire.json"
 echo "ci: all gates passed (traces in $TRACE_DIR)"

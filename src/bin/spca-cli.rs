@@ -38,6 +38,7 @@ usage:
   spca-cli info -i FILE
   spca-cli fit -i DATA -o MODEL [-d N] [--engine spark|mapreduce]
            [--iters N] [--seed N] [--nodes N] [--partitions N]
+           [--precision f64|f32|bf16] [--codec v2|v3|v3q]
   spca-cli transform -i DATA -m MODEL -o OUT
   spca-cli likelihood -i DATA -m MODEL";
 
@@ -159,10 +160,21 @@ fn fit(args: &Args<'_>) -> Result<(), String> {
     let nodes: usize = args.numeric("nodes", 8)?;
     let engine = args.flag("engine").unwrap_or("spark");
 
-    let cluster = SimCluster::new(ClusterConfig::paper_cluster().with_nodes(nodes));
+    let mut cluster_cfg = ClusterConfig::paper_cluster().with_nodes(nodes);
+    if let Some(codec) = args.flag("codec") {
+        let codec = linalg::WireCodec::parse(codec)
+            .ok_or_else(|| format!("--codec: unknown codec {codec:?} (use v2|v3|v3q)"))?;
+        cluster_cfg = cluster_cfg.with_wire_codec(codec);
+    }
+    let cluster = SimCluster::new(cluster_cfg);
     let mut config = SpcaConfig::new(d).with_max_iters(iters).with_seed(seed);
     if let Some(parts) = args.flag("partitions") {
         config = config.with_partitions(parts.parse().map_err(|e| format!("--partitions: {e}"))?);
+    }
+    if let Some(precision) = args.flag("precision") {
+        let precision = linalg::Precision::parse(precision)
+            .ok_or_else(|| format!("--precision: unknown arm {precision:?} (use f64|f32|bf16)"))?;
+        config = config.with_precision(precision);
     }
 
     let run = match engine {
