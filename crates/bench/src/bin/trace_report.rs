@@ -163,6 +163,36 @@ fn main() {
         fmt_secs(saved.mean() * saved.count() as f64),
     );
 
+    // Critical-path profile: reconstruct the per-iteration causality chain
+    // from the segment events and attribute every window's makespan to
+    // cpu / scheduler / network / disk / recovery / idle.
+    println!("\n-- critical path: per-window makespan attribution --");
+    let profiles = obs::critpath::analyze(&collector.events());
+    print!("{}", obs::critpath::render(&profiles));
+    for p in &profiles {
+        for w in p.iterations.iter().chain(p.run.iter()) {
+            let makespan = w.makespan_us();
+            assert!(
+                w.path_us() <= makespan,
+                "{}/{}: critical path {}us exceeds makespan {}us",
+                p.name,
+                w.label,
+                w.path_us(),
+                makespan
+            );
+            assert_eq!(
+                w.attribution.total_us(),
+                makespan,
+                "{}/{}: category attribution must sum to the makespan",
+                p.name,
+                w.label
+            );
+        }
+    }
+
+    if let Some(warning) = obs::report::dropped_warning(collector.dropped()) {
+        print!("{warning}");
+    }
     println!("\n-- span tree (virtual + host clock domains) --");
     let spark_reg = spark_cluster.registry();
     let mr_reg = mr_cluster.registry();

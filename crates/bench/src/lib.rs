@@ -12,6 +12,7 @@
 //! axes. Absolute numbers differ; the comparisons are about *shape*.
 
 pub mod cli;
+pub mod gate;
 pub mod plot;
 
 use dcluster::{ClusterConfig, SimCluster};

@@ -142,6 +142,32 @@ impl SpcaConfig {
         self.crash_at_iteration = Some(iter);
         self
     }
+
+    /// Stable key/value description of the config for run ledgers. Every
+    /// knob that can change the fitted model or the run's shape appears;
+    /// optional knobs render as "none" when disabled so two fingerprints
+    /// always have the same keys.
+    pub fn fingerprint(&self) -> Vec<(String, String)> {
+        let opt_usize = |v: Option<usize>| v.map_or("none".to_string(), |x| x.to_string());
+        let opt_f64 = |v: Option<f64>| v.map_or("none".to_string(), |x| format!("{x}"));
+        vec![
+            ("spca.checkpoint_every".into(), opt_usize(self.checkpoint_every)),
+            ("spca.components".into(), self.components.to_string()),
+            ("spca.error_sample_rows".into(), self.error_sample_rows.to_string()),
+            ("spca.max_iters".into(), self.max_iters.to_string()),
+            ("spca.partitions".into(), opt_usize(self.partitions)),
+            ("spca.precision".into(), self.precision.label().to_string()),
+            ("spca.rel_tolerance".into(), opt_f64(self.rel_tolerance)),
+            ("spca.seed".into(), self.seed.to_string()),
+            (
+                "spca.smart_guess".into(),
+                self.smart_guess.as_ref().map_or("none".to_string(), |sg| {
+                    format!("{}x{}", sg.sample_fraction, sg.iterations)
+                }),
+            ),
+            ("spca.target_error".into(), opt_f64(self.target_error)),
+        ]
+    }
 }
 
 #[cfg(test)]

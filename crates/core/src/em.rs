@@ -80,8 +80,13 @@ pub fn run_em(
         return Err(SpcaError::TooManyComponents { requested: d, available: d_in.min(n) });
     }
 
-    let start_time = cluster.metrics().virtual_time_secs;
-    let start_intermediate = cluster.metrics().intermediate_bytes;
+    let start_metrics = cluster.metrics();
+    let start_time = start_metrics.virtual_time_secs;
+    let start_intermediate = start_metrics.intermediate_bytes;
+    // Run-ledger capture: skipped entirely (no record construction) when
+    // no sink is installed.
+    let ledger_on = obs::ledger::sink_enabled();
+    let mut ledger_rows: Vec<obs::ledger::IterationRow> = Vec::new();
 
     let _run_host_span = obs::span_lazy("run", || format!("run_em N={n} D={d_in} d={d}"));
     if obs::enabled() {
@@ -136,6 +141,7 @@ pub fn run_em(
     }
 
     for iter in start_iter..=config.max_iters {
+        let iter_cat_start = cluster.category_time_us();
         if obs::enabled() {
             cluster.trace_begin("iteration", &format!("iteration {iter}"), Vec::new());
         }
@@ -193,25 +199,50 @@ pub fn run_em(
 
         // Convergence telemetry: the paper's 1 − ss·N·D/‖Y−mean‖²_F
         // objective plus the sampled error, plotted against virtual time.
+        let objective = 1.0 - ss * (n as f64) * (d_in as f64) / ss1;
+        // Reduced-precision arms: track how far this iteration's arm
+        // drifts from the f64 reference on the (uncharged) error sample —
+        // the divergence meter the precision ladder is judged by. One
+        // small local block, never shipped.
+        let divergence = if config.precision != linalg::Precision::F64
+            && (obs::enabled() || ledger_on)
+        {
+            precision_divergence(error_sample, &cm, &xm, d, config.precision)
+        } else {
+            f64::NAN
+        };
+        // Per-category time this iteration spent, by diffing the cluster's
+        // category meters across the iteration.
+        let iter_cat_end = cluster.category_time_us();
+        let mut cat_us = [0u64; 5];
+        for (i, slot) in cat_us.iter_mut().enumerate() {
+            *slot = iter_cat_end[i].saturating_sub(iter_cat_start[i]);
+        }
         if obs::enabled() {
-            let objective = 1.0 - ss * (n as f64) * (d_in as f64) / ss1;
             cluster.trace_counter("em.error", error);
             cluster.trace_counter("em.ss", ss);
             cluster.trace_counter("em.objective", objective);
-            // Reduced-precision arms: track how far this iteration's arm
-            // drifts from the f64 reference on the (uncharged) error
-            // sample — the divergence meter the precision ladder is
-            // judged by. One small local block, never shipped.
             if config.precision != linalg::Precision::F64 {
-                let divergence =
-                    precision_divergence(error_sample, &cm, &xm, d, config.precision);
                 cluster.trace_counter("em.precision.divergence", divergence);
+            }
+            for (i, name) in obs::critpath::CATEGORIES.iter().enumerate() {
+                cluster.trace_counter(&format!("em.iter.{name}_secs"), cat_us[i] as f64 / 1e6);
             }
             cluster.trace_end(
                 "iteration",
                 &format!("iteration {iter}"),
                 vec![("error", error.into()), ("objective", objective.into())],
             );
+        }
+        if ledger_on {
+            ledger_rows.push(obs::ledger::IterationRow {
+                iteration: iter as u64,
+                error,
+                objective,
+                divergence,
+                virtual_secs: cluster.metrics().virtual_time_secs - start_time,
+                cat_us,
+            });
         }
 
         // Iteration-boundary checkpoint: the complete driver state after
@@ -257,8 +288,40 @@ pub fn run_em(
         cluster.trace_end("run", "run_em", vec![("iterations", (iterations.len() as u64).into())]);
     }
     let end = cluster.metrics();
+    let model = PcaModel::new(c, mean, ss);
+    if ledger_on {
+        let mut fingerprint = config.fingerprint();
+        fingerprint.extend(cluster.config().fingerprint());
+        fingerprint.push(("engine".to_string(), cluster.trace_label()));
+        fingerprint.sort();
+        let mut attribution_us = [0u64; 5];
+        for (i, slot) in attribution_us.iter_mut().enumerate() {
+            *slot = end.time_us[i].saturating_sub(start_metrics.time_us[i]);
+        }
+        obs::ledger::record_run(obs::ledger::RunRecord {
+            label: cluster.trace_label(),
+            config: fingerprint,
+            model_hash: format!("{:016x}", model.content_hash()),
+            iterations_run: iterations.len() as u64,
+            final_error: iterations.last().map_or(f64::INFINITY, |s| s.error),
+            virtual_time_secs: end.virtual_time_secs - start_time,
+            bytes: vec![
+                ("network_bytes".into(), end.network_bytes - start_metrics.network_bytes),
+                (
+                    "dfs_bytes_written".into(),
+                    end.dfs_bytes_written - start_metrics.dfs_bytes_written,
+                ),
+                ("dfs_bytes_read".into(), end.dfs_bytes_read - start_metrics.dfs_bytes_read),
+                ("intermediate_bytes".into(), end.intermediate_bytes - start_intermediate),
+            ],
+            attribution_us,
+            clock_violations: end.clock_violations - start_metrics.clock_violations,
+            registry: cluster.registry().snapshot(),
+            iterations: ledger_rows,
+        });
+    }
     Ok(SpcaRun {
-        model: PcaModel::new(c, mean, ss),
+        model,
         iterations,
         virtual_time_secs: end.virtual_time_secs - start_time,
         intermediate_bytes: end.intermediate_bytes - start_intermediate,

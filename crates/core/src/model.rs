@@ -124,6 +124,34 @@ impl PcaModel {
         Ok(head / modelled.max(f64::MIN_POSITIVE))
     }
 
+    /// Content hash over the exact bit patterns of every parameter —
+    /// dimensions, `C`, `μ`, and `ss`. Two models hash equal iff they are
+    /// bitwise identical, which is the reproducibility contract the run
+    /// ledger's `model_hash` field and the perf gate check: same config on
+    /// any worker count must produce the same hash. FNV-1a, so the value
+    /// is stable across platforms and releases.
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.input_dim() as u64).to_le_bytes());
+        eat(&(self.output_dim() as u64).to_le_bytes());
+        eat(&self.ss.to_bits().to_le_bytes());
+        for v in &self.mean {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        for v in self.components.data() {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// Serializes to a small self-describing text format.
     pub fn to_text(&self) -> String {
         let mut out = String::new();

@@ -1,0 +1,123 @@
+//! Critical-path profiler invariants over real two-engine sPCA runs.
+//!
+//! 1. **Bounded path** — for every reconstructed window (each EM
+//!    iteration and the whole run) the virtual time on the critical path
+//!    never exceeds the window makespan.
+//! 2. **Exact attribution** — the per-category attribution plus idle sums
+//!    to the window makespan exactly (segments tile the virtual clock in
+//!    integer microseconds).
+//! 3. **Structural determinism** — the *structure* of the path (the
+//!    `(label, category)` sequence; durations erased) is identical across
+//!    1, 2 and 8 host workers, on both engines: segment emission is gated
+//!    on configuration, never on measured durations, so the profiler's
+//!    story about a run cannot depend on the machine that produced it.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use dcluster::{ClusterConfig, SimCluster};
+use linalg::{Prng, WorkerPool};
+use spca_core::{Spca, SpcaConfig};
+
+/// The obs collector is process-global; tests that install one must not
+/// overlap (cargo runs `#[test]`s on parallel threads).
+static COLLECTOR_LOCK: Mutex<()> = Mutex::new(());
+
+fn collector_guard() -> MutexGuard<'static, ()> {
+    COLLECTOR_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn fit_config() -> SpcaConfig {
+    SpcaConfig::new(4).with_max_iters(3).with_partitions(8).with_seed(11)
+}
+
+/// Runs both engines with tracing on `workers` host threads and returns
+/// the per-process profiles (Spark's first, then MapReduce's).
+fn profiles_with_workers(workers: usize) -> Vec<obs::critpath::ProcessProfile> {
+    let collector = obs::install_new();
+    let y = datasets::tweets::generate(600, 150, &mut Prng::seed_from_u64(3));
+    let cfg = ClusterConfig::paper_cluster().with_nodes(2).with_cores_per_node(2);
+
+    let spark = SimCluster::new_with_pool(cfg.clone(), Arc::new(WorkerPool::new(workers)));
+    Spca::new(fit_config()).fit_spark(&spark, &y).expect("spark fit");
+    let mr = SimCluster::new_with_pool(cfg, Arc::new(WorkerPool::new(workers)));
+    Spca::new(fit_config()).fit_mapreduce(&mr, &y).expect("mapreduce fit");
+
+    let profiles = obs::critpath::analyze(&collector.events());
+    let _ = obs::uninstall();
+    assert_eq!(collector.dropped(), 0, "test trace must not overflow");
+    profiles
+}
+
+#[test]
+fn path_is_bounded_and_attribution_is_exact_on_both_engines() {
+    let _guard = collector_guard();
+    let profiles = profiles_with_workers(2);
+    assert_eq!(profiles.len(), 2, "one profile per engine cluster");
+
+    for p in &profiles {
+        assert_eq!(p.iterations.len(), 3, "{}: one window per EM iteration", p.name);
+        let run = p.run.as_ref().expect("run window");
+        for w in p.iterations.iter().chain([run]) {
+            let makespan = w.makespan_us();
+            assert!(makespan > 0, "{}/{}: empty window", p.name, w.label);
+            assert!(
+                w.path_us() <= makespan,
+                "{}/{}: path {}us exceeds makespan {}us",
+                p.name,
+                w.label,
+                w.path_us(),
+                makespan
+            );
+            assert_eq!(
+                w.attribution.total_us(),
+                makespan,
+                "{}/{}: attribution must sum to the makespan exactly",
+                p.name,
+                w.label
+            );
+            assert!(!w.path.is_empty(), "{}/{}: no segments on the path", p.name, w.label);
+        }
+        // Iteration windows partition the run's iterations: each path node
+        // of an iteration also lies inside the run window.
+        let iter_path: usize = p.iterations.iter().map(|w| w.path.len()).sum();
+        assert!(
+            run.path.len() >= iter_path,
+            "{}: run path ({} nodes) must cover the iteration paths ({} nodes)",
+            p.name,
+            run.path.len(),
+            iter_path
+        );
+    }
+
+    // The engines genuinely differ: MapReduce routes intermediate data
+    // through disk, Spark does not.
+    let disk = obs::critpath::category_index("disk").unwrap();
+    let spark_disk: u64 = profiles[0].run.as_ref().unwrap().attribution.cat_us[disk];
+    let mr_disk: u64 = profiles[1].run.as_ref().unwrap().attribution.cat_us[disk];
+    assert!(mr_disk > spark_disk, "MapReduce must charge more disk than Spark");
+}
+
+#[test]
+fn path_structure_is_identical_across_host_worker_counts() {
+    let _guard = collector_guard();
+    let reference = profiles_with_workers(1);
+    for workers in [2, 8] {
+        let other = profiles_with_workers(workers);
+        assert_eq!(reference.len(), other.len());
+        for (a, b) in reference.iter().zip(&other) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.iterations.len(), b.iterations.len());
+            for (wa, wb) in a.iterations.iter().zip(&b.iterations) {
+                assert_eq!(
+                    wa.structure(),
+                    wb.structure(),
+                    "{}/{}: path structure must not depend on host workers (1 vs {workers})",
+                    a.name,
+                    wa.label
+                );
+            }
+            let (ra, rb) = (a.run.as_ref().unwrap(), b.run.as_ref().unwrap());
+            assert_eq!(ra.structure(), rb.structure(), "{}: run structure", a.name);
+        }
+    }
+}

@@ -25,8 +25,8 @@ use linalg::WorkerPool;
 use crate::config::ClusterConfig;
 use crate::faults::{quantile, ActivePlan, CacheEntry, FaultDomain, FaultPlan, FaultSpec, RecoveryEvent};
 use crate::hdfs::Dfs;
-use crate::metrics::{Metrics, MetricsSnapshot, StageRecord};
-use crate::scheduler::makespan;
+use crate::metrics::{Metrics, MetricsSnapshot, StageRecord, TimeCategory};
+use crate::scheduler::{makespan, makespan_with_critical};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Errors surfaced by the cluster.
@@ -139,6 +139,13 @@ pub struct SimCluster {
     /// key on this, never on virtual time — stage indices are a pure
     /// function of the workload, virtual durations are measured host time.
     stage_seq: AtomicU64,
+    /// Sequence source for critical-path segments (starts at 1; 0 means
+    /// "no predecessor").
+    segment_seq: AtomicU64,
+    /// Sequence number of the most recently emitted segment — the `prev`
+    /// causality edge of the next one. The cluster is driver-sequential,
+    /// so the chain is the critical path.
+    last_segment: AtomicU64,
     /// Fault plan, recovery log, and cache registry. Never held across
     /// the metrics or DFS locks.
     faults: Mutex<FaultDomain>,
@@ -188,6 +195,8 @@ impl SimCluster {
             trace: Mutex::new(TraceBinding::default()),
             dfs: Dfs::new(),
             stage_seq: AtomicU64::new(0),
+            segment_seq: AtomicU64::new(1),
+            last_segment: AtomicU64::new(0),
             faults: Mutex::new(FaultDomain::default()),
         }
     }
@@ -223,6 +232,51 @@ impl SimCluster {
     /// The virtual clock in whole microseconds (the trace time unit).
     pub fn virtual_time_us(&self) -> u64 {
         (self.metrics_lock().virtual_time_secs * 1e6) as u64
+    }
+
+    /// The label this cluster's virtual process carries in traces (empty
+    /// until [`Self::set_trace_label`] is called).
+    pub fn trace_label(&self) -> String {
+        lock_plain(&self.trace).label.clone()
+    }
+
+    /// Per-category virtual-µs totals (cpu / scheduler / network / disk /
+    /// recovery, in `obs::critpath::CATEGORIES` order). The EM driver
+    /// diffs these around each iteration for the `em.iter.*_secs` series,
+    /// and the run ledger records the run-wide totals.
+    pub fn category_time_us(&self) -> [u64; 5] {
+        self.metrics_lock().category_time_us()
+    }
+
+    /// Emits one critical-path segment: a `Phase::Complete` event (cat
+    /// `"segment"`) covering `[begin_us, end_us)` with its category and the
+    /// `seq`/`prev` causality chain. Segment ids are only consumed when a
+    /// collector is installed; emission *conditions* at every call site are
+    /// structural (config knobs, byte counts, seeded fault events — never
+    /// measured durations), so the chain's shape is identical across host
+    /// worker counts even though durations are measured.
+    fn emit_segment(
+        &self,
+        label: &str,
+        cat: TimeCategory,
+        begin_us: u64,
+        end_us: u64,
+        extra: Vec<(&'static str, obs::ArgValue)>,
+    ) {
+        if !obs::enabled() {
+            return;
+        }
+        let seq = self.segment_seq.fetch_add(1, Ordering::Relaxed);
+        let prev = self.last_segment.swap(seq, Ordering::Relaxed);
+        self.with_trace(|c, pid| {
+            let mut args = vec![
+                ("category", obs::ArgValue::Str(cat.label().to_string())),
+                ("seq", obs::ArgValue::U64(seq)),
+                ("prev", obs::ArgValue::U64(prev)),
+            ];
+            args.extend(extra);
+            c.complete(pid, "segment", label, begin_us, end_us.saturating_sub(begin_us), args);
+        });
     }
 
     /// Runs `f` with the installed collector and this cluster's virtual
@@ -422,7 +476,14 @@ impl SimCluster {
         let registry = self.registry();
         registry.counter("faults.partitions_recomputed").inc();
         registry.histogram("faults.lineage_recompute_secs").record(secs);
-        self.advance_time(secs);
+        let win = self.metrics_lock().advance_cat(secs, TimeCategory::Recovery);
+        self.emit_segment(
+            "lineage-recompute",
+            TimeCategory::Recovery,
+            win.0,
+            win.1,
+            vec![("partition", (partition as u64).into())],
+        );
         if obs::enabled() {
             self.trace_instant("fault", &format!("lineage.recompute cache={cache} p={partition}"));
         }
@@ -587,6 +648,12 @@ impl SimCluster {
                 }
             })
             .collect();
+        // Makespan of the bare measured durations and of the overhead-laden
+        // (pre-fault) schedule: the anchors of the cpu / scheduler-wait /
+        // recovery decomposition below.
+        let base_span = makespan(&durations, self.cfg.total_cores());
+        let overhead_span = makespan(&with_overhead, self.cfg.total_cores());
+        let has_fault_plan = self.faults_lock().plan.is_some();
         // Stateful fault plan: crashes, stragglers, speculation. Only the
         // schedule and the recovery log change — results never do.
         let fx = self.apply_stage_faults(stage_idx, &opts, &mut with_overhead);
@@ -610,18 +677,44 @@ impl SimCluster {
         }
         if fx.reexec_read_bytes > 0 {
             // Re-executed tasks re-read their materialized inputs.
-            self.charge_dfs_read(fx.reexec_read_bytes);
+            self.charge_dfs_read_labeled(fx.reexec_read_bytes, "reexec-read");
         }
-        let compute_secs = makespan(&with_overhead, self.cfg.total_cores());
+        let (compute_secs, critical_task) =
+            makespan_with_critical(&with_overhead, self.cfg.total_cores());
+
+        // Decompose the stage makespan into tiled categories. LPT is not
+        // monotone under duration increases (Graham anomalies), so each
+        // term is clipped to keep every part non-negative; the three parts
+        // sum to `compute_secs` exactly by construction.
+        let cpu_part = base_span.min(compute_secs);
+        let sched_anchor = overhead_span.min(compute_secs);
+        let sched_part = (sched_anchor - cpu_part).max(0.0);
+        let recovery_part = compute_secs - cpu_part.max(sched_anchor);
+        // Segment *presence* is structural: overhead/retry knobs and the
+        // fault plan are config, never measured time. When a knob is off
+        // its part is exactly 0.0 (bitwise-equal makespans), so skipping
+        // the advance changes nothing.
+        let emit_sched = opts.task_overhead_secs > 0.0 || self.cfg.task_failure_rate > 0.0;
+        let emit_recovery = has_fault_plan;
 
         let record = StageRecord { label: opts.label, tasks: n, compute_secs, cpu_secs };
         let utilization = record.utilization(self.cfg.total_cores());
-        let (begin_us, end_us);
+        let (begin_us, end_us, cpu_win, sched_win, rec_win);
         {
             let mut m = self.metrics_lock();
-            begin_us = (m.virtual_time_secs * 1e6) as u64;
-            m.advance(compute_secs);
-            end_us = (m.virtual_time_secs * 1e6) as u64;
+            cpu_win = m.advance_cat(cpu_part, TimeCategory::Cpu);
+            sched_win = if emit_sched {
+                m.advance_cat(sched_part, TimeCategory::Scheduler)
+            } else {
+                (cpu_win.1, cpu_win.1)
+            };
+            rec_win = if emit_recovery {
+                m.advance_cat(recovery_part, TimeCategory::Recovery)
+            } else {
+                (sched_win.1, sched_win.1)
+            };
+            begin_us = cpu_win.0;
+            end_us = rec_win.1;
             m.registry().histogram("stage.utilization").record(utilization);
             m.stages.push(record.clone());
         }
@@ -637,6 +730,43 @@ impl SimCluster {
                         ("cpu_secs", record.cpu_secs.into()),
                     ],
                 );
+            });
+            // Causality segments nest inside the stage span (emitted
+            // between its Begin and End): barrier first, then the waits
+            // the barrier exposed.
+            let mut cpu_args: Vec<(&'static str, obs::ArgValue)> = vec![
+                ("tasks", (n as u64).into()),
+                ("edge", "barrier".into()),
+            ];
+            if let Some(t) = critical_task {
+                cpu_args.push(("critical_task", (t as u64).into()));
+            }
+            self.emit_segment(
+                &format!("stage:{}", record.label),
+                TimeCategory::Cpu,
+                cpu_win.0,
+                cpu_win.1,
+                cpu_args,
+            );
+            if emit_sched {
+                self.emit_segment(
+                    "task-launch",
+                    TimeCategory::Scheduler,
+                    sched_win.0,
+                    sched_win.1,
+                    vec![("tasks", (n as u64).into())],
+                );
+            }
+            if emit_recovery {
+                self.emit_segment(
+                    "stage-recovery",
+                    TimeCategory::Recovery,
+                    rec_win.0,
+                    rec_win.1,
+                    vec![("crashed_nodes", (fx.crashed_nodes.len() as u64).into())],
+                );
+            }
+            self.with_trace(|c, pid| {
                 c.end_virtual(
                     pid,
                     "stage",
@@ -661,9 +791,9 @@ impl SimCluster {
         let (begin_us, end_us);
         {
             let mut m = self.metrics_lock();
-            begin_us = (m.virtual_time_secs * 1e6) as u64;
-            m.advance(secs);
-            end_us = (m.virtual_time_secs * 1e6) as u64;
+            let win = m.advance_cat(secs, TimeCategory::Cpu);
+            begin_us = win.0;
+            end_us = win.1;
             m.stages.push(StageRecord {
                 label: label.clone(),
                 tasks: 1,
@@ -674,6 +804,15 @@ impl SimCluster {
         if obs::enabled() {
             self.with_trace(|c, pid| {
                 c.begin_virtual(pid, "driver", &label, begin_us, Vec::new());
+            });
+            self.emit_segment(
+                &format!("driver:{label}"),
+                TimeCategory::Cpu,
+                begin_us,
+                end_us,
+                vec![("edge", "driver-step".into())],
+            );
+            self.with_trace(|c, pid| {
                 c.end_virtual(pid, "driver", &label, end_us, Vec::new());
             });
         }
@@ -697,26 +836,58 @@ impl SimCluster {
     /// Meters `bytes` crossing the network (shuffle traffic) and advances
     /// the clock by the transfer time at aggregate bandwidth.
     pub fn charge_network(&self, bytes: u64) {
+        self.charge_network_labeled(bytes, "network");
+    }
+
+    /// [`charge_network`](Self::charge_network) with a caller-supplied
+    /// segment label so the critical-path table names the transfer
+    /// ("shuffle", "re-replicate", ...), not just its category.
+    pub fn charge_network_labeled(&self, bytes: u64, label: &str) {
         let total;
+        let win;
         {
             let mut m = self.metrics_lock();
             m.add_network(bytes);
-            m.advance(bytes as f64 / self.network_bw());
+            win = m.advance_cat(bytes as f64 / self.network_bw(), TimeCategory::Network);
             total = m.network_bytes.get();
         }
         self.trace_counter("cluster.network_bytes", total as f64);
+        if bytes > 0 {
+            self.emit_segment(
+                label,
+                TimeCategory::Network,
+                win.0,
+                win.1,
+                vec![("bytes", bytes.into())],
+            );
+        }
     }
 
     /// Meters `bytes` written to the distributed filesystem.
     pub fn charge_dfs_write(&self, bytes: u64) {
+        self.charge_dfs_write_labeled(bytes, "dfs-write");
+    }
+
+    /// [`charge_dfs_write`](Self::charge_dfs_write) with a segment label.
+    pub fn charge_dfs_write_labeled(&self, bytes: u64, label: &str) {
         let total;
+        let win;
         {
             let mut m = self.metrics_lock();
             m.add_dfs_write(bytes);
-            m.advance(bytes as f64 / self.disk_bw());
+            win = m.advance_cat(bytes as f64 / self.disk_bw(), TimeCategory::Disk);
             total = m.dfs_bytes_written.get();
         }
         self.trace_counter("cluster.dfs_bytes_written", total as f64);
+        if bytes > 0 {
+            self.emit_segment(
+                label,
+                TimeCategory::Disk,
+                win.0,
+                win.1,
+                vec![("bytes", bytes.into())],
+            );
+        }
     }
 
     /// Meters a broadcast of `bytes` to every worker node (Spark torrent
@@ -726,31 +897,65 @@ impl SimCluster {
     pub fn charge_broadcast(&self, bytes: u64) {
         let fanout = bytes.saturating_mul(self.cfg.nodes as u64);
         let total;
+        let win;
         {
             let mut m = self.metrics_lock();
             m.add_network(fanout);
-            m.advance(fanout as f64 / self.network_bw());
+            win = m.advance_cat(fanout as f64 / self.network_bw(), TimeCategory::Network);
             total = m.network_bytes.get();
         }
         self.trace_counter("cluster.network_bytes", total as f64);
+        if fanout > 0 {
+            self.emit_segment(
+                "broadcast",
+                TimeCategory::Network,
+                win.0,
+                win.1,
+                vec![("bytes", fanout.into())],
+            );
+        }
     }
 
     /// Meters `bytes` read back from the distributed filesystem.
     pub fn charge_dfs_read(&self, bytes: u64) {
+        self.charge_dfs_read_labeled(bytes, "dfs-read");
+    }
+
+    /// [`charge_dfs_read`](Self::charge_dfs_read) with a segment label.
+    pub fn charge_dfs_read_labeled(&self, bytes: u64, label: &str) {
         let total;
+        let win;
         {
             let mut m = self.metrics_lock();
             m.add_dfs_read(bytes);
-            m.advance(bytes as f64 / self.disk_bw());
+            win = m.advance_cat(bytes as f64 / self.disk_bw(), TimeCategory::Disk);
             total = m.dfs_bytes_read.get();
         }
         self.trace_counter("cluster.dfs_bytes_read", total as f64);
+        if bytes > 0 {
+            self.emit_segment(
+                label,
+                TimeCategory::Disk,
+                win.0,
+                win.1,
+                vec![("bytes", bytes.into())],
+            );
+        }
     }
 
     /// Advances the virtual clock by a flat amount (job-initialization
-    /// overheads and the like).
+    /// overheads and the like). Charged to the scheduler category: flat
+    /// advances model framework overhead, not productive compute.
     pub fn advance_time(&self, secs: f64) {
-        self.metrics_lock().advance(secs);
+        self.advance_time_labeled(secs, "overhead");
+    }
+
+    /// [`advance_time`](Self::advance_time) with a segment label.
+    pub fn advance_time_labeled(&self, secs: f64, label: &str) {
+        let win = self.metrics_lock().advance_cat(secs, TimeCategory::Scheduler);
+        if secs > 0.0 {
+            self.emit_segment(label, TimeCategory::Scheduler, win.0, win.1, Vec::new());
+        }
     }
 
     /// Tracks a driver-side allocation against the configured driver

@@ -199,6 +199,25 @@ impl ClusterConfig {
         Ok(())
     }
 
+    /// Stable key/value description of the config for run ledgers: every
+    /// knob that can move a run's byte meters or virtual clock. Keys are
+    /// sorted by construction; values use the same labels as the CLI.
+    pub fn fingerprint(&self) -> Vec<(String, String)> {
+        vec![
+            ("cluster.byte_sizing".into(), format!("{:?}", self.byte_sizing).to_lowercase()),
+            ("cluster.cores_per_node".into(), self.cores_per_node.to_string()),
+            ("cluster.dfs_replication".into(), self.dfs_replication.to_string()),
+            ("cluster.disk_bytes_per_sec".into(), format!("{}", self.disk_bytes_per_sec)),
+            ("cluster.driver_memory".into(), self.driver_memory.to_string()),
+            ("cluster.memory_per_node".into(), self.memory_per_node.to_string()),
+            ("cluster.network_bytes_per_sec".into(), format!("{}", self.network_bytes_per_sec)),
+            ("cluster.nodes".into(), self.nodes.to_string()),
+            ("cluster.task_failure_rate".into(), format!("{}", self.task_failure_rate)),
+            ("cluster.task_retry_delay_secs".into(), format!("{}", self.task_retry_delay_secs)),
+            ("cluster.wire_codec".into(), self.wire_codec.label().to_string()),
+        ]
+    }
+
     /// Total virtual cores across the cluster.
     pub fn total_cores(&self) -> usize {
         self.nodes * self.cores_per_node

@@ -209,8 +209,8 @@ impl Dfs {
         let mut events = Vec::new();
         let mut replication_bytes = 0u64;
         for (name, bytes) in re_replicated {
-            cluster.charge_network(bytes);
-            cluster.charge_dfs_write(bytes);
+            cluster.charge_network_labeled(bytes, "re-replicate");
+            cluster.charge_dfs_write_labeled(bytes, "re-replicate");
             replication_bytes += bytes;
             events.push(RecoveryEvent::BlockReReplicated { file: name });
         }

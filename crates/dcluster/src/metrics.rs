@@ -10,6 +10,41 @@ use std::sync::Arc;
 
 use obs::registry::{Counter, Registry};
 
+/// Category a virtual-clock advance is attributed to. The critical-path
+/// profiler (`obs::critpath`) reconstructs per-iteration makespan
+/// breakdowns from these; the order matches `obs::critpath::CATEGORIES`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeCategory {
+    /// Task/driver compute (the base LPT makespan of measured durations).
+    Cpu,
+    /// Scheduler wait: task-launch overheads, retry delays, job init.
+    Scheduler,
+    /// Network transfer time (shuffles, broadcasts, re-replication).
+    Network,
+    /// DFS disk time (reads, writes, spills).
+    Disk,
+    /// Fault recovery: crash re-execution, lineage recomputation.
+    Recovery,
+}
+
+impl TimeCategory {
+    /// Index into the canonical category order.
+    pub fn index(self) -> usize {
+        match self {
+            TimeCategory::Cpu => 0,
+            TimeCategory::Scheduler => 1,
+            TimeCategory::Network => 2,
+            TimeCategory::Disk => 3,
+            TimeCategory::Recovery => 4,
+        }
+    }
+
+    /// Canonical label (matches `obs::critpath::CATEGORIES`).
+    pub fn label(self) -> &'static str {
+        obs::critpath::CATEGORIES[self.index()]
+    }
+}
+
 /// Record of one executed stage.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageRecord {
@@ -60,6 +95,10 @@ pub struct MetricsSnapshot {
     /// Times the virtual clock was asked to move backwards (the advance is
     /// dropped, not applied; a non-zero count flags an accounting bug).
     pub clock_violations: u64,
+    /// Virtual µs attributed to each [`TimeCategory`], indexed by
+    /// [`TimeCategory::index`]. Sums to the clock minus truncation
+    /// remainders and any uncategorized advances.
+    pub time_us: [u64; 5],
     /// One record per executed stage, in execution order.
     pub stages: Vec<StageRecord>,
 }
@@ -75,6 +114,9 @@ pub(crate) struct Metrics {
     pub dfs_bytes_read: Arc<Counter>,
     pub intermediate_bytes: Arc<Counter>,
     clock_violations: Arc<Counter>,
+    /// Per-category virtual-µs counters (`time.cpu_us`, …), indexed by
+    /// [`TimeCategory::index`].
+    time_us: [Arc<Counter>; 5],
     pub virtual_time_secs: f64,
     pub driver_bytes: u64,
     pub driver_peak_bytes: u64,
@@ -90,6 +132,9 @@ impl Default for Metrics {
             dfs_bytes_read: registry.counter("cluster.dfs_bytes_read"),
             intermediate_bytes: registry.counter("cluster.intermediate_bytes"),
             clock_violations: registry.counter("cluster.clock_violations"),
+            time_us: std::array::from_fn(|i| {
+                registry.counter(&format!("time.{}_us", obs::critpath::CATEGORIES[i]))
+            }),
             registry,
             virtual_time_secs: 0.0,
             driver_bytes: 0,
@@ -114,6 +159,24 @@ impl Metrics {
             return;
         }
         self.virtual_time_secs += secs;
+    }
+
+    /// Advances the clock, attributing the movement to `cat`, and returns
+    /// the `(begin_us, end_us)` window on the truncated-µs trace clock.
+    /// Consecutive categorized advances tile the clock exactly — each
+    /// window begins where the previous one ended — which is what lets the
+    /// critical-path attribution sum to the makespan with no rounding gap.
+    pub fn advance_cat(&mut self, secs: f64, cat: TimeCategory) -> (u64, u64) {
+        let begin_us = (self.virtual_time_secs * 1e6) as u64;
+        self.advance(secs);
+        let end_us = (self.virtual_time_secs * 1e6) as u64;
+        self.time_us[cat.index()].add(end_us.saturating_sub(begin_us));
+        (begin_us, end_us)
+    }
+
+    /// Per-category virtual-µs totals, indexed by [`TimeCategory::index`].
+    pub fn category_time_us(&self) -> [u64; 5] {
+        std::array::from_fn(|i| self.time_us[i].get())
     }
 
     pub fn add_network(&self, bytes: u64) {
@@ -141,6 +204,7 @@ impl Metrics {
             driver_bytes: self.driver_bytes,
             driver_peak_bytes: self.driver_peak_bytes,
             clock_violations: self.clock_violations.get(),
+            time_us: self.category_time_us(),
             stages: self.stages.clone(),
         }
     }
@@ -154,6 +218,9 @@ impl Metrics {
         self.dfs_bytes_read.reset();
         self.intermediate_bytes.reset();
         self.clock_violations.reset();
+        for c in &self.time_us {
+            c.reset();
+        }
         self.virtual_time_secs = 0.0;
         self.driver_peak_bytes = self.driver_bytes;
         self.stages.clear();
@@ -189,6 +256,33 @@ mod tests {
         m.advance(f64::NAN);
         assert!((m.virtual_time_secs - 2.0).abs() < 1e-12, "clock must not move");
         assert_eq!(m.snapshot().clock_violations, 2);
+    }
+
+    #[test]
+    fn categorized_advances_tile_the_trace_clock() {
+        let mut m = Metrics::default();
+        // Durations chosen to truncate awkwardly in µs.
+        let (b1, e1) = m.advance_cat(1.0000004, TimeCategory::Cpu);
+        let (b2, e2) = m.advance_cat(0.2500003, TimeCategory::Network);
+        let (b3, e3) = m.advance_cat(0.1, TimeCategory::Disk);
+        assert_eq!(b1, 0);
+        assert_eq!(e1, b2, "windows must tile");
+        assert_eq!(e2, b3, "windows must tile");
+        let totals = m.category_time_us();
+        assert_eq!(totals[TimeCategory::Cpu.index()], e1 - b1);
+        assert_eq!(totals[TimeCategory::Network.index()], e2 - b2);
+        assert_eq!(totals[TimeCategory::Disk.index()], e3 - b3);
+        assert_eq!(totals.iter().sum::<u64>(), e3, "categories tile the whole clock");
+        // A violating advance moves nothing and charges nothing.
+        let (vb, ve) = m.advance_cat(-1.0, TimeCategory::Recovery);
+        assert_eq!(vb, ve);
+        assert_eq!(m.category_time_us()[TimeCategory::Recovery.index()], 0);
+        assert_eq!(m.snapshot().clock_violations, 1);
+        assert_eq!(m.snapshot().time_us, m.category_time_us());
+        // Registry counters carry the same numbers.
+        assert_eq!(m.registry().counter("time.cpu_us").get(), e1 - b1);
+        m.reset();
+        assert_eq!(m.category_time_us(), [0; 5]);
     }
 
     #[test]

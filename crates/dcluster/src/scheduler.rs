@@ -9,24 +9,46 @@
 /// Makespan of scheduling `durations` onto `cores` identical cores with
 /// greedy LPT. Returns 0 for an empty task set.
 pub fn makespan(durations: &[f64], cores: usize) -> f64 {
+    makespan_with_critical(durations, cores).0
+}
+
+/// Like [`makespan`], but also identifies the **critical task**: the task
+/// (by original index) that finishes last on the makespan core — the task
+/// whose completion releases the stage barrier. The critical-path profiler
+/// attaches it to stage segments so "which task dominated this barrier" is
+/// answerable from the trace.
+pub fn makespan_with_critical(durations: &[f64], cores: usize) -> (f64, Option<usize>) {
     assert!(cores > 0, "makespan: need at least one core");
     if durations.is_empty() {
-        return 0.0;
+        return (0.0, None);
     }
-    let mut sorted: Vec<f64> = durations.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite durations"));
+    let mut order: Vec<usize> = (0..durations.len()).collect();
+    // Descending by duration, original index as the deterministic tiebreak.
+    order.sort_by(|&a, &b| {
+        durations[b].partial_cmp(&durations[a]).expect("finite durations").then(a.cmp(&b))
+    });
     // Binary-heap of core finish times would be O(n log c); with the task
     // counts this simulator sees (≤ thousands), a linear min-scan is fine.
-    let mut loads = vec![0.0_f64; cores.min(sorted.len())];
-    for d in sorted {
+    let mut loads = vec![0.0_f64; cores.min(durations.len())];
+    // Last task assigned to each core: on a single core tasks run back to
+    // back, so the last-assigned one is the one that finishes at the
+    // core's final load.
+    let mut last_task = vec![usize::MAX; loads.len()];
+    for t in order {
         let (idx, _) = loads
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
             .expect("non-empty loads");
-        loads[idx] += d;
+        loads[idx] += durations[t];
+        last_task[idx] = t;
     }
-    loads.into_iter().fold(0.0, f64::max)
+    let (max_core, span) = loads
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
+        .expect("non-empty loads");
+    (*span, Some(last_task[max_core]))
 }
 
 /// Number of scheduling waves `ceil(tasks / cores)` — used to charge
@@ -92,6 +114,21 @@ mod tests {
         let t64 = makespan(&d, 64);
         assert!((t16 / t32 - 2.0).abs() < 1e-9);
         assert!((t16 / t64 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_task_finishes_at_the_makespan() {
+        // One long task dominates: it is the critical task.
+        let d = [1.0, 10.0, 1.0, 1.0];
+        let (span, crit) = makespan_with_critical(&d, 4);
+        assert!((span - 10.0).abs() < 1e-12);
+        assert_eq!(crit, Some(1));
+        // Single core: the critical task is the last one to run — with
+        // ties broken by index, LPT runs equal tasks in index order.
+        let (span1, crit1) = makespan_with_critical(&[2.0, 2.0, 2.0], 1);
+        assert!((span1 - 6.0).abs() < 1e-12);
+        assert_eq!(crit1, Some(2));
+        assert_eq!(makespan_with_critical(&[], 4), (0.0, None));
     }
 
     #[test]

@@ -77,7 +77,7 @@ impl<'a> MapReduceEngine<'a> {
                 vec![("partitions", (partitions.len() as u64).into())],
             );
         }
-        self.cluster.advance_time(self.job_overhead_secs);
+        self.cluster.advance_time_labeled(self.job_overhead_secs, "job-init");
         // Byte meters price records under the cluster's sizing policy:
         // real encoded lengths by default. Shuffle-family records (map
         // emits, spills, the shuffle itself) additionally go through the
@@ -138,8 +138,8 @@ impl<'a> MapReduceEngine<'a> {
         }
         // Mapper spill to local disk at pre-combine size; shuffle over the
         // network at post-combine size.
-        self.cluster.charge_dfs_write(stats.map_emit_bytes);
-        self.cluster.charge_network(stats.shuffle_bytes);
+        self.cluster.charge_dfs_write_labeled(stats.map_emit_bytes, "map-spill");
+        self.cluster.charge_network_labeled(stats.shuffle_bytes, "shuffle");
 
         // ---- Sort & group (Hadoop's merge sort).
         let mut grouped: BTreeMap<J::Key, Vec<J::Value>> = BTreeMap::new();

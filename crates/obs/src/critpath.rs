@@ -1,0 +1,394 @@
+//! Critical-path reconstruction over a recorded trace.
+//!
+//! The simulated clusters are *driver-sequential*: every advance of a
+//! virtual clock — a stage barrier, a shuffle transfer, a DFS read, a
+//! recovery recompute — happens one after another on that cluster's single
+//! virtual track. Each advance is emitted as a **segment**: a
+//! [`Phase::Complete`] event (cat `"segment"`) carrying its time category,
+//! a per-cluster sequence number, and the sequence number of the segment
+//! that *caused* it (`prev`). The chain of `prev` edges is therefore the
+//! critical path of the virtual execution: within-stage task parallelism
+//! has already been collapsed by the LPT makespan (the dominating task is
+//! recorded as the `critical_task` arg on stage segments), and everything
+//! that remains is, by construction, on the path the paper's Fig. 6/7
+//! breakdowns attribute.
+//!
+//! This module rebuilds per-iteration (and whole-run) windows from the
+//! `"iteration"` / `"run"` spans, assigns each segment to the windows
+//! open around it in the event stream (see [`analyze`]), and attributes
+//! the makespan of each window to categories:
+//! cpu / scheduler-wait / network / disk / recovery / idle. Segments tile
+//! the clock in integer microseconds, so attribution sums to the window
+//! makespan *exactly* — `idle` is the part of the window no charge
+//! explains (clock truncation plus any uncharged `advance`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{ArgValue, Event, Phase};
+
+/// Category labels, in canonical order. Segment emitters, the ledger, and
+/// the report table all index categories through this list.
+pub const CATEGORIES: [&str; 5] = ["cpu", "scheduler", "network", "disk", "recovery"];
+
+/// Index of a category label in [`CATEGORIES`], `None` for unknown labels.
+pub fn category_index(label: &str) -> Option<usize> {
+    CATEGORIES.iter().position(|c| *c == label)
+}
+
+/// One node on the critical path: a single categorized clock advance.
+#[derive(Debug, Clone)]
+pub struct PathNode {
+    /// Human label (`"stage:YtX+XtX"`, `"shuffle"`, `"dfs-read"`, …).
+    pub label: String,
+    /// Index into [`CATEGORIES`].
+    pub category: usize,
+    /// Window start on the virtual clock, µs.
+    pub start_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+    /// Segment sequence number (per-cluster, starts at 1).
+    pub seq: u64,
+    /// Sequence number of the causing segment (0 = chain head).
+    pub prev: u64,
+    /// Bytes moved, for network/disk segments.
+    pub bytes: Option<u64>,
+    /// Index of the task that dominated an LPT stage barrier.
+    pub critical_task: Option<u64>,
+}
+
+/// Makespan attribution for one window: per-category µs plus idle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Attribution {
+    /// µs per category, indexed like [`CATEGORIES`].
+    pub cat_us: [u64; 5],
+    /// Window time not explained by any segment, µs.
+    pub idle_us: u64,
+}
+
+impl Attribution {
+    /// Sum over categories plus idle — equals the window makespan.
+    pub fn total_us(&self) -> u64 {
+        self.cat_us.iter().sum::<u64>() + self.idle_us
+    }
+}
+
+/// Profile of one window (an EM iteration, or the whole run).
+#[derive(Debug, Clone)]
+pub struct WindowProfile {
+    /// Window label (`"iteration 3"`, `"run_em"`).
+    pub label: String,
+    /// Window start on the virtual clock, µs.
+    pub start_us: u64,
+    /// Window end on the virtual clock, µs.
+    pub end_us: u64,
+    /// Category attribution; `attribution.total_us()` == makespan.
+    pub attribution: Attribution,
+    /// The critical path through the window, in causal order.
+    pub path: Vec<PathNode>,
+}
+
+impl WindowProfile {
+    /// Window makespan, µs.
+    pub fn makespan_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// Total virtual time on the path, µs. Never exceeds the makespan.
+    pub fn path_us(&self) -> u64 {
+        self.path.iter().map(|n| n.dur_us).sum()
+    }
+
+    /// Structural signature — the `(label, category)` sequence of the
+    /// path, with durations erased. Deterministic across host worker
+    /// counts (durations are measured; structure is config + seed).
+    pub fn structure(&self) -> Vec<(String, &'static str)> {
+        self.path.iter().map(|n| (n.label.clone(), CATEGORIES[n.category])).collect()
+    }
+}
+
+/// Per-virtual-process critical-path profile.
+#[derive(Debug, Clone)]
+pub struct ProcessProfile {
+    /// Virtual pid the profile was reconstructed from.
+    pub pid: u32,
+    /// Process label from trace metadata (e.g. `"sPCA-Spark (virtual)"`).
+    pub name: String,
+    /// One profile per EM iteration, in iteration order.
+    pub iterations: Vec<WindowProfile>,
+    /// Whole-run window, when a `"run"` span was recorded.
+    pub run: Option<WindowProfile>,
+}
+
+fn arg_u64(ev: &Event, key: &str) -> Option<u64> {
+    ev.args.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
+        ArgValue::U64(n) => Some(*n),
+        _ => None,
+    })
+}
+
+fn arg_str<'e>(ev: &'e Event, key: &str) -> Option<&'e str> {
+    ev.args.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
+        ArgValue::Str(s) => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+fn window_profile(label: String, start_us: u64, end_us: u64, path: Vec<PathNode>) -> WindowProfile {
+    let mut attribution = Attribution::default();
+    for seg in &path {
+        attribution.cat_us[seg.category] += seg.dur_us;
+    }
+    let charged: u64 = attribution.cat_us.iter().sum();
+    attribution.idle_us = end_us.saturating_sub(start_us).saturating_sub(charged);
+    WindowProfile { label, start_us, end_us, attribution, path }
+}
+
+/// A window still waiting for its `End` event, accumulating the segments
+/// emitted while it is open.
+struct OpenWindow {
+    cat: &'static str,
+    label: String,
+    start_us: u64,
+    path: Vec<PathNode>,
+}
+
+/// Reconstructs per-process critical-path profiles from recorded events.
+///
+/// Segments are assigned to windows by **event-stream position**, not by
+/// timestamp intersection: a segment belongs to every window of its pid
+/// that is open (`Begin` seen, `End` not yet) when the segment event
+/// appears. The clusters are driver-sequential, so stream order *is* the
+/// causal order — while µs-truncated timestamps can land a zero-width
+/// boundary segment on either side of two adjacent iteration windows
+/// depending on measured host durations, the stream position cannot.
+/// Timestamps are still what attribution and makespans are computed from.
+///
+/// Only virtual pids that emitted at least one segment appear; processes
+/// are ordered by pid (allocation order).
+pub fn analyze(events: &[Event]) -> Vec<ProcessProfile> {
+    let mut names: BTreeMap<u32, String> = BTreeMap::new();
+    // Per-pid stack of open windows (a run span encloses its iteration
+    // spans, so a segment inside an iteration lands in both).
+    let mut open: BTreeMap<u32, Vec<OpenWindow>> = BTreeMap::new();
+    let mut iters: BTreeMap<u32, Vec<WindowProfile>> = BTreeMap::new();
+    let mut runs: BTreeMap<u32, Vec<WindowProfile>> = BTreeMap::new();
+    // Pids that emitted at least one segment. Host-clock processes record
+    // iteration/run spans too but never segments; their windows carry no
+    // attribution signal, so they are excluded from the profile list.
+    let mut seg_pids: BTreeSet<u32> = BTreeSet::new();
+
+    for ev in events {
+        match ev.phase {
+            Phase::Metadata => {
+                if ev.name == "process_name" {
+                    if let Some((_, ArgValue::Str(label))) = ev.args.first() {
+                        names.insert(ev.pid, label.clone());
+                    }
+                }
+            }
+            Phase::Complete if ev.cat == "segment" => {
+                seg_pids.insert(ev.pid);
+                let Some(cat) = arg_str(ev, "category").and_then(category_index) else {
+                    continue;
+                };
+                let node = PathNode {
+                    label: ev.name.clone(),
+                    category: cat,
+                    start_us: ev.ts_us,
+                    dur_us: ev.dur_us,
+                    seq: arg_u64(ev, "seq").unwrap_or(0),
+                    prev: arg_u64(ev, "prev").unwrap_or(0),
+                    bytes: arg_u64(ev, "bytes"),
+                    critical_task: arg_u64(ev, "critical_task"),
+                };
+                for w in open.entry(ev.pid).or_default().iter_mut() {
+                    w.path.push(node.clone());
+                }
+            }
+            Phase::Begin if ev.cat == "iteration" || ev.cat == "run" => {
+                open.entry(ev.pid).or_default().push(OpenWindow {
+                    cat: if ev.cat == "run" { "run" } else { "iteration" },
+                    label: ev.name.clone(),
+                    start_us: ev.ts_us,
+                    path: Vec::new(),
+                });
+            }
+            Phase::End if ev.cat == "iteration" || ev.cat == "run" => {
+                let stack = open.entry(ev.pid).or_default();
+                if let Some(i) = stack.iter().rposition(|w| w.cat == ev.cat) {
+                    let w = stack.remove(i);
+                    let profile = window_profile(w.label, w.start_us, ev.ts_us, w.path);
+                    let closed = if w.cat == "run" { &mut runs } else { &mut iters };
+                    closed.entry(ev.pid).or_default().push(profile);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let pids: Vec<u32> = seg_pids.into_iter().collect();
+
+    pids.into_iter()
+        .map(|pid| {
+            let iterations = iters.remove(&pid).unwrap_or_default();
+            let run = runs.remove(&pid).unwrap_or_default().into_iter().next();
+            let name = names.get(&pid).cloned().unwrap_or_else(|| format!("process {pid}"));
+            ProcessProfile { pid, name, iterations, run }
+        })
+        .collect()
+}
+
+fn secs(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+fn push_row(out: &mut String, label: &str, makespan_us: u64, a: &Attribution, path_len: usize) {
+    out.push_str(&format!(
+        "  {label:<14} {:>10.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}  {path_len:>5}\n",
+        secs(makespan_us),
+        secs(a.cat_us[0]),
+        secs(a.cat_us[1]),
+        secs(a.cat_us[2]),
+        secs(a.cat_us[3]),
+        secs(a.cat_us[4]),
+        secs(a.idle_us),
+    ));
+}
+
+/// Renders the per-iteration critical-path table for each process. Each
+/// row's category columns (plus idle) sum to its makespan column exactly
+/// (integer-µs tiling underneath the 3-decimal rendering).
+pub fn render(profiles: &[ProcessProfile]) -> String {
+    let mut out = String::new();
+    for p in profiles {
+        if p.iterations.is_empty() && p.run.is_none() {
+            continue;
+        }
+        out.push_str(&format!("== critical path: {} (pid {}) ==\n", p.name, p.pid));
+        out.push_str(&format!(
+            "  {:<14} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  {:>5}\n",
+            "window", "makespan", "cpu", "sched", "network", "disk", "recovery", "idle", "nodes"
+        ));
+        for w in &p.iterations {
+            push_row(&mut out, &w.label, w.makespan_us(), &w.attribution, w.path.len());
+        }
+        if let Some(run) = &p.run {
+            push_row(&mut out, &run.label, run.makespan_us(), &run.attribution, run.path.len());
+        }
+        // Bottleneck line: the single longest path node of the longest
+        // iteration — "what is the bottleneck of this run", one line.
+        if let Some(w) = p.iterations.iter().max_by_key(|w| w.makespan_us()) {
+            if let Some(n) = w.path.iter().max_by_key(|n| n.dur_us) {
+                out.push_str(&format!(
+                    "  bottleneck: {} [{}] {:.3}s of {} makespan {:.3}s\n",
+                    n.label,
+                    CATEGORIES[n.category],
+                    secs(n.dur_us),
+                    w.label,
+                    secs(w.makespan_us()),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Collector;
+
+    fn seg(
+        c: &Collector,
+        pid: u32,
+        name: &str,
+        cat: &str,
+        ts: u64,
+        dur: u64,
+        seq: u64,
+        prev: u64,
+    ) {
+        c.complete(
+            pid,
+            "segment",
+            name,
+            ts,
+            dur,
+            vec![
+                ("category", ArgValue::Str(cat.to_string())),
+                ("seq", ArgValue::U64(seq)),
+                ("prev", ArgValue::U64(prev)),
+            ],
+        );
+    }
+
+    #[test]
+    fn attribution_tiles_the_window_exactly() {
+        let c = Collector::new();
+        let pid = c.alloc_virtual_pid("engine");
+        c.begin_virtual(pid, "run", "run_em", 0, vec![]);
+        c.begin_virtual(pid, "iteration", "iteration 1", 0, vec![]);
+        seg(&c, pid, "stage:ytx", "cpu", 0, 700, 1, 0);
+        seg(&c, pid, "shuffle", "network", 700, 200, 2, 1);
+        seg(&c, pid, "dfs-read", "disk", 900, 50, 3, 2);
+        c.end_virtual(pid, "iteration", "iteration 1", 1000, vec![]);
+        c.begin_virtual(pid, "iteration", "iteration 2", 1000, vec![]);
+        seg(&c, pid, "stage:ytx", "cpu", 1000, 400, 4, 3);
+        seg(&c, pid, "recompute", "recovery", 1400, 100, 5, 4);
+        c.end_virtual(pid, "iteration", "iteration 2", 1500, vec![]);
+        c.end_virtual(pid, "run", "run_em", 1500, vec![]);
+
+        let profiles = analyze(&c.events());
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert_eq!(p.iterations.len(), 2);
+
+        let it1 = &p.iterations[0];
+        assert_eq!(it1.makespan_us(), 1000);
+        assert_eq!(it1.attribution.cat_us, [700, 0, 200, 50, 0]);
+        assert_eq!(it1.attribution.idle_us, 50);
+        assert_eq!(it1.attribution.total_us(), it1.makespan_us());
+        assert!(it1.path_us() <= it1.makespan_us());
+        assert_eq!(it1.path.len(), 3);
+
+        let it2 = &p.iterations[1];
+        assert_eq!(it2.attribution.cat_us, [400, 0, 0, 0, 100]);
+        assert_eq!(it2.attribution.idle_us, 0);
+        assert_eq!(it2.attribution.total_us(), it2.makespan_us());
+
+        let run = p.run.as_ref().expect("run window");
+        assert_eq!(run.makespan_us(), 1500);
+        assert_eq!(run.path.len(), 5);
+        assert_eq!(run.attribution.total_us(), 1500);
+
+        let table = render(&profiles);
+        assert!(table.contains("iteration 1"), "{table}");
+        assert!(table.contains("bottleneck: stage:ytx [cpu]"), "{table}");
+    }
+
+    #[test]
+    fn structure_ignores_durations() {
+        let mk = |durs: [u64; 2]| {
+            let c = Collector::new();
+            let pid = c.alloc_virtual_pid("e");
+            c.begin_virtual(pid, "iteration", "iteration 1", 0, vec![]);
+            seg(&c, pid, "stage:a", "cpu", 0, durs[0], 1, 0);
+            seg(&c, pid, "shuffle", "network", durs[0], durs[1], 2, 1);
+            c.end_virtual(pid, "iteration", "iteration 1", durs[0] + durs[1], vec![]);
+            analyze(&c.events())[0].iterations[0].structure()
+        };
+        assert_eq!(mk([100, 5]), mk([9000, 123]));
+    }
+
+    #[test]
+    fn unknown_categories_and_foreign_pids_are_ignored() {
+        let c = Collector::new();
+        let pid = c.alloc_virtual_pid("e");
+        c.begin_virtual(pid, "iteration", "iteration 1", 0, vec![]);
+        seg(&c, pid, "x", "martian", 0, 10, 1, 0);
+        c.end_virtual(pid, "iteration", "iteration 1", 10, vec![]);
+        let profiles = analyze(&c.events());
+        assert_eq!(profiles[0].iterations[0].path.len(), 0);
+        assert_eq!(profiles[0].iterations[0].attribution.idle_us, 10);
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::{ArgValue, Collector, Event, Phase};
 
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for ch in s.chars() {
         match ch {
             '"' => out.push_str("\\\""),
@@ -22,7 +22,7 @@ fn escape_into(out: &mut String, s: &str) {
     }
 }
 
-fn push_f64(out: &mut String, v: f64) {
+pub(crate) fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         out.push_str(&format!("{v}"));
     } else {
@@ -195,6 +195,30 @@ mod tests {
         // The quote and backslash in the span name must be escaped.
         assert!(json.contains("stage \\\"weird\\\\name\\\""));
         crate::json::validate(&json).unwrap();
+    }
+
+    #[test]
+    fn non_finite_counter_values_export_as_valid_json() {
+        // NaN / ±Inf have no JSON literal; the exporter must stringify
+        // them ("NaN", "inf", "-inf") so trace_check never rejects a trace
+        // that recorded a pathological counter sample. Regression test:
+        // every non-finite value, as both a counter sample and a span arg.
+        let c = Collector::new();
+        let pid = c.alloc_virtual_pid("pathological");
+        for (i, v) in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY].iter().enumerate() {
+            c.counter(pid, "em.divergence", i as u64, *v);
+        }
+        c.begin_virtual(pid, "stage", "s", 10, vec![("ratio", ArgValue::F64(f64::NAN))]);
+        c.end_virtual(pid, "stage", "s", 20, vec![("peak", ArgValue::F64(f64::INFINITY))]);
+        let json = export_collector(&c);
+        crate::json::validate(&json)
+            .expect("non-finite counter values must still export as valid JSON");
+        // The values survive as strings, not bare literals.
+        assert!(json.contains("\"NaN\""), "{json}");
+        assert!(json.contains("\"inf\""), "{json}");
+        assert!(json.contains("\"-inf\""), "{json}");
+        // And the DOM parser agrees end to end.
+        crate::json::parse(&json).unwrap();
     }
 
     #[test]

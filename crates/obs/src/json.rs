@@ -1,9 +1,183 @@
-//! Tiny std-only JSON validator.
+//! Tiny std-only JSON validator and DOM parser.
 //!
 //! The CI gate runs a smoke bench with `--trace` and must confirm the
 //! emitted file *parses* without shipping a JSON crate (the workspace is
-//! dependency-free by policy). This is a strict recursive-descent
-//! recognizer for RFC 8259 JSON — it validates, it does not build a DOM.
+//! dependency-free by policy). [`validate`] is a strict recursive-descent
+//! recognizer for RFC 8259 JSON; [`parse`] is its DOM-building twin, added
+//! for the `perf_gate` regression checker which must *compare* two
+//! documents field by field, not merely accept them.
+
+/// A parsed JSON value. Object member order is preserved (ledgers are
+/// written with deterministic key order and the gate diffs them as flat
+/// dotted paths, so ordering carries no semantics but keeps output stable).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`; 64-bit hashes are ledger'd as hex
+    /// *strings* precisely because this loses integer precision past 2⁵³).
+    Num(f64),
+    /// String with escapes resolved.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `input` as exactly one JSON value into a [`Json`] DOM. Accepts
+/// the same language as [`validate`].
+pub fn parse(input: &str) -> Result<Json, String> {
+    validate(input)?;
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    // Already validated, so the builders below cannot fail structurally.
+    Ok(build(bytes, &mut pos))
+}
+
+/// Builds the DOM over an already-validated byte slice.
+fn build(b: &[u8], pos: &mut usize) -> Json {
+    match b[*pos] {
+        b'{' => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b[*pos] == b'}' {
+                *pos += 1;
+                return Json::Obj(members);
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = build_string(b, pos);
+                skip_ws(b, pos);
+                *pos += 1; // ':'
+                skip_ws(b, pos);
+                let val = build(b, pos);
+                members.push((key, val));
+                skip_ws(b, pos);
+                if b[*pos] == b',' {
+                    *pos += 1;
+                } else {
+                    *pos += 1; // '}'
+                    return Json::Obj(members);
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b[*pos] == b']' {
+                *pos += 1;
+                return Json::Arr(items);
+            }
+            loop {
+                skip_ws(b, pos);
+                items.push(build(b, pos));
+                skip_ws(b, pos);
+                if b[*pos] == b',' {
+                    *pos += 1;
+                } else {
+                    *pos += 1; // ']'
+                    return Json::Arr(items);
+                }
+            }
+        }
+        b'"' => Json::Str(build_string(b, pos)),
+        b't' => {
+            *pos += 4;
+            Json::Bool(true)
+        }
+        b'f' => {
+            *pos += 5;
+            Json::Bool(false)
+        }
+        b'n' => {
+            *pos += 4;
+            Json::Null
+        }
+        _ => {
+            let start = *pos;
+            let _ = number(b, pos);
+            let text = std::str::from_utf8(&b[start..*pos]).unwrap_or("0");
+            Json::Num(text.parse::<f64>().unwrap_or(f64::NAN))
+        }
+    }
+}
+
+fn build_string(b: &[u8], pos: &mut usize) -> String {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return out;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b[*pos] {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5]).unwrap_or("0000");
+                        let code = u32::from_str_radix(hex, 16).unwrap_or(0);
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => {}
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (validation guaranteed the input
+                // is a valid &str, so char boundaries are intact).
+                let rest = std::str::from_utf8(&b[*pos..]).unwrap_or("");
+                if let Some(c) = rest.chars().next() {
+                    out.push(c);
+                    *pos += c.len_utf8();
+                } else {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
 
 /// Validates that `input` is exactly one JSON value (plus surrounding
 /// whitespace). Returns the byte offset and a message on failure.
@@ -192,6 +366,28 @@ mod tests {
         ] {
             validate(doc).unwrap_or_else(|e| panic!("{doc:?} rejected: {e}"));
         }
+    }
+
+    #[test]
+    fn parse_builds_the_dom() {
+        let doc = r#"{"a": [1, 2.5, "x\n"], "b": {"c": null, "d": true}, "e": -3e2}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("e").and_then(Json::as_num), Some(-300.0));
+        assert_eq!(v.get("b").and_then(|b| b.get("d")), Some(&Json::Bool(true)));
+        match v.get("a") {
+            Some(Json::Arr(items)) => {
+                assert_eq!(items[0], Json::Num(1.0));
+                assert_eq!(items[2], Json::Str("x\n".to_string()));
+            }
+            other => panic!("a: {other:?}"),
+        }
+        assert!(parse("{\"k\": }").is_err());
+    }
+
+    #[test]
+    fn parse_resolves_escapes() {
+        let v = parse(r#""é\t\"q\"""#).unwrap();
+        assert_eq!(v.as_str(), Some("é\t\"q\""));
     }
 
     #[test]

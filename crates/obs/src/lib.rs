@@ -35,8 +35,10 @@
 //! violations instead of trusting callers — see
 //! [`Collector::nesting_violations`] and [`validate_nesting`].
 
+pub mod critpath;
 pub mod export;
 pub mod json;
+pub mod ledger;
 pub mod registry;
 pub mod report;
 
@@ -237,6 +239,14 @@ impl Collector {
         self.nesting_violations.load(Ordering::Relaxed)
     }
 
+    /// Counts a nesting violation, mirrored into the registry as the
+    /// `obs.nesting_violations` counter so it shows up in every rendered
+    /// snapshot and ledger, not only via the direct accessor.
+    fn note_nesting_violation(&self) {
+        self.nesting_violations.fetch_add(1, Ordering::Relaxed);
+        self.registry.counter("obs.nesting_violations").inc();
+    }
+
     /// Allocates a pid for a virtual clock domain and names its process in
     /// the exported trace.
     pub fn alloc_virtual_pid(&self, label: &str) -> u32 {
@@ -305,7 +315,7 @@ impl Collector {
             }
         };
         if !matched {
-            self.nesting_violations.fetch_add(1, Ordering::Relaxed);
+            self.note_nesting_violation();
         }
         self.record(Event {
             name: name.to_string(),
@@ -313,6 +323,34 @@ impl Collector {
             phase: Phase::End,
             ts_us,
             dur_us: 0,
+            pid,
+            tid: 0,
+            args,
+        });
+    }
+
+    /// Records a complete span (`ph:"X"`) on a virtual timeline: a
+    /// closed `[ts_us, ts_us + dur_us)` window with its duration attached.
+    /// Used for the causality segments the critical-path profiler consumes
+    /// ([`crate::critpath`]): segments are emitted *between* their enclosing
+    /// stage/driver `Begin`/`End` pair, so the text report nests them inside
+    /// the span that caused them.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &self,
+        pid: u32,
+        cat: &'static str,
+        name: &str,
+        ts_us: u64,
+        dur_us: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.record(Event {
+            name: name.to_string(),
+            cat,
+            phase: Phase::Complete,
+            ts_us,
+            dur_us,
             pid,
             tid: 0,
             args,
@@ -511,7 +549,7 @@ impl Drop for SpanGuard {
         // this one.
         let matched = HOST_STACK.with(|s| s.borrow_mut().pop().map(|top| top == inner.name));
         if matched != Some(true) {
-            inner.collector.nesting_violations.fetch_add(1, Ordering::Relaxed);
+            inner.collector.note_nesting_violation();
         }
         if let Some(flops) = inner.flops {
             let secs = (end_us.saturating_sub(inner.begin_us)) as f64 / 1e6;

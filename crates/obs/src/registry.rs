@@ -181,6 +181,33 @@ pub struct RegistrySnapshot {
     pub histograms: Vec<(String, u64, f64, f64, f64)>,
 }
 
+impl RegistrySnapshot {
+    /// Value of a counter by name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Renders every instrument as aligned text lines. Integrity counters
+    /// (`cluster.clock_violations`, `obs.nesting_violations`) render like
+    /// any other counter when present, so metric-integrity failures are
+    /// visible in CI output rather than only via accessor calls.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("  counter   {name:<32} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("  gauge     {name:<32} {v:.4}\n"));
+        }
+        for (name, count, mean, p50, p99) in &self.histograms {
+            out.push_str(&format!(
+                "  histogram {name:<32} count={count} mean={mean:.3} p50<{p50:.0} p99<{p99:.0}\n"
+            ));
+        }
+        out
+    }
+}
+
 /// Lazily-populated map of named instruments.
 #[derive(Debug, Default)]
 pub struct Registry {
@@ -237,22 +264,10 @@ impl Registry {
         }
     }
 
-    /// Renders every instrument as aligned text lines.
+    /// Renders every instrument as aligned text lines (delegates to
+    /// [`RegistrySnapshot::render`]).
     pub fn render(&self) -> String {
-        let snap = self.snapshot();
-        let mut out = String::new();
-        for (name, v) in &snap.counters {
-            out.push_str(&format!("  counter   {name:<32} {v}\n"));
-        }
-        for (name, v) in &snap.gauges {
-            out.push_str(&format!("  gauge     {name:<32} {v:.4}\n"));
-        }
-        for (name, count, mean, p50, p99) in &snap.histograms {
-            out.push_str(&format!(
-                "  histogram {name:<32} count={count} mean={mean:.3} p50<{p50:.0} p99<{p99:.0}\n"
-            ));
-        }
-        out
+        self.snapshot().render()
     }
 }
 

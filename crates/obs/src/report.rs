@@ -195,9 +195,31 @@ pub fn text_report(events: &[Event], registries: &[(&str, &Registry)]) -> String
     out
 }
 
-/// Report over everything a collector holds plus its own registry.
+/// Prominent ring-buffer-overflow banner, or `None` when nothing was
+/// dropped. Every surface that renders a trace (bench guards,
+/// `trace_report`, the run ledger) prints this so a truncated trace can
+/// never masquerade as a complete one.
+pub fn dropped_warning(dropped: u64) -> Option<String> {
+    if dropped == 0 {
+        return None;
+    }
+    Some(format!(
+        "!! WARNING: dropped={dropped} trace events (collector ring buffer overflow) — \
+         spans, counters, and critical-path segments past the capacity bound are MISSING \
+         from this trace; raise Collector::with_capacity to record everything\n"
+    ))
+}
+
+/// Report over everything a collector holds plus its own registry. Leads
+/// with the `dropped=N` overflow warning when the bounded event buffer
+/// overflowed — a silently truncated trace must be visible at first glance.
 pub fn collector_report(c: &Collector) -> String {
-    text_report(&c.events(), &[("collector", c.registry())])
+    let mut out = String::new();
+    if let Some(warning) = dropped_warning(c.dropped()) {
+        out.push_str(&warning);
+    }
+    out.push_str(&text_report(&c.events(), &[("collector", c.registry())]));
+    out
 }
 
 #[cfg(test)]
@@ -235,5 +257,24 @@ mod tests {
         c.begin_virtual(pid, "run", "dangling", 0, vec![]);
         let report = collector_report(&c);
         assert!(report.contains("dangling"));
+    }
+
+    #[test]
+    fn overflow_prints_a_prominent_dropped_warning() {
+        // Force a ring-buffer overflow: capacity clamps to 16, and the pid
+        // metadata event takes one slot, so 100 counters drop 85 — the
+        // report must lead with the dropped count.
+        let c = Collector::with_capacity(16);
+        let pid = c.alloc_virtual_pid("p");
+        for i in 0..100u64 {
+            c.counter(pid, "x", i, i as f64);
+        }
+        assert_eq!(c.dropped(), 85);
+        let report = collector_report(&c);
+        assert!(report.starts_with("!! WARNING: dropped=85"), "{report}");
+        // And a clean collector prints no warning at all.
+        let clean = Collector::new();
+        clean.counter(HOST_PID, "x", 0, 1.0);
+        assert!(!collector_report(&clean).contains("WARNING"), "spurious warning");
     }
 }

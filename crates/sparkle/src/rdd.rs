@@ -199,7 +199,7 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
                                 )
                             })
                             / slots.len().max(1) as u64;
-                        self.cluster.charge_dfs_read(share);
+                        self.cluster.charge_dfs_read_labeled(share, "lineage-reread");
                     }
                     let start = Instant::now();
                     let data = (c.lineage.recompute)(p);
@@ -233,7 +233,7 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
     /// fraction, if any.
     fn charge_spill(&self) {
         if self.spill_bytes > 0 {
-            self.cluster.charge_dfs_read(self.spill_bytes);
+            self.cluster.charge_dfs_read_labeled(self.spill_bytes, "spill-reread");
             if obs::enabled() {
                 self.cluster.registry().counter("sparkle.spill_bytes").add(self.spill_bytes);
             }
@@ -401,7 +401,7 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
         FM: Fn(&mut A, A),
     {
         let bytes: u64 = partials.iter().map(|p| self.cluster.shuffle_size(p)).sum();
-        self.cluster.charge_network(bytes);
+        self.cluster.charge_network_labeled(bytes, "accumulator-merge");
         if obs::enabled() {
             self.cluster.registry().counter("sparkle.accumulator_bytes").add(bytes);
         }
@@ -419,7 +419,7 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
             out.extend(p.iter().cloned());
         }
         let bytes: u64 = out.iter().map(|t| self.cluster.wire_size(t)).sum();
-        self.cluster.charge_network(bytes);
+        self.cluster.charge_network_labeled(bytes, "collect");
         out
     }
 

@@ -7,7 +7,9 @@
 # observability smoke: collect Chrome traces from the smoke benches and from
 # a traced two-engine sPCA run, then validate all of them with the std-only
 # trace_check (strict JSON + traceEvents key; benchmark result JSON is
-# validated via --plain).
+# validated via --plain). The fit-running producers (bench_faults,
+# trace_report, spca-cli) additionally write RUN_*.json run ledgers, which
+# perf_gate diffs against the committed baselines in results/baselines/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,17 +45,40 @@ cargo run --release --offline -p spca-bench --bin bench_em -- \
 cargo run --release --offline -p spca-bench --bin bench_em -- \
     --smoke --precision bf16 --out "$TRACE_DIR/BENCH_em_bf16.json"
 cargo run --release --offline -p spca-bench --bin bench_faults -- \
-    --smoke --out "$TRACE_DIR/BENCH_faults.json"
+    --smoke --out "$TRACE_DIR/BENCH_faults.json" --ledger "$TRACE_DIR/RUN_faults.json"
 # bench_wire covers the codec arms (v2/v3/v3q) per record family in one
 # run and asserts the v3 2x bar on sparse shuffle records internally.
 cargo run --release --offline -p spca-bench --bin bench_wire -- \
     --smoke --out "$TRACE_DIR/BENCH_wire.json"
 cargo run --release --offline -p spca-bench --bin trace_report -- \
-    --trace "$TRACE_DIR/trace_report.json" > "$TRACE_DIR/trace_report.txt"
+    --trace "$TRACE_DIR/trace_report.json" --ledger "$TRACE_DIR/RUN_trace_report.json" \
+    > "$TRACE_DIR/trace_report.txt"
+# End-to-end ledger through the CLI: generate a small matrix, fit it with
+# --ledger, and gate that artifact like any other.
+cargo run --release --offline --bin spca-cli -- \
+    generate tweets 400 120 --seed 5 -o /tmp/spca_ci_tweets.sm
+cargo run --release --offline --bin spca-cli -- \
+    fit -i /tmp/spca_ci_tweets.sm -o /tmp/spca_ci_model.txt -d 4 --iters 3 \
+    --seed 11 --partitions 8 --ledger "$TRACE_DIR/RUN_cli.json"
+# A fit-running producer that silently drops its run ledger is a CI
+# failure even before perf_gate diffs it against the baseline.
+for ledger in RUN_faults.json RUN_trace_report.json RUN_cli.json; do
+    if [[ ! -s "$TRACE_DIR/$ledger" ]]; then
+        echo "ci: $ledger missing or empty in $TRACE_DIR — a bench forgot its ledger" >&2
+        exit 1
+    fi
+done
 cargo run --release --offline -p spca-bench --bin trace_check -- \
     "$TRACE_DIR/bench_kernels.json" "$TRACE_DIR/bench_em.json" \
     "$TRACE_DIR/trace_report.json" \
     --plain "$TRACE_DIR/BENCH_em.json" "$TRACE_DIR/BENCH_em_f32.json" \
     "$TRACE_DIR/BENCH_em_bf16.json" "$TRACE_DIR/BENCH_faults.json" \
-    "$TRACE_DIR/BENCH_wire.json"
+    "$TRACE_DIR/BENCH_wire.json" "$TRACE_DIR/RUN_faults.json" \
+    "$TRACE_DIR/RUN_trace_report.json" "$TRACE_DIR/RUN_cli.json"
+# Performance regression gate: diff the fresh ledgers and benchmark JSON
+# against the committed baselines. Bit-exact on byte meters, model hashes
+# and counts; a wide band on virtual-time metrics (CI machines differ —
+# fixtures use 0.05, see crates/bench/src/gate.rs); host noise ignored.
+cargo run --release --offline -p spca-bench --bin perf_gate -- \
+    --baselines results/baselines --fresh "$TRACE_DIR" --time-band 0.75
 echo "ci: all gates passed (traces in $TRACE_DIR)"

@@ -39,6 +39,7 @@ usage:
   spca-cli fit -i DATA -o MODEL [-d N] [--engine spark|mapreduce]
            [--iters N] [--seed N] [--nodes N] [--partitions N]
            [--precision f64|f32|bf16] [--codec v2|v3|v3q]
+           [--ledger FILE]
   spca-cli transform -i DATA -m MODEL -o OUT
   spca-cli likelihood -i DATA -m MODEL";
 
@@ -177,12 +178,34 @@ fn fit(args: &Args<'_>) -> Result<(), String> {
         config = config.with_precision(precision);
     }
 
+    // --ledger FILE: capture a versioned machine-readable run ledger of
+    // the fit (config fingerprint, per-iteration telemetry, category
+    // attribution) — the artifact perf_gate diffs against baselines.
+    let ledger_path = args.flag("ledger");
+    let ledger_collector = ledger_path.map(|_| {
+        obs::ledger::install_sink();
+        obs::install_new()
+    });
+
     let run = match engine {
         "spark" => Spca::new(config).fit_spark(&cluster, &y),
         "mapreduce" | "mr" => Spca::new(config).fit_mapreduce(&cluster, &y),
         other => return Err(format!("unknown engine {other:?} (use spark|mapreduce)")),
     }
     .map_err(|e| e.to_string())?;
+
+    if let (Some(path), Some(c)) = (ledger_path, ledger_collector) {
+        let _ = obs::uninstall();
+        let ledger = obs::ledger::RunLedger {
+            tool: "spca-cli".to_string(),
+            runs: obs::ledger::drain_sink(),
+            dropped_events: c.dropped(),
+            nesting_violations: c.nesting_violations(),
+            collector_registry: c.registry().snapshot(),
+        };
+        std::fs::write(path, ledger.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("run ledger written to: {path}");
+    }
 
     std::fs::write(out, run.model.to_text()).map_err(|e| format!("{out}: {e}"))?;
     println!("fit {} components on the {engine} engine:", run.model.output_dim());
