@@ -5,12 +5,15 @@
 //! clock domains.
 //!
 //! Usage:
-//!   trace_report                   # print the text report
-//!   trace_report --trace T.json    # also write the Chrome trace file
+//!   trace_report                     # print the text report
+//!   trace_report --trace T.json      # also write the Chrome trace file
+//!   trace_report --timing contended  # price I/O with the event-driven
+//!                                    # shared-bandwidth model and print
+//!                                    # the per-link contention tables
 
 use std::collections::BTreeMap;
 
-use dcluster::{ClusterConfig, FaultPlan, FaultSpec, SimCluster};
+use dcluster::{ClusterConfig, FaultPlan, FaultSpec, SimCluster, TimingModel};
 use linalg::{Precision, WireCodec};
 use spca_bench::{data, fmt_bytes, fmt_secs, fresh_cluster, Table};
 use spca_core::{Spca, SpcaConfig, SpcaError, SpcaRun};
@@ -40,12 +43,62 @@ fn stage_table(label: &str, cluster: &SimCluster) {
     );
 }
 
+/// Per-link contention table (contended timing only): capacity, carried
+/// bytes, busy time and peak utilization for every modeled link, plus the
+/// engine counters. The peak-utilization column doubles as the invariant
+/// check — no link is ever allocated past 100 % at any virtual instant.
+fn link_table(label: &str, cluster: &SimCluster) {
+    let stats = cluster.link_stats();
+    if stats.is_empty() {
+        return;
+    }
+    println!("\n-- link contention: {label} --");
+    let mut table = Table::new(&["Link", "Capacity (B/s)", "Bytes", "Busy (s)", "Peak util"]);
+    for l in &stats {
+        assert!(
+            l.peak_util <= 1.0 + 1e-9,
+            "link {} allocated past capacity: {}",
+            l.label,
+            l.peak_util
+        );
+        table.row(&[
+            l.label.clone(),
+            format!("{:.0}", l.capacity),
+            fmt_bytes(l.bytes as u64),
+            format!("{:.4}", l.busy_secs),
+            format!("{:.1}%", 100.0 * l.peak_util),
+        ]);
+    }
+    table.print();
+    if let Some(engine) = cluster.engine_stats() {
+        println!(
+            "{label}: {} events, {} rate re-solves, {} peak concurrent flows; \
+             every link ≤ 100% at every virtual instant",
+            engine.events, engine.resolves, engine.peak_flows
+        );
+    }
+}
+
 fn main() {
     let trace = spca_bench::cli::trace_args(
         "trace_report",
         "Trace one small sPCA run on both engines and print the span-tree report",
-        &[],
+        &[("--timing MODEL", "I/O timing model: uncontended (default) | contended")],
     );
+    let argv: Vec<String> = std::env::args().collect();
+    let timing = match argv.iter().position(|a| a == "--timing") {
+        Some(i) => {
+            let value = argv.get(i + 1).map(String::as_str).unwrap_or("");
+            match TimingModel::parse(value) {
+                Some(t) => t,
+                None => {
+                    eprintln!("error: --timing needs uncontended|contended, got {value:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => TimingModel::default(),
+    };
     // With no --trace flag, still collect (for the text report) — install
     // a collector ourselves.
     let collector = match trace.collector() {
@@ -56,14 +109,18 @@ fn main() {
     let y = data::tweets(4_000, 800, 1);
     let config = SpcaConfig::new(8).with_max_iters(3).with_partitions(16).with_seed(7);
 
-    let spark_cluster = fresh_cluster();
+    let timed_cluster =
+        || SimCluster::new(ClusterConfig::scaled_cluster().with_timing(timing));
+    let spark_cluster = timed_cluster();
     let spark_run =
         Spca::new(config.clone()).fit_spark(&spark_cluster, &y).expect("sPCA-Spark run");
-    let mr_cluster = fresh_cluster();
+    let mr_cluster = timed_cluster();
     let mr_run =
         Spca::new(config.clone()).fit_mapreduce(&mr_cluster, &y).expect("sPCA-MapReduce run");
 
-    println!("=== trace report: sPCA-Spark vs sPCA-MapReduce (4000 x 800, d=8) ===");
+    println!(
+        "=== trace report: sPCA-Spark vs sPCA-MapReduce (4000 x 800, d=8, {timing} timing) ==="
+    );
     println!(
         "Spark: {} virtual s over {} iterations; MapReduce: {} virtual s over {} iterations",
         fmt_secs(spark_run.virtual_time_secs),
@@ -74,11 +131,46 @@ fn main() {
 
     stage_table("sPCA-Spark", &spark_cluster);
     stage_table("sPCA-MapReduce", &mr_cluster);
+    link_table("sPCA-Spark", &spark_cluster);
+    link_table("sPCA-MapReduce", &mr_cluster);
+
+    // Under contended timing, quantify the contention the arithmetic
+    // model cannot see: the same Spark fit priced by both models. The
+    // byte meters must agree exactly; only virtual time moves.
+    if timing == TimingModel::Contended {
+        let reference = fresh_cluster();
+        let reference_run = Spca::new(config.clone())
+            .fit_spark(&reference, &y)
+            .expect("uncontended reference run");
+        assert_eq!(
+            reference.metrics().network_bytes,
+            spark_cluster.metrics().network_bytes,
+            "byte meters must be timing-model-invariant"
+        );
+        let contended_net_us = spark_cluster.category_time_us()[2];
+        let reference_net_us = reference.category_time_us()[2];
+        println!(
+            "\ncontention delta (sPCA-Spark): {} virtual s contended vs {} uncontended; \
+             network {:.3}s vs {:.3}s ({:+.1}% from shared-bandwidth queueing)",
+            fmt_secs(spark_run.virtual_time_secs),
+            fmt_secs(reference_run.virtual_time_secs),
+            contended_net_us as f64 * 1e-6,
+            reference_net_us as f64 * 1e-6,
+            100.0 * (contended_net_us as f64 / reference_net_us as f64 - 1.0),
+        );
+        assert!(
+            contended_net_us > reference_net_us,
+            "concurrent shuffles must contend under the event-driven model \
+             ({contended_net_us}us vs {reference_net_us}us)"
+        );
+    }
 
     // A cheap-arm run — f32 kernels plus the quantized v3 shuffle codec —
     // traced alongside the reference arms and summarized per arm below.
     let f32_cluster = SimCluster::new(
-        ClusterConfig::scaled_cluster().with_wire_codec(WireCodec::V3Quantized),
+        ClusterConfig::scaled_cluster()
+            .with_wire_codec(WireCodec::V3Quantized)
+            .with_timing(timing),
     );
     let f32_run = Spca::new(config.clone().with_precision(Precision::F32))
         .fit_spark(&f32_cluster, &y)
@@ -117,7 +209,7 @@ fn main() {
     // a checkpointed driver crash with resume — to exercise the recovery
     // event log end to end. The resumed model must equal the clean Spark
     // run bit for bit.
-    let faulty_cluster = fresh_cluster();
+    let faulty_cluster = timed_cluster();
     let spec = FaultSpec::new(7)
         .with_straggler_rate(0.2)
         .with_straggler_slowdown(5.0)

@@ -26,7 +26,9 @@ use crate::config::ClusterConfig;
 use crate::faults::{quantile, ActivePlan, CacheEntry, FaultDomain, FaultPlan, FaultSpec, RecoveryEvent};
 use crate::hdfs::Dfs;
 use crate::metrics::{Metrics, MetricsSnapshot, StageRecord, TimeCategory};
-use crate::scheduler::{makespan, makespan_with_critical};
+use crate::netsim::{self, CancelSpec, FlowSpec, Topology};
+use crate::scheduler::{host_schedule, makespan_with_critical};
+use crate::timing::TimingModel;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Errors surfaced by the cluster.
@@ -149,6 +151,88 @@ pub struct SimCluster {
     /// Fault plan, recovery log, and cache registry. Never held across
     /// the metrics or DFS locks.
     faults: Mutex<FaultDomain>,
+    /// Discrete-event engine state: the (immutable) link topology plus
+    /// lock-guarded accumulated per-link contention statistics. `None`
+    /// under the default [`TimingModel::Uncontended`], so the legacy
+    /// model pays nothing. The stats lock is never held across the
+    /// metrics, trace, or fault locks.
+    contention: Option<Contention>,
+}
+
+/// Per-link contention statistics accumulated across every contended
+/// charge (what `trace_report`'s per-link table renders).
+#[derive(Debug, Clone)]
+pub struct LinkStat {
+    /// Link name (`fabric`, `up:N`, `down:N`, `disk:N`).
+    pub label: String,
+    /// Capacity in bytes/sec.
+    pub capacity: f64,
+    /// Bytes carried (includes cancelled attempts' partial progress, so
+    /// it can exceed the byte meters under faults).
+    pub bytes: f64,
+    /// Virtual seconds the link spent with at least one active flow.
+    pub busy_secs: f64,
+    /// Peak allocated-rate / capacity over all re-solves (≤ 1.0: the
+    /// max-min solver never over-allocates a link).
+    pub peak_util: f64,
+}
+
+/// Whole-run discrete-event engine totals (contended timing only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Heap events processed (arrivals, completions, cancels, stale pops,
+    /// and slot-schedule completions).
+    pub events: u64,
+    /// Max-min rate re-solves performed.
+    pub resolves: u64,
+    /// Peak number of simultaneously active flows.
+    pub peak_flows: usize,
+}
+
+/// Interior state of the contended engine: the topology is fixed at
+/// construction (pure function of the config), only the accumulated
+/// statistics need the lock.
+struct Contention {
+    topo: Topology,
+    state: Mutex<LinkTotals>,
+}
+
+#[derive(Default)]
+struct LinkTotals {
+    link_bytes: Vec<f64>,
+    link_busy_secs: Vec<f64>,
+    link_peak_util: Vec<f64>,
+    stats: EngineStats,
+}
+
+impl Contention {
+    fn new(cfg: &ClusterConfig) -> Self {
+        let topo = Topology::new(cfg.nodes, cfg.network_bytes_per_sec, cfg.disk_bytes_per_sec);
+        let n = topo.len();
+        Contention {
+            topo,
+            state: Mutex::new(LinkTotals {
+                link_bytes: vec![0.0; n],
+                link_busy_secs: vec![0.0; n],
+                link_peak_util: vec![0.0; n],
+                stats: EngineStats::default(),
+            }),
+        }
+    }
+
+    fn absorb(&self, out: &netsim::FlowOutcome) {
+        let mut st = lock_plain(&self.state);
+        for l in 0..st.link_bytes.len() {
+            st.link_bytes[l] += out.link_bytes[l];
+            st.link_busy_secs[l] += out.link_busy_secs[l];
+            if out.link_peak_util[l] > st.link_peak_util[l] {
+                st.link_peak_util[l] = out.link_peak_util[l];
+            }
+        }
+        st.stats.events += out.events;
+        st.stats.resolves += out.resolves;
+        st.stats.peak_flows = st.stats.peak_flows.max(out.peak_flows);
+    }
 }
 
 /// Timing/byte consequences of one stage's faults, applied after the
@@ -187,6 +271,7 @@ impl SimCluster {
         if let Err(e) = cfg.validate() {
             panic!("SimCluster: {e}");
         }
+        let contention = (cfg.timing == TimingModel::Contended).then(|| Contention::new(&cfg));
         SimCluster {
             cfg,
             metrics: Mutex::new(Metrics::default()),
@@ -198,6 +283,7 @@ impl SimCluster {
             segment_seq: AtomicU64::new(1),
             last_segment: AtomicU64::new(0),
             faults: Mutex::new(FaultDomain::default()),
+            contention,
         }
     }
 
@@ -591,10 +677,69 @@ impl SimCluster {
         fx
     }
 
+    /// Stage makespan under the configured timing model: global LPT for
+    /// the arithmetic model, the event-driven per-host slot schedule for
+    /// the contended one (task `i` pinned to node `i % nodes`).
+    fn stage_span(&self, durations: &[f64]) -> (f64, Option<usize>) {
+        match self.cfg.timing {
+            TimingModel::Uncontended => makespan_with_critical(durations, self.cfg.total_cores()),
+            TimingModel::Contended => {
+                let (span, critical, events) = host_schedule(
+                    durations,
+                    self.cfg.nodes,
+                    self.cfg.cores_per_node,
+                    self.cfg.event_queue_capacity,
+                );
+                if let Some(c) = &self.contention {
+                    lock_plain(&c.state).stats.events += events;
+                }
+                self.registry().counter("engine.events").add(events);
+                (span, critical)
+            }
+        }
+    }
+
+    /// Charges the DFS re-read crashed tasks perform. Under contended
+    /// timing the crash interrupted the first split read mid-flight: the
+    /// in-flight flow is cancelled at half its solo transfer time and a
+    /// full-size reattempt is re-enqueued on the same disk, so the wasted
+    /// half shows up in the link statistics (detection latency is already
+    /// charged in the task schedule, so the requeue delay here is zero).
+    /// The byte *meter* charges the re-read once, same as the arithmetic
+    /// model — meters stay identical across timing models.
+    fn charge_reexec_read(&self, bytes: u64, crashed_nodes: &[usize]) {
+        match self.cfg.timing {
+            TimingModel::Uncontended => self.charge_dfs_read_labeled(bytes, "reexec-read"),
+            TimingModel::Contended => {
+                let topo = &self.contention.as_ref().expect("contended state").topo;
+                let shares = Self::uniform_shares(bytes, crashed_nodes.len().max(1));
+                let mut flows = Vec::new();
+                let mut cancels = Vec::new();
+                for (k, &node) in crashed_nodes.iter().enumerate() {
+                    let share = shares.get(k).copied().unwrap_or(0);
+                    if share == 0 {
+                        continue;
+                    }
+                    let solo_secs = share as f64 / self.cfg.disk_bytes_per_sec;
+                    cancels.push(CancelSpec {
+                        flow: flows.len(),
+                        at_secs: solo_secs * 0.5,
+                        requeue_delay_secs: 0.0,
+                    });
+                    flows.push(FlowSpec::new(share, [topo.disk(node), netsim::NO_LINK]));
+                }
+                let secs = self.contended_io_secs(&flows, &cancels);
+                self.dfs_read_charge_core(bytes, secs, "reexec-read");
+            }
+        }
+    }
+
     /// Runs a distributed stage: executes every task (really, on the
     /// shared worker pool), measures per-task durations, and advances the
-    /// virtual clock by the LPT makespan of those durations on the
-    /// cluster's virtual cores. Results come back in task order.
+    /// virtual clock by the makespan of those durations scheduled onto
+    /// the cluster's virtual cores (LPT by default, the event-driven
+    /// per-host slot schedule under contended timing). Results come back
+    /// in task order.
     pub fn run_stage<T, F>(&self, opts: StageOptions, tasks: Vec<F>) -> Vec<T>
     where
         T: Send,
@@ -651,8 +796,8 @@ impl SimCluster {
         // Makespan of the bare measured durations and of the overhead-laden
         // (pre-fault) schedule: the anchors of the cpu / scheduler-wait /
         // recovery decomposition below.
-        let base_span = makespan(&durations, self.cfg.total_cores());
-        let overhead_span = makespan(&with_overhead, self.cfg.total_cores());
+        let base_span = self.stage_span(&durations).0;
+        let overhead_span = self.stage_span(&with_overhead).0;
         let has_fault_plan = self.faults_lock().plan.is_some();
         // Stateful fault plan: crashes, stragglers, speculation. Only the
         // schedule and the recovery log change — results never do.
@@ -676,11 +821,9 @@ impl SimCluster {
             self.faults_lock().log.extend(events);
         }
         if fx.reexec_read_bytes > 0 {
-            // Re-executed tasks re-read their materialized inputs.
-            self.charge_dfs_read_labeled(fx.reexec_read_bytes, "reexec-read");
+            self.charge_reexec_read(fx.reexec_read_bytes, &fx.crashed_nodes);
         }
-        let (compute_secs, critical_task) =
-            makespan_with_critical(&with_overhead, self.cfg.total_cores());
+        let (compute_secs, critical_task) = self.stage_span(&with_overhead);
 
         // Decompose the stage makespan into tiled categories. LPT is not
         // monotone under duration increases (Graham anomalies), so each
@@ -833,22 +976,95 @@ impl SimCluster {
         self.cfg.disk_bytes_per_sec * self.cfg.nodes as f64
     }
 
-    /// Meters `bytes` crossing the network (shuffle traffic) and advances
-    /// the clock by the transfer time at aggregate bandwidth.
-    pub fn charge_network(&self, bytes: u64) {
-        self.charge_network_labeled(bytes, "network");
+    /// Splits `bytes` into one share per entry (the remainder spread over
+    /// the first entries) — the uniform per-node decomposition that makes
+    /// the event-driven model reproduce the arithmetic charges: `n` equal
+    /// flows on `n` disjoint links each run at full link rate, so the
+    /// makespan is `ceil(bytes/n) / link_rate ≈ bytes / aggregate_rate`
+    /// (off by at most one byte's transfer time, far under 1 µs).
+    fn uniform_shares(bytes: u64, n: usize) -> Vec<u64> {
+        let n64 = n as u64;
+        let (base, rem) = (bytes / n64, bytes % n64);
+        (0..n64).map(|i| base + u64::from(i < rem)).collect()
     }
 
-    /// [`charge_network`](Self::charge_network) with a caller-supplied
-    /// segment label so the critical-path table names the transfer
-    /// ("shuffle", "re-replicate", ...), not just its category.
-    pub fn charge_network_labeled(&self, bytes: u64, label: &str) {
+    /// Runs `flows` (+ optional `cancels`) through the shared-bandwidth
+    /// simulator, folds the outcome into the per-link statistics and
+    /// engine counters, and returns the virtual seconds the transfer
+    /// group took. Contended timing only.
+    fn contended_io_secs(&self, flows: &[FlowSpec], cancels: &[CancelSpec]) -> f64 {
+        let c = self.contention.as_ref().expect("contended_io_secs needs Contended timing");
+        let out = netsim::simulate(&c.topo, flows, cancels, self.cfg.event_queue_capacity);
+        c.absorb(&out);
+        let registry = self.registry();
+        registry.counter("engine.events").add(out.events);
+        registry.counter("engine.resolves").add(out.resolves);
+        out.makespan_secs
+    }
+
+    /// Virtual seconds for network traffic given per-endpoint byte counts
+    /// (endpoint `p` maps to node `p % nodes`' downlink).
+    fn network_secs(&self, total: u64, per_endpoint: Option<&[u64]>) -> f64 {
+        match self.cfg.timing {
+            TimingModel::Uncontended => total as f64 / self.network_bw(),
+            TimingModel::Contended => {
+                let topo = &self.contention.as_ref().expect("contended state").topo;
+                let (fabric, n) = (topo.fabric(), topo.nodes());
+                let uniform;
+                let shares = match per_endpoint {
+                    Some(s) => s,
+                    None => {
+                        uniform = Self::uniform_shares(total, n);
+                        &uniform
+                    }
+                };
+                let flows: Vec<FlowSpec> = shares
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b > 0)
+                    .map(|(p, &b)| FlowSpec::new(b, [topo.downlink(p), fabric]))
+                    .collect();
+                self.contended_io_secs(&flows, &[])
+            }
+        }
+    }
+
+    /// Virtual seconds for DFS traffic given per-endpoint byte counts
+    /// (endpoint `p` maps to node `p % nodes`' disk).
+    fn disk_secs(&self, total: u64, per_endpoint: Option<&[u64]>) -> f64 {
+        match self.cfg.timing {
+            TimingModel::Uncontended => total as f64 / self.disk_bw(),
+            TimingModel::Contended => {
+                let topo = &self.contention.as_ref().expect("contended state").topo;
+                let n = topo.nodes();
+                let uniform;
+                let shares = match per_endpoint {
+                    Some(s) => s,
+                    None => {
+                        uniform = Self::uniform_shares(total, n);
+                        &uniform
+                    }
+                };
+                let flows: Vec<FlowSpec> = shares
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b > 0)
+                    .map(|(p, &b)| FlowSpec::new(b, [topo.disk(p), netsim::NO_LINK]))
+                    .collect();
+                self.contended_io_secs(&flows, &[])
+            }
+        }
+    }
+
+    /// Meters network bytes and advances the clock by a pre-computed
+    /// transfer time — the shared tail of every network charge site.
+    fn network_charge_core(&self, bytes: u64, secs: f64, label: &str) {
         let total;
         let win;
         {
             let mut m = self.metrics_lock();
             m.add_network(bytes);
-            win = m.advance_cat(bytes as f64 / self.network_bw(), TimeCategory::Network);
+            win = m.advance_cat(secs, TimeCategory::Network);
             total = m.network_bytes.get();
         }
         self.trace_counter("cluster.network_bytes", total as f64);
@@ -863,19 +1079,43 @@ impl SimCluster {
         }
     }
 
-    /// Meters `bytes` written to the distributed filesystem.
-    pub fn charge_dfs_write(&self, bytes: u64) {
-        self.charge_dfs_write_labeled(bytes, "dfs-write");
+    /// Meters `bytes` crossing the network (shuffle traffic) and advances
+    /// the clock by the transfer time: aggregate-bandwidth arithmetic
+    /// under the default timing model, a balanced per-node flow set under
+    /// the contended one (same time to within a byte's transfer).
+    pub fn charge_network(&self, bytes: u64) {
+        self.charge_network_labeled(bytes, "network");
     }
 
-    /// [`charge_dfs_write`](Self::charge_dfs_write) with a segment label.
-    pub fn charge_dfs_write_labeled(&self, bytes: u64, label: &str) {
+    /// [`charge_network`](Self::charge_network) with a caller-supplied
+    /// segment label so the critical-path table names the transfer
+    /// ("shuffle", "re-replicate", ...), not just its category.
+    pub fn charge_network_labeled(&self, bytes: u64, label: &str) {
+        let secs = self.network_secs(bytes, None);
+        self.network_charge_core(bytes, secs, label);
+    }
+
+    /// Network charge with an explicit per-endpoint byte distribution:
+    /// entry `p` lands on node `p % nodes`' downlink. Under the default
+    /// timing model this is exactly `charge_network_labeled` of the sum;
+    /// under contended timing a skewed distribution saturates the loaded
+    /// links while others idle, so the transfer takes the *slowest
+    /// link's* time instead of the aggregate average — the contention the
+    /// arithmetic model cannot express.
+    pub fn charge_network_flows(&self, per_endpoint: &[u64], label: &str) {
+        let bytes: u64 = per_endpoint.iter().sum();
+        let secs = self.network_secs(bytes, Some(per_endpoint));
+        self.network_charge_core(bytes, secs, label);
+    }
+
+    /// Meters DFS write bytes and advances the clock (shared tail).
+    fn dfs_write_charge_core(&self, bytes: u64, secs: f64, label: &str) {
         let total;
         let win;
         {
             let mut m = self.metrics_lock();
             m.add_dfs_write(bytes);
-            win = m.advance_cat(bytes as f64 / self.disk_bw(), TimeCategory::Disk);
+            win = m.advance_cat(secs, TimeCategory::Disk);
             total = m.dfs_bytes_written.get();
         }
         self.trace_counter("cluster.dfs_bytes_written", total as f64);
@@ -890,18 +1130,47 @@ impl SimCluster {
         }
     }
 
+    /// Meters `bytes` written to the distributed filesystem.
+    pub fn charge_dfs_write(&self, bytes: u64) {
+        self.charge_dfs_write_labeled(bytes, "dfs-write");
+    }
+
+    /// [`charge_dfs_write`](Self::charge_dfs_write) with a segment label.
+    pub fn charge_dfs_write_labeled(&self, bytes: u64, label: &str) {
+        let secs = self.disk_secs(bytes, None);
+        self.dfs_write_charge_core(bytes, secs, label);
+    }
+
+    /// DFS write with an explicit per-endpoint distribution (entry `p` →
+    /// node `p % nodes`' disk); see [`Self::charge_network_flows`].
+    pub fn charge_dfs_write_flows(&self, per_endpoint: &[u64], label: &str) {
+        let bytes: u64 = per_endpoint.iter().sum();
+        let secs = self.disk_secs(bytes, Some(per_endpoint));
+        self.dfs_write_charge_core(bytes, secs, label);
+    }
+
     /// Meters a broadcast of `bytes` to every worker node (Spark torrent
     /// broadcast / Hadoop distributed cache). The payload crosses the
     /// network once per node and counts as intermediate data — this is
-    /// how sPCA's per-iteration `CM` matrix is charged.
+    /// how sPCA's per-iteration `CM` matrix is charged. Under contended
+    /// timing the fanout is one full-size flow per downlink; all `n` run
+    /// at link rate concurrently, reproducing the arithmetic charge
+    /// exactly.
     pub fn charge_broadcast(&self, bytes: u64) {
         let fanout = bytes.saturating_mul(self.cfg.nodes as u64);
+        let secs = match self.cfg.timing {
+            TimingModel::Uncontended => fanout as f64 / self.network_bw(),
+            TimingModel::Contended => {
+                let per_node = vec![bytes; self.cfg.nodes];
+                self.network_secs(fanout, Some(&per_node))
+            }
+        };
         let total;
         let win;
         {
             let mut m = self.metrics_lock();
             m.add_network(fanout);
-            win = m.advance_cat(fanout as f64 / self.network_bw(), TimeCategory::Network);
+            win = m.advance_cat(secs, TimeCategory::Network);
             total = m.network_bytes.get();
         }
         self.trace_counter("cluster.network_bytes", total as f64);
@@ -916,19 +1185,14 @@ impl SimCluster {
         }
     }
 
-    /// Meters `bytes` read back from the distributed filesystem.
-    pub fn charge_dfs_read(&self, bytes: u64) {
-        self.charge_dfs_read_labeled(bytes, "dfs-read");
-    }
-
-    /// [`charge_dfs_read`](Self::charge_dfs_read) with a segment label.
-    pub fn charge_dfs_read_labeled(&self, bytes: u64, label: &str) {
+    /// Meters DFS read bytes and advances the clock (shared tail).
+    fn dfs_read_charge_core(&self, bytes: u64, secs: f64, label: &str) {
         let total;
         let win;
         {
             let mut m = self.metrics_lock();
             m.add_dfs_read(bytes);
-            win = m.advance_cat(bytes as f64 / self.disk_bw(), TimeCategory::Disk);
+            win = m.advance_cat(secs, TimeCategory::Disk);
             total = m.dfs_bytes_read.get();
         }
         self.trace_counter("cluster.dfs_bytes_read", total as f64);
@@ -941,6 +1205,51 @@ impl SimCluster {
                 vec![("bytes", bytes.into())],
             );
         }
+    }
+
+    /// Meters `bytes` read back from the distributed filesystem.
+    pub fn charge_dfs_read(&self, bytes: u64) {
+        self.charge_dfs_read_labeled(bytes, "dfs-read");
+    }
+
+    /// [`charge_dfs_read`](Self::charge_dfs_read) with a segment label.
+    pub fn charge_dfs_read_labeled(&self, bytes: u64, label: &str) {
+        let secs = self.disk_secs(bytes, None);
+        self.dfs_read_charge_core(bytes, secs, label);
+    }
+
+    /// DFS read with an explicit per-endpoint distribution (entry `p` →
+    /// node `p % nodes`' disk); see [`Self::charge_network_flows`].
+    pub fn charge_dfs_read_flows(&self, per_endpoint: &[u64], label: &str) {
+        let bytes: u64 = per_endpoint.iter().sum();
+        let secs = self.disk_secs(bytes, Some(per_endpoint));
+        self.dfs_read_charge_core(bytes, secs, label);
+    }
+
+    /// Per-link contention statistics. Empty under the default timing
+    /// model (the arithmetic charges never touch individual links).
+    pub fn link_stats(&self) -> Vec<LinkStat> {
+        match &self.contention {
+            None => Vec::new(),
+            Some(c) => {
+                let st = lock_plain(&c.state);
+                (0..c.topo.len() as u32)
+                    .map(|l| LinkStat {
+                        label: c.topo.label(l),
+                        capacity: c.topo.capacity(l),
+                        bytes: st.link_bytes[l as usize],
+                        busy_secs: st.link_busy_secs[l as usize],
+                        peak_util: st.link_peak_util[l as usize],
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Whole-run event-engine totals, or `None` under the default timing
+    /// model.
+    pub fn engine_stats(&self) -> Option<EngineStats> {
+        self.contention.as_ref().map(|c| lock_plain(&c.state).stats)
     }
 
     /// Advances the virtual clock by a flat amount (job-initialization
@@ -1321,6 +1630,90 @@ mod tests {
         assert_eq!(one, run_with(2));
         assert_eq!(one, run_with(8));
         assert!(one.iter().any(|e| matches!(e, RecoveryEvent::NodeCrashed { .. })));
+    }
+
+    #[test]
+    fn contended_uniform_charges_match_arithmetic() {
+        let mk = |t| SimCluster::new(ClusterConfig::scaled_cluster().with_timing(t));
+        let a = mk(TimingModel::Uncontended);
+        let b = mk(TimingModel::Contended);
+        for c in [&a, &b] {
+            c.charge_network(3_000_001);
+            c.charge_dfs_write(1_200_007);
+            c.charge_dfs_read(600_013);
+            c.charge_broadcast(10_000);
+        }
+        let (ma, mb) = (a.metrics(), b.metrics());
+        assert_eq!(ma.network_bytes, mb.network_bytes, "meters are timing-invariant");
+        assert_eq!(ma.dfs_bytes_written, mb.dfs_bytes_written);
+        assert_eq!(ma.dfs_bytes_read, mb.dfs_bytes_read);
+        // Four uniform charges, each reproduced within 1 µs.
+        assert!(
+            (ma.virtual_time_secs - mb.virtual_time_secs).abs() < 4e-6,
+            "uncontended {} vs contended {}",
+            ma.virtual_time_secs,
+            mb.virtual_time_secs
+        );
+    }
+
+    #[test]
+    fn skewed_flows_contend_only_under_contended_timing() {
+        // All 8 MB land on one endpoint: the arithmetic model still
+        // charges aggregate bandwidth; the event model serializes on that
+        // node's downlink — 8x slower on an 8-node cluster.
+        let skew = [8_000_000u64, 0, 0, 0, 0, 0, 0, 0];
+        let a = SimCluster::new(ClusterConfig::scaled_cluster());
+        a.charge_network_flows(&skew, "skew");
+        let b = SimCluster::new(
+            ClusterConfig::scaled_cluster().with_timing(TimingModel::Contended),
+        );
+        b.charge_network_flows(&skew, "skew");
+        let (ta, tb) = (a.metrics().virtual_time_secs, b.metrics().virtual_time_secs);
+        assert!((tb / ta - 8.0).abs() < 1e-3, "skew must cost 8x: {ta} vs {tb}");
+        assert_eq!(a.metrics().network_bytes, b.metrics().network_bytes);
+    }
+
+    #[test]
+    fn link_stats_track_utilization_within_capacity() {
+        let c = SimCluster::new(
+            ClusterConfig::scaled_cluster().with_timing(TimingModel::Contended),
+        );
+        c.charge_network_flows(&[5_000_000, 1_000_000, 0, 0, 250_000, 0, 0, 0], "shuffle");
+        c.charge_dfs_write(2_400_000);
+        let stats = c.link_stats();
+        assert_eq!(stats.len(), 25, "fabric + 8 up + 8 down + 8 disks");
+        assert!(stats.iter().all(|l| l.peak_util <= 1.0 + 1e-9), "never over capacity");
+        assert!(stats.iter().any(|l| l.peak_util > 0.99), "the loaded links saturate");
+        let engine = c.engine_stats().expect("contended mode has engine stats");
+        assert!(engine.events > 0 && engine.resolves > 0);
+        // Uncontended clusters report no link activity at all.
+        let u = SimCluster::new(ClusterConfig::scaled_cluster());
+        u.charge_network(1_000_000);
+        assert!(u.link_stats().is_empty());
+        assert!(u.engine_stats().is_none());
+    }
+
+    #[test]
+    fn contended_stage_results_and_faults_stay_deterministic() {
+        let run = |timing| {
+            let c = SimCluster::new(
+                ClusterConfig::scaled_cluster()
+                    .with_nodes(2)
+                    .with_cores_per_node(2)
+                    .with_timing(timing),
+            );
+            c.install_fault_plan(FaultSpec::new(3), FaultPlan::new().with_crash(1, 0)).unwrap();
+            let tasks: Vec<_> = (0..8).map(|i| move || i * 7).collect();
+            let out = c.run_stage(
+                StageOptions::new("t").with_task_overhead(0.1).with_reexec_read_bytes(1000),
+                tasks,
+            );
+            (out, c.recovery_log())
+        };
+        let (out_u, log_u) = run(TimingModel::Uncontended);
+        let (out_c, log_c) = run(TimingModel::Contended);
+        assert_eq!(out_u, out_c, "results are timing-model-invariant");
+        assert_eq!(log_u, log_c, "recovery logs are structural, not timed");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use linalg::wire::{Sizing, WireCodec};
 
 use crate::cluster::ClusterError;
+use crate::timing::TimingModel;
 
 /// Hardware and platform parameters of the simulated cluster.
 ///
@@ -53,6 +54,15 @@ pub struct ClusterConfig {
     /// `byte_sizing`, this moves byte meters and the virtual clock only;
     /// fitted models are bitwise identical under every codec.
     pub wire_codec: WireCodec,
+    /// How metered bytes turn into virtual time: the legacy arithmetic
+    /// full-aggregate-bandwidth model (default), or the discrete-event
+    /// shared-bandwidth model where concurrent transfers contend for
+    /// per-node links. Moves virtual time only — byte meters and fitted
+    /// models are identical under either model.
+    pub timing: TimingModel,
+    /// Initial capacity of the discrete-event queue's binary heap (the
+    /// heap still grows past it; this only pre-sizes the allocation).
+    pub event_queue_capacity: usize,
 }
 
 impl ClusterConfig {
@@ -70,6 +80,8 @@ impl ClusterConfig {
             dfs_replication: 3,
             byte_sizing: Sizing::Encoded,
             wire_codec: WireCodec::V2,
+            timing: TimingModel::Uncontended,
+            event_queue_capacity: 4096,
         }
     }
 
@@ -98,7 +110,21 @@ impl ClusterConfig {
             dfs_replication: 3,
             byte_sizing: Sizing::Encoded,
             wire_codec: WireCodec::V2,
+            timing: TimingModel::Uncontended,
+            event_queue_capacity: 4096,
         }
+    }
+
+    /// Builder-style override of the I/O timing model.
+    pub fn with_timing(mut self, timing: TimingModel) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Builder-style override of the event queue's initial heap capacity.
+    pub fn with_event_queue_capacity(mut self, capacity: usize) -> Self {
+        self.event_queue_capacity = capacity;
+        self
     }
 
     /// Builder-style override of the byte-sizing policy.
@@ -166,8 +192,16 @@ impl ClusterConfig {
     /// corrupting a simulation half-way through.
     pub fn validate(&self) -> Result<(), ClusterError> {
         let bad = |what: String| Err(ClusterError::InvalidConfig { what });
+        if self.timing == TimingModel::Contended && self.nodes == 0 {
+            return bad(
+                "contended timing needs at least one node (the link topology is per-node)".into(),
+            );
+        }
         if self.nodes == 0 {
             return bad("nodes must be >= 1".into());
+        }
+        if self.event_queue_capacity == 0 {
+            return bad("event_queue_capacity must be >= 1".into());
         }
         if self.cores_per_node == 0 {
             return bad("cores_per_node must be >= 1".into());
@@ -209,11 +243,13 @@ impl ClusterConfig {
             ("cluster.dfs_replication".into(), self.dfs_replication.to_string()),
             ("cluster.disk_bytes_per_sec".into(), format!("{}", self.disk_bytes_per_sec)),
             ("cluster.driver_memory".into(), self.driver_memory.to_string()),
+            ("cluster.event_queue_capacity".into(), self.event_queue_capacity.to_string()),
             ("cluster.memory_per_node".into(), self.memory_per_node.to_string()),
             ("cluster.network_bytes_per_sec".into(), format!("{}", self.network_bytes_per_sec)),
             ("cluster.nodes".into(), self.nodes.to_string()),
             ("cluster.task_failure_rate".into(), format!("{}", self.task_failure_rate)),
             ("cluster.task_retry_delay_secs".into(), format!("{}", self.task_retry_delay_secs)),
+            ("cluster.timing".into(), self.timing.label().to_string()),
             ("cluster.wire_codec".into(), self.wire_codec.label().to_string()),
         ]
     }
@@ -319,5 +355,62 @@ mod tests {
         assert!(
             rejected(ClusterConfig::paper_cluster().with_cores_per_node(0)).contains("cores")
         );
+    }
+
+    #[test]
+    fn validate_rejects_zero_network_bandwidth() {
+        let mut c = ClusterConfig::paper_cluster();
+        c.network_bytes_per_sec = 0.0;
+        assert!(rejected(c).contains("network_bytes_per_sec"));
+    }
+
+    #[test]
+    fn validate_rejects_negative_network_bandwidth() {
+        let mut c = ClusterConfig::paper_cluster();
+        c.network_bytes_per_sec = -1.0;
+        assert!(rejected(c).contains("network_bytes_per_sec"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_disk_bandwidth() {
+        let mut c = ClusterConfig::paper_cluster();
+        c.disk_bytes_per_sec = 0.0;
+        assert!(rejected(c).contains("disk_bytes_per_sec"));
+    }
+
+    #[test]
+    fn validate_rejects_negative_disk_bandwidth() {
+        let mut c = ClusterConfig::paper_cluster();
+        c.disk_bytes_per_sec = -5.0;
+        assert!(rejected(c).contains("disk_bytes_per_sec"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_event_queue_capacity() {
+        let c = ClusterConfig::paper_cluster().with_event_queue_capacity(0);
+        assert!(rejected(c).contains("event_queue_capacity"));
+    }
+
+    #[test]
+    fn validate_rejects_contended_with_zero_nodes() {
+        let c = ClusterConfig::paper_cluster().with_timing(TimingModel::Contended).with_nodes(0);
+        let what = rejected(c);
+        assert!(what.contains("contended"), "got: {what}");
+    }
+
+    #[test]
+    fn timing_defaults_to_uncontended_and_fingerprints() {
+        let c = ClusterConfig::scaled_cluster();
+        assert_eq!(c.timing, TimingModel::Uncontended);
+        assert_eq!(c.event_queue_capacity, 4096);
+        let c = c.with_timing(TimingModel::Contended).with_event_queue_capacity(128);
+        assert!(c.validate().is_ok());
+        let fp = c.fingerprint();
+        assert!(fp.contains(&("cluster.timing".into(), "contended".into())));
+        assert!(fp.contains(&("cluster.event_queue_capacity".into(), "128".into())));
+        let keys: Vec<&String> = fp.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "fingerprint keys must stay sorted");
     }
 }

@@ -27,13 +27,19 @@
 
 pub mod cluster;
 pub mod config;
+pub mod events;
 pub mod faults;
 pub mod hdfs;
 pub mod metrics;
+pub mod netsim;
 pub mod scheduler;
+pub mod timing;
 
-pub use cluster::{ClusterError, DriverAlloc, SimCluster, StageOptions};
+pub use cluster::{ClusterError, DriverAlloc, LinkStat, SimCluster, StageOptions};
 pub use config::ClusterConfig;
+pub use events::EventQueue;
 pub use faults::{FaultEvent, FaultPlan, FaultSpec, RecoveryEvent};
 pub use hdfs::Dfs;
 pub use metrics::{MetricsSnapshot, StageRecord};
+pub use netsim::{CancelSpec, FlowOutcome, FlowSpec, Topology};
+pub use timing::TimingModel;

@@ -58,6 +58,61 @@ pub fn waves(tasks: usize, cores: usize) -> usize {
     tasks.div_ceil(cores)
 }
 
+/// Event-driven per-host slot schedule — the contended timing model's
+/// replacement for global LPT. Task `i` is pinned to node `i % nodes`
+/// (the same locality rule caches, crashes, and DFS placement already
+/// use) and each node runs its tasks FIFO on `cores_per_node` slots; a
+/// task completion event frees its slot for the node's next queued task.
+/// Unlike LPT, a node cannot steal another node's backlog, so per-node
+/// skew stretches the stage — the slot-scheduler behaviour LPT averages
+/// away.
+///
+/// Returns `(makespan_secs, critical_task, events_processed)`. The
+/// critical task is the one whose completion releases the stage barrier
+/// (the last completion popped at the makespan instant — deterministic
+/// through the queue's seq tiebreak).
+pub fn host_schedule(
+    durations: &[f64],
+    nodes: usize,
+    cores_per_node: usize,
+    queue_capacity: usize,
+) -> (f64, Option<usize>, u64) {
+    use crate::events::{ns_to_secs, secs_to_ns, EventQueue};
+    use std::collections::VecDeque;
+    assert!(nodes > 0 && cores_per_node > 0, "host_schedule: need a non-empty cluster");
+    if durations.is_empty() {
+        return (0.0, None, 0);
+    }
+    let mut backlog: Vec<VecDeque<usize>> = vec![VecDeque::new(); nodes];
+    for i in 0..durations.len() {
+        backlog[i % nodes].push_back(i);
+    }
+    let mut queue: EventQueue<(usize, usize)> = EventQueue::with_capacity(queue_capacity);
+    for (node, q) in backlog.iter_mut().enumerate() {
+        for _ in 0..cores_per_node {
+            match q.pop_front() {
+                Some(task) => {
+                    queue.push(secs_to_ns(durations[task]), (task, node));
+                }
+                None => break,
+            }
+        }
+    }
+    let mut last_ns = 0;
+    let mut critical = None;
+    while let Some(ev) = queue.pop() {
+        let (task, node) = ev.payload;
+        if ev.time_ns >= last_ns {
+            last_ns = ev.time_ns;
+            critical = Some(task);
+        }
+        if let Some(next) = backlog[node].pop_front() {
+            queue.push(ev.time_ns + secs_to_ns(durations[next]), (next, node));
+        }
+    }
+    (ns_to_secs(last_ns), critical, queue.processed())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +192,42 @@ mod tests {
         assert_eq!(waves(8, 4), 2);
         assert_eq!(waves(0, 4), 0);
         assert_eq!(waves(1, 64), 1);
+    }
+
+    #[test]
+    fn host_schedule_matches_simple_shapes() {
+        // 1 node × 1 core: serial sum.
+        let (span, crit, _) = host_schedule(&[1.0, 2.0, 3.0], 1, 1, 16);
+        assert!((span - 6.0).abs() < 1e-6);
+        assert_eq!(crit, Some(2));
+        // Enough slots everywhere: max.
+        let (span, crit, _) = host_schedule(&[1.0, 2.0, 3.0], 1, 8, 16);
+        assert!((span - 3.0).abs() < 1e-6);
+        assert_eq!(crit, Some(2));
+        assert_eq!(host_schedule(&[], 4, 4, 16), (0.0, None, 0));
+    }
+
+    #[test]
+    fn host_schedule_cannot_steal_across_nodes() {
+        // 2 nodes × 1 core; node 0 owns tasks 0 and 2 (3 s + 3 s), node 1
+        // owns task 1 (1 s). LPT on 2 global cores balances to 4 s; the
+        // per-host schedule cannot move task 2 to the idle node: 6 s.
+        let d = [3.0, 1.0, 3.0];
+        assert!((makespan(&d, 2) - 4.0).abs() < 1e-12);
+        let (span, crit, _) = host_schedule(&d, 2, 1, 16);
+        assert!((span - 6.0).abs() < 1e-6, "got {span}");
+        assert_eq!(crit, Some(2));
+    }
+
+    #[test]
+    fn host_schedule_is_deterministic_under_ties() {
+        let d = vec![2.0; 12];
+        let a = host_schedule(&d, 4, 2, 32);
+        let b = host_schedule(&d, 4, 2, 32);
+        assert_eq!(a, b);
+        // 12 equal tasks over 4 nodes × 2 slots: 3 per node on 2 slots →
+        // two waves → 4 s.
+        assert!((a.0 - 4.0).abs() < 1e-6, "got {}", a.0);
+        assert!(a.2 >= 12, "every completion is an event");
     }
 }

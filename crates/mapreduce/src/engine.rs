@@ -125,21 +125,29 @@ impl<'a> MapReduceEngine<'a> {
 
         let mut stats = JobStats::default();
         let mut all_pairs: Vec<(J::Key, J::Value)> = Vec::new();
+        // Per-mapper byte counts feed the contended timing model as one
+        // flow per mapper endpoint (mapper m spills to node m % nodes's
+        // disk and ships through its link); totals meter as before.
+        let mut spill_sizes = Vec::with_capacity(map_outputs.len());
+        let mut shuffle_sizes = Vec::with_capacity(map_outputs.len());
         for (pairs, bytes, records) in map_outputs {
             stats.map_emit_bytes += bytes;
             stats.map_emit_records += records;
-            stats.shuffle_bytes += pairs
+            let mapper_shuffle = pairs
                 .iter()
                 .map(|(k, v)| {
                     codec.shuffle_size_of(sizing, k) + codec.shuffle_size_of(sizing, v)
                 })
                 .sum::<u64>();
+            stats.shuffle_bytes += mapper_shuffle;
+            spill_sizes.push(bytes);
+            shuffle_sizes.push(mapper_shuffle);
             all_pairs.extend(pairs);
         }
         // Mapper spill to local disk at pre-combine size; shuffle over the
         // network at post-combine size.
-        self.cluster.charge_dfs_write_labeled(stats.map_emit_bytes, "map-spill");
-        self.cluster.charge_network_labeled(stats.shuffle_bytes, "shuffle");
+        self.cluster.charge_dfs_write_flows(&spill_sizes, "map-spill");
+        self.cluster.charge_network_flows(&shuffle_sizes, "shuffle");
 
         // ---- Sort & group (Hadoop's merge sort).
         let mut grouped: BTreeMap<J::Key, Vec<J::Value>> = BTreeMap::new();

@@ -400,8 +400,12 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
         FI: Fn() -> A,
         FM: Fn(&mut A, A),
     {
-        let bytes: u64 = partials.iter().map(|p| self.cluster.shuffle_size(p)).sum();
-        self.cluster.charge_network_labeled(bytes, "accumulator-merge");
+        // Per-partition sizes feed the contended timing model as one flow
+        // per partition endpoint (partition p lives on node p % nodes);
+        // the byte meter still charges their sum.
+        let sizes: Vec<u64> = partials.iter().map(|p| self.cluster.shuffle_size(p)).collect();
+        let bytes: u64 = sizes.iter().sum();
+        self.cluster.charge_network_flows(&sizes, "accumulator-merge");
         if obs::enabled() {
             self.cluster.registry().counter("sparkle.accumulator_bytes").add(bytes);
         }
@@ -415,11 +419,14 @@ impl<'a, T: Send + Sync> Rdd<'a, T> {
     {
         self.charge_spill();
         let mut out = Vec::with_capacity(self.count());
+        // One flow per partition endpoint for the contended timing model;
+        // the byte meter charges the per-partition sum as before.
+        let mut sizes = Vec::new();
         for p in self.snapshot() {
+            sizes.push(p.iter().map(|t| self.cluster.wire_size(t)).sum());
             out.extend(p.iter().cloned());
         }
-        let bytes: u64 = out.iter().map(|t| self.cluster.wire_size(t)).sum();
-        self.cluster.charge_network_labeled(bytes, "collect");
+        self.cluster.charge_network_flows(&sizes, "collect");
         out
     }
 

@@ -50,9 +50,20 @@ cargo run --release --offline -p spca-bench --bin bench_faults -- \
 # run and asserts the v3 2x bar on sparse shuffle records internally.
 cargo run --release --offline -p spca-bench --bin bench_wire -- \
     --smoke --out "$TRACE_DIR/BENCH_wire.json"
+# bench_scale asserts the event-engine throughput floor (1M events/sec),
+# the ≤100% per-link utilization invariant at 1000 virtual nodes, and
+# timing-model bit-identity of the fitted models.
+cargo run --release --offline -p spca-bench --bin bench_scale -- \
+    --smoke --out "$TRACE_DIR/BENCH_scale.json"
 cargo run --release --offline -p spca-bench --bin trace_report -- \
     --trace "$TRACE_DIR/trace_report.json" --ledger "$TRACE_DIR/RUN_trace_report.json" \
     > "$TRACE_DIR/trace_report.txt"
+# The same report under the contended (event-driven) timing model: prints
+# the per-link contention tables and asserts concurrent shuffles actually
+# contend. Deliberately NOT ledgered — the committed RUN_trace_report.json
+# baseline is an uncontended-model artifact.
+cargo run --release --offline -p spca-bench --bin trace_report -- \
+    --timing contended > "$TRACE_DIR/trace_report_contended.txt"
 # End-to-end ledger through the CLI: generate a small matrix, fit it with
 # --ledger, and gate that artifact like any other.
 cargo run --release --offline --bin spca-cli -- \
@@ -73,7 +84,8 @@ cargo run --release --offline -p spca-bench --bin trace_check -- \
     "$TRACE_DIR/trace_report.json" \
     --plain "$TRACE_DIR/BENCH_em.json" "$TRACE_DIR/BENCH_em_f32.json" \
     "$TRACE_DIR/BENCH_em_bf16.json" "$TRACE_DIR/BENCH_faults.json" \
-    "$TRACE_DIR/BENCH_wire.json" "$TRACE_DIR/RUN_faults.json" \
+    "$TRACE_DIR/BENCH_wire.json" "$TRACE_DIR/BENCH_scale.json" \
+    "$TRACE_DIR/RUN_faults.json" \
     "$TRACE_DIR/RUN_trace_report.json" "$TRACE_DIR/RUN_cli.json"
 # Performance regression gate: diff the fresh ledgers and benchmark JSON
 # against the committed baselines. Bit-exact on byte meters, model hashes

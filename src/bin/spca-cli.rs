@@ -39,7 +39,7 @@ usage:
   spca-cli fit -i DATA -o MODEL [-d N] [--engine spark|mapreduce]
            [--iters N] [--seed N] [--nodes N] [--partitions N]
            [--precision f64|f32|bf16] [--codec v2|v3|v3q]
-           [--ledger FILE]
+           [--timing uncontended|contended] [--ledger FILE]
   spca-cli transform -i DATA -m MODEL -o OUT
   spca-cli likelihood -i DATA -m MODEL";
 
@@ -167,6 +167,12 @@ fn fit(args: &Args<'_>) -> Result<(), String> {
             .ok_or_else(|| format!("--codec: unknown codec {codec:?} (use v2|v3|v3q)"))?;
         cluster_cfg = cluster_cfg.with_wire_codec(codec);
     }
+    if let Some(timing) = args.flag("timing") {
+        let timing = dcluster::TimingModel::parse(timing).ok_or_else(|| {
+            format!("--timing: unknown model {timing:?} (use uncontended|contended)")
+        })?;
+        cluster_cfg = cluster_cfg.with_timing(timing);
+    }
     let cluster = SimCluster::new(cluster_cfg);
     let mut config = SpcaConfig::new(d).with_max_iters(iters).with_seed(seed);
     if let Some(parts) = args.flag("partitions") {
@@ -216,6 +222,15 @@ fn fit(args: &Args<'_>) -> Result<(), String> {
         );
     }
     println!("simulated time    : {:.1} s", run.virtual_time_secs);
+    if let Some(engine) = cluster.engine_stats() {
+        let peak = cluster.link_stats().iter().map(|l| l.peak_util).fold(0.0_f64, f64::max);
+        println!(
+            "contended engine  : {} events, {} rate re-solves, peak link util {:.1}%",
+            engine.events,
+            engine.resolves,
+            100.0 * peak
+        );
+    }
     println!("intermediate data : {} bytes", run.intermediate_bytes);
     println!("model written to  : {out}");
     Ok(())
