@@ -12,10 +12,14 @@
 //!                                    # the per-link contention tables
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use dcluster::{ClusterConfig, FaultPlan, FaultSpec, SimCluster, TimingModel};
+use dcluster::{
+    ClusterConfig, FaultPlan, FaultSpec, SchedulerPolicy, SimCluster, TimingModel,
+};
 use linalg::{Precision, WireCodec};
 use spca_bench::{data, fmt_bytes, fmt_secs, fresh_cluster, Table};
+use spca_core::serving::{run_serving, FitJob, ServeLoad, ServeSpec, TenantWorkload};
 use spca_core::{Spca, SpcaConfig, SpcaError, SpcaRun};
 
 fn stage_table(label: &str, cluster: &SimCluster) {
@@ -83,9 +87,16 @@ fn main() {
     let trace = spca_bench::cli::trace_args(
         "trace_report",
         "Trace one small sPCA run on both engines and print the span-tree report",
-        &[("--timing MODEL", "I/O timing model: uncontended (default) | contended")],
+        &[
+            ("--timing MODEL", "I/O timing model: uncontended (default) | contended"),
+            ("--tenant NAME", "Only show NAME's row in the serving table"),
+        ],
     );
     let argv: Vec<String> = std::env::args().collect();
+    let tenant_filter = argv
+        .iter()
+        .position(|a| a == "--tenant")
+        .and_then(|i| argv.get(i + 1).cloned());
     let timing = match argv.iter().position(|a| a == "--timing") {
         Some(i) => {
             let value = argv.get(i + 1).map(String::as_str).unwrap_or("");
@@ -254,6 +265,118 @@ fn main() {
         fmt_bytes(faulty_reg.counter("faults.checkpoint_bytes").get()),
         fmt_secs(saved.mean() * saved.count() as f64),
     );
+
+    // A fourth workload — multi-tenant: a heavy tenant flooding the fit
+    // queue under the fair-share scheduler while two tenants serve
+    // projection requests against their fitted models. Runs after the
+    // resumed fit so the ledger's long-standing run indices (spark, mr,
+    // f32, resumed) stay put; the serving fits append behind them.
+    println!("\n-- serving: fit queue + projection requests (fair-share) --");
+    let serve_cluster = SimCluster::new(
+        ClusterConfig::scaled_cluster()
+            .with_timing(timing)
+            .with_scheduler(SchedulerPolicy::FairShare)
+            .with_fair_share_weights(vec![1.0, 1.0, 1.0]),
+    );
+    let total_cores = serve_cluster.config().total_cores();
+    let y_small = Arc::new(data::tweets(600, 200, 3));
+    let small_config =
+        SpcaConfig::new(4).with_max_iters(2).with_seed(11).with_rel_tolerance(None);
+    let mut serve_spec = ServeSpec::new(0x7e);
+    let mut heavy = TenantWorkload { name: "heavy".into(), ..Default::default() };
+    for i in 0..3 {
+        heavy.fit_jobs.push(FitJob {
+            id: format!("heavy-{i}"),
+            submit_secs: 0.01 * i as f64,
+            cores: total_cores,
+            y: Arc::clone(&y_small),
+            config: small_config.clone(),
+        });
+    }
+    serve_spec.tenants.push(heavy);
+    serve_spec.tenants.push(TenantWorkload {
+        name: "alpha".into(),
+        fit_jobs: vec![FitJob {
+            id: "alpha-fit".into(),
+            submit_secs: 0.5,
+            cores: (total_cores / 8).max(1),
+            y: Arc::clone(&y_small),
+            config: small_config,
+        }],
+        serve: Some(ServeLoad {
+            pool: Arc::clone(&y_small),
+            batches: 40,
+            batch_rows: 5,
+            rate_per_sec: 40.0,
+            start_secs: 0.0,
+        }),
+        model: None,
+    });
+    serve_spec.tenants.push(TenantWorkload {
+        name: "gamma".into(),
+        fit_jobs: vec![],
+        serve: Some(ServeLoad {
+            pool: Arc::new(y.clone()),
+            batches: 30,
+            batch_rows: 4,
+            rate_per_sec: 30.0,
+            start_secs: 0.0,
+        }),
+        // Serves from the clean Spark run's model, ready at t=0.
+        model: Some(spark_run.model.clone()),
+    });
+    let serving = run_serving(&serve_cluster, &serve_spec).expect("serving run");
+    let mut serve_table = Table::new(&[
+        "Tenant",
+        "Jobs",
+        "Rejected",
+        "Wait (s)",
+        "Run (s)",
+        "Requests",
+        "QPS",
+        "Cache hit",
+        "p50 (s)",
+        "p99 (s)",
+    ]);
+    let mut filter_matched = false;
+    for t in &serving.tenants {
+        if let Some(only) = &tenant_filter {
+            if &t.name != only {
+                continue;
+            }
+        }
+        filter_matched = true;
+        serve_table.row(&[
+            t.name.clone(),
+            format!("{} (-{})", t.jobs_completed, t.jobs_rejected),
+            t.batches_rejected.to_string(),
+            format!("{:.3}", t.wait_secs_total),
+            format!("{:.3}", t.run_secs_total),
+            t.requests.to_string(),
+            format!("{:.1}", t.qps),
+            format!("{:.1}%", 100.0 * t.cache_hit_rate()),
+            format!("{:.4}", t.latency_p50_secs),
+            format!("{:.4}", t.latency_p99_secs),
+        ]);
+    }
+    serve_table.print();
+    if let Some(only) = &tenant_filter {
+        assert!(filter_matched, "--tenant {only:?} matches no tenant in the serving mix");
+    }
+    println!(
+        "serving: {} requests in {} batches ({} rejected), {} model pushes, \
+         p50 {} / p99 {} virtual latency, makespan {}, trace {:#018x}",
+        serving.requests_total,
+        serving.batches_total,
+        serving.rejected_total,
+        serving.broadcasts,
+        fmt_secs(serving.latency_p50_secs),
+        fmt_secs(serving.latency_p99_secs),
+        fmt_secs(serving.makespan_secs),
+        serving.trace_hash,
+    );
+    assert!(serving.latency_p99_secs >= serving.latency_p50_secs);
+    assert_eq!(serving.batches_total + serving.rejected_total, 70);
 
     // Critical-path profile: reconstruct the per-iteration causality chain
     // from the segment events and attribute every window's makespan to

@@ -76,6 +76,13 @@ pub fn classify(path: &str) -> Rule {
     {
         return Rule::Ignore;
     }
+    // Serving latency histograms are virtual-time quantities, not host
+    // noise: their shape statistics get the relative band (a deliberate
+    // cost-model change moves them) and their counts stay exact — one
+    // lost or duplicated request is a determinism bug, not noise.
+    if path.contains("serve") && path.contains("virtual") && path.contains("histograms") {
+        return if matches!(last, "mean" | "p50" | "p99") { Rule::Band } else { Rule::Exact };
+    }
     // Histogram shape statistics (count stays exact).
     if path.contains("histograms") && matches!(last, "mean" | "p50" | "p99") {
         return Rule::Ignore;
@@ -384,5 +391,15 @@ mod tests {
         assert_eq!(classify("rowwise_secs"), Rule::Ignore);
         assert_eq!(classify("registry.histograms.stage.compute_secs.p99"), Rule::Ignore);
         assert_eq!(classify("registry.histograms.stage.compute_secs.count"), Rule::Exact);
+        // Serving latency histograms are virtual time: banded shape
+        // statistics, exact request counts.
+        let serve = "runs.4.registry.histograms.serve.batch_latency_virtual_secs";
+        assert_eq!(classify(&format!("{serve}.p50")), Rule::Band);
+        assert_eq!(classify(&format!("{serve}.p99")), Rule::Band);
+        assert_eq!(classify(&format!("{serve}.mean")), Rule::Band);
+        assert_eq!(classify(&format!("{serve}.count")), Rule::Exact);
+        assert_eq!(classify("runs.4.registry.counters.serve.rejected"), Rule::Exact);
+        assert_eq!(classify("serving.latency_p99_virtual_secs"), Rule::Band);
+        assert_eq!(classify("serving.trace_hash"), Rule::Exact);
     }
 }

@@ -27,6 +27,17 @@ use crate::error::SpcaError;
 /// cluster, like a Hadoop job's staging directory).
 pub const CHECKPOINT_FILE: &str = "_checkpoints/em-state";
 
+/// The checkpoint's DFS name for a fit, scoped to its job id when one is
+/// set. A job-less fit keeps the legacy shared [`CHECKPOINT_FILE`] name;
+/// multi-tenant fits get `jobs/<job>/_checkpoints/em-state`, so tenant
+/// A's `SPCACKPT` blob can never collide with tenant B's.
+pub fn file_name(job: Option<&str>) -> String {
+    match job {
+        Some(job) => dcluster::hdfs::job_scoped(job, CHECKPOINT_FILE),
+        None => CHECKPOINT_FILE.to_string(),
+    }
+}
+
 const MAGIC: &[u8; 8] = b"SPCACKPT";
 const VERSION: u32 = 2;
 /// Oldest version [`EmCheckpoint::decode`] still reads.

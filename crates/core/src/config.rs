@@ -58,6 +58,12 @@ pub struct SpcaConfig {
     /// meter) for kernel speed, and each arm is itself bitwise
     /// reproducible across worker counts and engines.
     pub precision: Precision,
+    /// Job id scoping this fit's DFS namespace (input files, checkpoint
+    /// blobs). `None` keeps the legacy shared names; multi-tenant runs
+    /// must set distinct ids so concurrent checkpoints never collide
+    /// (see `dcluster::hdfs::job_scoped`). Never changes the fitted
+    /// model — only where its transient state lives.
+    pub job_id: Option<String>,
 }
 
 impl SpcaConfig {
@@ -77,7 +83,14 @@ impl SpcaConfig {
             checkpoint_every: None,
             crash_at_iteration: None,
             precision: Precision::F64,
+            job_id: None,
         }
+    }
+
+    /// Scopes this fit's DFS namespace (checkpoints, inputs) to a job id.
+    pub fn with_job_id(mut self, job: impl Into<String>) -> Self {
+        self.job_id = Some(job.into());
+        self
     }
 
     /// Selects the EM arithmetic arm (`f64`, `f32`, or `bf16`).
@@ -154,6 +167,10 @@ impl SpcaConfig {
             ("spca.checkpoint_every".into(), opt_usize(self.checkpoint_every)),
             ("spca.components".into(), self.components.to_string()),
             ("spca.error_sample_rows".into(), self.error_sample_rows.to_string()),
+            (
+                "spca.job_id".into(),
+                self.job_id.clone().unwrap_or_else(|| "none".to_string()),
+            ),
             ("spca.max_iters".into(), self.max_iters.to_string()),
             ("spca.partitions".into(), opt_usize(self.partitions)),
             ("spca.precision".into(), self.precision.label().to_string()),
@@ -205,6 +222,21 @@ mod tests {
         assert_eq!(c.precision, Precision::F64);
         let c = c.with_precision(Precision::F32);
         assert_eq!(c.precision, Precision::F32);
+        assert_eq!(c.job_id, None);
+        let c = c.with_job_id("tenantA-fit0");
+        assert_eq!(c.job_id.as_deref(), Some("tenantA-fit0"));
+    }
+
+    #[test]
+    fn fingerprint_carries_job_id() {
+        let fp = SpcaConfig::new(2).fingerprint();
+        assert!(fp.contains(&("spca.job_id".into(), "none".into())));
+        let fp = SpcaConfig::new(2).with_job_id("j7").fingerprint();
+        assert!(fp.contains(&("spca.job_id".into(), "j7".into())));
+        let keys: Vec<&String> = fp.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "fingerprint keys must stay sorted");
     }
 
     #[test]

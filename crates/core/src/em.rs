@@ -14,7 +14,7 @@ use linalg::decomp::lu::Lu;
 use linalg::{Mat, SparseMat};
 
 use crate::accuracy;
-use crate::checkpoint::{EmCheckpoint, CHECKPOINT_FILE};
+use crate::checkpoint::{self, EmCheckpoint};
 use crate::config::SpcaConfig;
 use crate::error::SpcaError;
 use crate::mean_prop::{ss3_finalize, YtxPartial};
@@ -124,10 +124,11 @@ pub fn run_em(
     // missing/lost/corrupt/mismatched blob is a fresh start — recovery
     // code must tolerate anything a crash can leave behind.
     let mut start_iter = 1;
+    let checkpoint_file = checkpoint::file_name(config.job_id.as_deref());
     if config.checkpoint_every.is_some() {
         let restored = cluster
             .dfs()
-            .get_blob(cluster, CHECKPOINT_FILE)
+            .get_blob(cluster, &checkpoint_file)
             .ok()
             .and_then(|blob| EmCheckpoint::decode(&blob).ok())
             .filter(|ck| (ck.c.rows(), ck.c.cols()) == (d_in, d));
@@ -253,7 +254,7 @@ pub fn run_em(
                 let blob =
                     EmCheckpoint { iteration: iter, c: c.clone(), ss, prev_error: error }.encode();
                 let bytes = blob.len() as u64;
-                cluster.dfs().put_blob(cluster, CHECKPOINT_FILE, blob);
+                cluster.dfs().put_blob(cluster, checkpoint_file.clone(), blob);
                 cluster.note_checkpoint_written(iter as u64, bytes);
             }
         }
@@ -281,7 +282,7 @@ pub fn run_em(
     // keeps a later, unrelated fit on this cluster from resuming into the
     // wrong run.
     if config.checkpoint_every.is_some() {
-        let _ = cluster.dfs().delete(CHECKPOINT_FILE);
+        let _ = cluster.dfs().delete(&checkpoint_file);
     }
 
     if obs::enabled() {

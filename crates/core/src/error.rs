@@ -34,6 +34,13 @@ pub enum SpcaError {
         /// What the decoder objected to.
         reason: String,
     },
+    /// A serving workload was mis-specified (a tenant serving without a
+    /// fitted model, an empty request stream, a zero batch…). Rejected
+    /// at validation, before any virtual time is charged.
+    InvalidServing {
+        /// Human-readable description of the offending spec.
+        what: String,
+    },
 }
 
 impl fmt::Display for SpcaError {
@@ -51,6 +58,9 @@ impl fmt::Display for SpcaError {
             }
             SpcaError::CorruptCheckpoint { reason } => {
                 write!(f, "checkpoint is corrupt: {reason}")
+            }
+            SpcaError::InvalidServing { what } => {
+                write!(f, "invalid serving spec: {what}")
             }
         }
     }
@@ -93,5 +103,8 @@ mod tests {
         let e: SpcaError =
             ClusterError::DriverOom { requested: 1, in_use: 0, limit: 0 }.into();
         assert!(e.to_string().contains("driver"));
+
+        let e = SpcaError::InvalidServing { what: "tenant 0 has no model".into() };
+        assert!(e.to_string().contains("tenant 0"));
     }
 }

@@ -49,7 +49,12 @@ pub fn smart_guess_init(
         crash_at_iteration: None,
         ..config.clone()
     };
-    let run = crate::spark::fit_with_input(cluster, &sample, &warm_config, "input/Y.sample")?;
+    let run = crate::spark::fit_with_input(
+        cluster,
+        &sample,
+        &warm_config,
+        &crate::scoped_input(&warm_config, "input/Y.sample"),
+    )?;
     Ok((run.model.components().clone(), run.model.noise_variance()))
 }
 

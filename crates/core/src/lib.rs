@@ -41,6 +41,7 @@ pub mod mixture;
 pub mod model;
 pub mod mr;
 pub mod ppca;
+pub mod serving;
 pub mod spark;
 
 pub use config::SpcaConfig;
@@ -52,6 +53,16 @@ use linalg::SparseMat;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SpcaError>;
+
+/// DFS name for a fit's materialized input: the legacy shared `name`
+/// when the config carries no job id, `jobs/<id>/<name>` otherwise
+/// (mirrors [`checkpoint::file_name`] for checkpoints).
+pub(crate) fn scoped_input(config: &SpcaConfig, name: &str) -> String {
+    match config.job_id.as_deref() {
+        Some(job) => dcluster::hdfs::job_scoped(job, name),
+        None => name.to_string(),
+    }
+}
 
 /// The sPCA algorithm, configured and ready to fit.
 ///

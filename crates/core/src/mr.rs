@@ -265,9 +265,14 @@ impl EmJobs for MrJobs<'_> {
     }
 }
 
-/// Fits sPCA on the MapReduce engine.
+/// Fits sPCA on the MapReduce engine. With a `job_id` set the input
+/// file and stage labels are scoped to `jobs/<id>/` like the Spark
+/// engine's, so concurrent tenants on one cluster never collide.
 pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<SpcaRun> {
-    fit_with_input(cluster, y, config, "input/Y")
+    let input = crate::scoped_input(config, "input/Y");
+    let run = fit_with_input(cluster, y, config, &input);
+    cluster.set_job_scope(None);
+    run
 }
 
 /// [`fit`] with an explicit DFS name for the materialized input (the
@@ -281,6 +286,7 @@ fn fit_with_input(
     if obs::enabled() {
         cluster.set_trace_label("sPCA-MR");
     }
+    cluster.set_job_scope(config.job_id.as_deref());
     let partitions = config
         .partitions
         .unwrap_or_else(|| cluster.config().total_cores())
@@ -320,7 +326,8 @@ fn fit_with_input(
                 crash_at_iteration: None,
                 ..config.clone()
             };
-            let run = fit_with_input(cluster, &sample, &warm, "input/Y.sample")?;
+            let run =
+                fit_with_input(cluster, &sample, &warm, &crate::scoped_input(&warm, "input/Y.sample"))?;
             (run.model.components().clone(), run.model.noise_variance())
         }
         None => init::random_init(y.cols(), config.components, config.seed),

@@ -301,9 +301,15 @@ pub fn transform(
     Ok(Mat::from_rows(&refs))
 }
 
-/// Fits sPCA on the Spark-like engine.
+/// Fits sPCA on the Spark-like engine. With a `job_id` set the input
+/// file and stage labels are scoped to `jobs/<id>/` so concurrent
+/// tenants on one cluster never collide (checkpoints scope through
+/// `checkpoint::file_name` inside `run_em`).
 pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<SpcaRun> {
-    fit_with_input(cluster, y, config, "input/Y")
+    let input = crate::scoped_input(config, "input/Y");
+    let run = fit_with_input(cluster, y, config, &input);
+    cluster.set_job_scope(None);
+    run
 }
 
 /// [`fit`] with an explicit DFS name for the materialized input — the
@@ -318,6 +324,7 @@ pub(crate) fn fit_with_input(
     if obs::enabled() {
         cluster.set_trace_label("sPCA-Spark");
     }
+    cluster.set_job_scope(config.job_id.as_deref());
     let ctx = SparkleContext::new(cluster);
     let partitions = config
         .partitions

@@ -60,6 +60,13 @@ pub enum ClusterError {
         /// Human-readable description of the offending knob.
         what: String,
     },
+    /// A job id was registered twice — two tenants (or one tenant's
+    /// double submission) would share a DFS namespace and silently
+    /// overwrite each other's checkpoints.
+    DuplicateJob {
+        /// The contested job id.
+        job: String,
+    },
 }
 
 /// Ignore lock poisoning on plain-data mutexes.
@@ -79,6 +86,9 @@ impl fmt::Display for ClusterError {
                 write!(f, "dfs: all replicas of {name:?} were lost to node crashes")
             }
             ClusterError::InvalidConfig { what } => write!(f, "invalid cluster config: {what}"),
+            ClusterError::DuplicateJob { job } => {
+                write!(f, "job id {job:?} is already registered on this cluster's DFS")
+            }
         }
     }
 }
@@ -151,6 +161,10 @@ pub struct SimCluster {
     /// Fault plan, recovery log, and cache registry. Never held across
     /// the metrics or DFS locks.
     faults: Mutex<FaultDomain>,
+    /// Job id currently submitting stages (multi-tenant runs): stage
+    /// labels are prefixed `<job>/` so per-job work stays attributable
+    /// in the stage metrics. `None` (the default) leaves labels as-is.
+    job_scope: Mutex<Option<String>>,
     /// Discrete-event engine state: the (immutable) link topology plus
     /// lock-guarded accumulated per-link contention statistics. `None`
     /// under the default [`TimingModel::Uncontended`], so the legacy
@@ -283,8 +297,21 @@ impl SimCluster {
             segment_seq: AtomicU64::new(1),
             last_segment: AtomicU64::new(0),
             faults: Mutex::new(FaultDomain::default()),
+            job_scope: Mutex::new(None),
             contention,
         }
+    }
+
+    /// Scopes subsequently submitted stages to a job: their labels are
+    /// recorded as `<job>/<label>`. Pass `None` to clear. The scope
+    /// moves only labels — never schedules, bytes, or fitted models.
+    pub fn set_job_scope(&self, job: Option<&str>) {
+        *lock_plain(&self.job_scope) = job.map(String::from);
+    }
+
+    /// The job id stages are currently scoped to, if any.
+    pub fn job_scope(&self) -> Option<String> {
+        lock_plain(&self.job_scope).clone()
     }
 
     /// The cluster's distributed filesystem.
@@ -840,7 +867,11 @@ impl SimCluster {
         let emit_sched = opts.task_overhead_secs > 0.0 || self.cfg.task_failure_rate > 0.0;
         let emit_recovery = has_fault_plan;
 
-        let record = StageRecord { label: opts.label, tasks: n, compute_secs, cpu_secs };
+        let label = match self.job_scope() {
+            Some(job) => format!("{job}/{}", opts.label),
+            None => opts.label,
+        };
+        let record = StageRecord { label, tasks: n, compute_secs, cpu_secs };
         let utilization = record.utilization(self.cfg.total_cores());
         let (begin_us, end_us, cpu_win, sched_win, rec_win);
         {

@@ -3,6 +3,7 @@
 use linalg::wire::{Sizing, WireCodec};
 
 use crate::cluster::ClusterError;
+use crate::jobs::SchedulerPolicy;
 use crate::timing::TimingModel;
 
 /// Hardware and platform parameters of the simulated cluster.
@@ -63,6 +64,22 @@ pub struct ClusterConfig {
     /// Initial capacity of the discrete-event queue's binary heap (the
     /// heap still grows past it; this only pre-sizes the allocation).
     pub event_queue_capacity: usize,
+    /// Job-level scheduling policy for multi-tenant fit queues (see
+    /// [`crate::jobs`]). Moves only when jobs run — each job's fitted
+    /// model is bitwise identical under every policy.
+    pub scheduler: SchedulerPolicy,
+    /// Per-tenant fair-share weights, indexed by tenant id. Only read
+    /// under [`SchedulerPolicy::FairShare`], but validated always so a
+    /// policy switch cannot surface a latent bad config.
+    pub fair_share_weights: Vec<f64>,
+    /// Bound on the scheduler's pending-job queue *and* each serving
+    /// node's request queue: arrivals that find the queue full are
+    /// deterministically rejected and counted.
+    pub admission_queue_capacity: usize,
+    /// Per-node budget for cached fitted models on the serving path, in
+    /// bytes. A model is broadcast to a node on first use and evicted
+    /// LRU-by-bytes when the budget overflows.
+    pub model_cache_bytes: u64,
 }
 
 impl ClusterConfig {
@@ -82,6 +99,10 @@ impl ClusterConfig {
             wire_codec: WireCodec::V2,
             timing: TimingModel::Uncontended,
             event_queue_capacity: 4096,
+            scheduler: SchedulerPolicy::Fifo,
+            fair_share_weights: vec![1.0],
+            admission_queue_capacity: 32,
+            model_cache_bytes: 64 << 20,
         }
     }
 
@@ -112,7 +133,35 @@ impl ClusterConfig {
             wire_codec: WireCodec::V2,
             timing: TimingModel::Uncontended,
             event_queue_capacity: 4096,
+            scheduler: SchedulerPolicy::Fifo,
+            fair_share_weights: vec![1.0],
+            admission_queue_capacity: 32,
+            model_cache_bytes: 64 << 20,
         }
+    }
+
+    /// Builder-style override of the job-level scheduling policy.
+    pub fn with_scheduler(mut self, policy: SchedulerPolicy) -> Self {
+        self.scheduler = policy;
+        self
+    }
+
+    /// Builder-style override of the per-tenant fair-share weights.
+    pub fn with_fair_share_weights(mut self, weights: Vec<f64>) -> Self {
+        self.fair_share_weights = weights;
+        self
+    }
+
+    /// Builder-style override of the admission queue bound.
+    pub fn with_admission_queue_capacity(mut self, capacity: usize) -> Self {
+        self.admission_queue_capacity = capacity;
+        self
+    }
+
+    /// Builder-style override of the per-node model-cache budget.
+    pub fn with_model_cache_bytes(mut self, bytes: u64) -> Self {
+        self.model_cache_bytes = bytes;
+        self
     }
 
     /// Builder-style override of the I/O timing model.
@@ -230,6 +279,30 @@ impl ClusterConfig {
         if !self.disk_bytes_per_sec.is_finite() || self.disk_bytes_per_sec <= 0.0 {
             return bad(format!("disk_bytes_per_sec must be > 0, got {}", self.disk_bytes_per_sec));
         }
+        if self.fair_share_weights.is_empty() {
+            return bad(
+                "fair_share_weights must name at least one tenant (an empty weight table \
+                 would give every tenant zero entitlement)"
+                    .into(),
+            );
+        }
+        for (tenant, &w) in self.fair_share_weights.iter().enumerate() {
+            if !w.is_finite() || w <= 0.0 {
+                return bad(format!(
+                    "fair_share_weights[{tenant}] must be a finite weight > 0, got {w}"
+                ));
+            }
+        }
+        if self.admission_queue_capacity == 0 {
+            return bad(
+                "admission_queue_capacity must be >= 1 (0 would reject every arrival)".into(),
+            );
+        }
+        if self.model_cache_bytes == 0 {
+            return bad(
+                "model_cache_bytes must be >= 1 (a zero cache could never hold a model)".into(),
+            );
+        }
         Ok(())
     }
 
@@ -237,16 +310,25 @@ impl ClusterConfig {
     /// knob that can move a run's byte meters or virtual clock. Keys are
     /// sorted by construction; values use the same labels as the CLI.
     pub fn fingerprint(&self) -> Vec<(String, String)> {
+        let weights: Vec<String> =
+            self.fair_share_weights.iter().map(|w| format!("{w}")).collect();
         vec![
+            (
+                "cluster.admission_queue_capacity".into(),
+                self.admission_queue_capacity.to_string(),
+            ),
             ("cluster.byte_sizing".into(), format!("{:?}", self.byte_sizing).to_lowercase()),
             ("cluster.cores_per_node".into(), self.cores_per_node.to_string()),
             ("cluster.dfs_replication".into(), self.dfs_replication.to_string()),
             ("cluster.disk_bytes_per_sec".into(), format!("{}", self.disk_bytes_per_sec)),
             ("cluster.driver_memory".into(), self.driver_memory.to_string()),
             ("cluster.event_queue_capacity".into(), self.event_queue_capacity.to_string()),
+            ("cluster.fair_share_weights".into(), weights.join(",")),
             ("cluster.memory_per_node".into(), self.memory_per_node.to_string()),
+            ("cluster.model_cache_bytes".into(), self.model_cache_bytes.to_string()),
             ("cluster.network_bytes_per_sec".into(), format!("{}", self.network_bytes_per_sec)),
             ("cluster.nodes".into(), self.nodes.to_string()),
+            ("cluster.scheduler".into(), self.scheduler.label().to_string()),
             ("cluster.task_failure_rate".into(), format!("{}", self.task_failure_rate)),
             ("cluster.task_retry_delay_secs".into(), format!("{}", self.task_retry_delay_secs)),
             ("cluster.timing".into(), self.timing.label().to_string()),
@@ -396,6 +478,54 @@ mod tests {
         let c = ClusterConfig::paper_cluster().with_timing(TimingModel::Contended).with_nodes(0);
         let what = rejected(c);
         assert!(what.contains("contended"), "got: {what}");
+    }
+
+    #[test]
+    fn validate_rejects_empty_fair_share_weights() {
+        let c = ClusterConfig::paper_cluster().with_fair_share_weights(vec![]);
+        assert!(rejected(c).contains("fair_share_weights"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_tenant_weight() {
+        let c = ClusterConfig::paper_cluster().with_fair_share_weights(vec![1.0, 0.0]);
+        assert!(rejected(c).contains("fair_share_weights[1]"));
+    }
+
+    #[test]
+    fn validate_rejects_nan_tenant_weight() {
+        let c = ClusterConfig::paper_cluster().with_fair_share_weights(vec![f64::NAN]);
+        assert!(rejected(c).contains("fair_share_weights[0]"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_admission_queue_capacity() {
+        let c = ClusterConfig::paper_cluster().with_admission_queue_capacity(0);
+        assert!(rejected(c).contains("admission_queue_capacity"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_model_cache() {
+        let c = ClusterConfig::paper_cluster().with_model_cache_bytes(0);
+        assert!(rejected(c).contains("model_cache_bytes"));
+    }
+
+    #[test]
+    fn scheduler_defaults_to_fifo_and_fingerprints() {
+        let c = ClusterConfig::scaled_cluster();
+        assert_eq!(c.scheduler, SchedulerPolicy::Fifo);
+        assert_eq!(c.admission_queue_capacity, 32);
+        let c = c
+            .with_scheduler(SchedulerPolicy::FairShare)
+            .with_fair_share_weights(vec![1.0, 4.0])
+            .with_admission_queue_capacity(7)
+            .with_model_cache_bytes(1 << 20);
+        assert!(c.validate().is_ok());
+        let fp = c.fingerprint();
+        assert!(fp.contains(&("cluster.scheduler".into(), "fair-share".into())));
+        assert!(fp.contains(&("cluster.fair_share_weights".into(), "1,4".into())));
+        assert!(fp.contains(&("cluster.admission_queue_capacity".into(), "7".into())));
+        assert!(fp.contains(&("cluster.model_cache_bytes".into(), "1048576".into())));
     }
 
     #[test]

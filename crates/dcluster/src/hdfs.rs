@@ -19,7 +19,7 @@
 //! *last* replica lived on the crashed node is lost — subsequent reads
 //! return [`ClusterError::BlockLost`] instead of data.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::cluster::{ClusterError, SimCluster};
@@ -39,6 +39,15 @@ struct DfsFile {
 pub struct Dfs {
     // BTreeMap so crash-recovery iterates files in a deterministic order.
     files: Mutex<BTreeMap<String, DfsFile>>,
+    // Job ids that currently own a namespace (see [`Dfs::register_job`]).
+    jobs: Mutex<BTreeSet<String>>,
+}
+
+/// Prefixes `name` with a job-scoped namespace: `jobs/<job>/<name>`.
+/// Two tenants writing the same logical file (say, an EM checkpoint)
+/// land on distinct DFS paths iff their fits carry distinct job ids.
+pub fn job_scoped(job: &str, name: &str) -> String {
+    format!("jobs/{job}/{name}")
 }
 
 /// The replica set for `name`: `factor` distinct nodes starting from a
@@ -164,6 +173,46 @@ impl Dfs {
     /// Removes a file, returning its size if it existed.
     pub fn delete(&self, name: &str) -> Option<u64> {
         self.files().remove(name).map(|f| f.bytes)
+    }
+
+    /// Claims the `jobs/<job>/` namespace for a running job. A second
+    /// registration of the same id — tenant A and tenant B picking the
+    /// same job name, or one tenant double-submitting — is rejected with
+    /// [`ClusterError::DuplicateJob`] *before* either job writes a byte,
+    /// so checkpoints can never silently overwrite each other.
+    pub fn register_job(&self, job: &str) -> Result<(), ClusterError> {
+        let mut jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        if !jobs.insert(job.to_string()) {
+            return Err(ClusterError::DuplicateJob { job: job.to_string() });
+        }
+        Ok(())
+    }
+
+    /// Releases a job id claimed by [`Dfs::register_job`] and deletes
+    /// every file under its `jobs/<job>/` namespace, returning the bytes
+    /// reclaimed. Releasing an unregistered id is a no-op.
+    pub fn release_job(&self, job: &str) -> u64 {
+        let mut jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        if !jobs.remove(job) {
+            return 0;
+        }
+        drop(jobs);
+        let prefix = format!("jobs/{job}/");
+        let mut files = self.files();
+        let doomed: Vec<String> =
+            files.keys().filter(|k| k.starts_with(&prefix)).cloned().collect();
+        let mut reclaimed = 0u64;
+        for name in doomed {
+            if let Some(f) = files.remove(&name) {
+                reclaimed += f.bytes;
+            }
+        }
+        reclaimed
+    }
+
+    /// Job ids currently registered, in sorted order.
+    pub fn registered_jobs(&self) -> Vec<String> {
+        self.jobs.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect()
     }
 
     /// Drops every replica stored on `node`. Files still holding another
@@ -339,6 +388,51 @@ mod tests {
             Err(ClusterError::BlockLost { name: "fragile".into() })
         );
         assert_eq!(dfs1.stat("fragile"), None);
+    }
+
+    #[test]
+    fn job_scoped_names_never_collide_across_jobs() {
+        let c = SimCluster::new(ClusterConfig::paper_cluster());
+        let dfs = Dfs::new();
+        let a = job_scoped("tenantA-fit0", "_checkpoints/em-state");
+        let b = job_scoped("tenantB-fit0", "_checkpoints/em-state");
+        assert_ne!(a, b, "same logical file, different jobs, different paths");
+        dfs.put_blob(&c, &a, vec![0xAA]);
+        dfs.put_blob(&c, &b, vec![0xBB]);
+        assert_eq!(*dfs.get_blob(&c, &a).unwrap(), vec![0xAA]);
+        assert_eq!(*dfs.get_blob(&c, &b).unwrap(), vec![0xBB]);
+    }
+
+    #[test]
+    fn duplicate_job_ids_are_rejected() {
+        let dfs = Dfs::new();
+        assert!(dfs.register_job("tenantA-fit0").is_ok());
+        assert_eq!(
+            dfs.register_job("tenantA-fit0"),
+            Err(ClusterError::DuplicateJob { job: "tenantA-fit0".into() })
+        );
+        // A different id is fine, and releasing frees the name for reuse.
+        assert!(dfs.register_job("tenantA-fit1").is_ok());
+        dfs.release_job("tenantA-fit0");
+        assert!(dfs.register_job("tenantA-fit0").is_ok());
+        assert_eq!(dfs.registered_jobs(), ["tenantA-fit0", "tenantA-fit1"]);
+    }
+
+    #[test]
+    fn release_job_reclaims_its_namespace_only() {
+        let c = SimCluster::new(ClusterConfig::paper_cluster());
+        let dfs = Dfs::new();
+        dfs.register_job("j1").unwrap();
+        dfs.register_job("j2").unwrap();
+        dfs.put(&c, job_scoped("j1", "ckpt"), 100);
+        dfs.put(&c, job_scoped("j1", "out"), 50);
+        dfs.put(&c, job_scoped("j2", "ckpt"), 70);
+        dfs.put(&c, "shared/input", 999);
+        assert_eq!(dfs.release_job("j1"), 150);
+        assert_eq!(dfs.stat(&job_scoped("j1", "ckpt")), None);
+        assert_eq!(dfs.stat(&job_scoped("j2", "ckpt")), Some(70));
+        assert_eq!(dfs.stat("shared/input"), Some(999));
+        assert_eq!(dfs.release_job("never-registered"), 0);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod config;
 pub mod events;
 pub mod faults;
 pub mod hdfs;
+pub mod jobs;
 pub mod metrics;
 pub mod netsim;
 pub mod scheduler;
@@ -40,6 +41,7 @@ pub use config::ClusterConfig;
 pub use events::EventQueue;
 pub use faults::{FaultEvent, FaultPlan, FaultSpec, RecoveryEvent};
 pub use hdfs::Dfs;
+pub use jobs::{schedule_jobs, JobRecord, JobSpec, ScheduleOutcome, SchedulerPolicy};
 pub use metrics::{MetricsSnapshot, StageRecord};
 pub use netsim::{CancelSpec, FlowOutcome, FlowSpec, Topology};
 pub use timing::TimingModel;

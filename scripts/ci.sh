@@ -55,6 +55,11 @@ cargo run --release --offline -p spca-bench --bin bench_wire -- \
 # timing-model bit-identity of the fitted models.
 cargo run --release --offline -p spca-bench --bin bench_scale -- \
     --smoke --out "$TRACE_DIR/BENCH_scale.json"
+# bench_serving replays the skewed multi-tenant fit+serve mix under all
+# three scheduler policies and asserts fair-share beats FIFO on the light
+# tenants' p99 wait; its virtual latencies and trace hashes gate below.
+cargo run --release --offline -p spca-bench --bin bench_serving -- \
+    --smoke --out "$TRACE_DIR/BENCH_serving.json"
 cargo run --release --offline -p spca-bench --bin trace_report -- \
     --trace "$TRACE_DIR/trace_report.json" --ledger "$TRACE_DIR/RUN_trace_report.json" \
     > "$TRACE_DIR/trace_report.txt"
@@ -85,7 +90,7 @@ cargo run --release --offline -p spca-bench --bin trace_check -- \
     --plain "$TRACE_DIR/BENCH_em.json" "$TRACE_DIR/BENCH_em_f32.json" \
     "$TRACE_DIR/BENCH_em_bf16.json" "$TRACE_DIR/BENCH_faults.json" \
     "$TRACE_DIR/BENCH_wire.json" "$TRACE_DIR/BENCH_scale.json" \
-    "$TRACE_DIR/RUN_faults.json" \
+    "$TRACE_DIR/BENCH_serving.json" "$TRACE_DIR/RUN_faults.json" \
     "$TRACE_DIR/RUN_trace_report.json" "$TRACE_DIR/RUN_cli.json"
 # Performance regression gate: diff the fresh ledgers and benchmark JSON
 # against the committed baselines. Bit-exact on byte meters, model hashes

@@ -41,7 +41,11 @@ usage:
            [--precision f64|f32|bf16] [--codec v2|v3|v3q]
            [--timing uncontended|contended] [--ledger FILE]
   spca-cli transform -i DATA -m MODEL -o OUT
-  spca-cli likelihood -i DATA -m MODEL";
+  spca-cli likelihood -i DATA -m MODEL
+  spca-cli serve -i DATA -m MODEL [--tenants N] [--batches N]
+           [--batch-rows N] [--rate R] [--policy fifo|fair|backfill]
+           [--fit-jobs N] [--nodes N] [--seed N] [--queue-cap N]
+           [--cache-bytes N]";
 
 /// Minimal flag parser: positional arguments plus `--flag value` pairs.
 struct Args<'a> {
@@ -95,6 +99,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         "fit" => fit(&args),
         "transform" => transform(&args),
         "likelihood" => likelihood_cmd(&args),
+        "serve" => serve(&args),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -243,6 +248,107 @@ fn transform(args: &Args<'_>) -> Result<(), String> {
     let x = model.transform_sparse(&y).map_err(|e| e.to_string())?;
     mio::save_dense(out, &x).map_err(|e| format!("{out}: {e}"))?;
     println!("wrote {out}: {} x {} latent coordinates", x.rows(), x.cols());
+    Ok(())
+}
+
+/// Replays a multi-tenant serving mix on the simulated cluster: N
+/// tenants answer batched transform requests against MODEL (drawn from
+/// DATA's rows), optionally interleaved with background fit jobs, under
+/// the selected job scheduler. All reported latencies are virtual
+/// (modeled) time and bitwise reproducible for a given seed.
+fn serve(args: &Args<'_>) -> Result<(), String> {
+    use spca_core::serving::{run_serving, FitJob, ServeLoad, ServeSpec, TenantWorkload};
+
+    let y = std::sync::Arc::new(load_data(args)?);
+    let model = load_model(args)?;
+    if y.cols() != model.input_dim() {
+        return Err(format!(
+            "data has {} columns but the model expects {}",
+            y.cols(),
+            model.input_dim()
+        ));
+    }
+    let tenants: usize = args.numeric("tenants", 2)?;
+    let batches: usize = args.numeric("batches", 100)?;
+    let batch_rows: usize = args.numeric("batch-rows", 8)?;
+    let rate: f64 = args.numeric("rate", 50.0)?;
+    let fit_jobs: usize = args.numeric("fit-jobs", 0)?;
+    let nodes: usize = args.numeric("nodes", 8)?;
+    let seed: u64 = args.numeric("seed", 0x5eaf)?;
+    let policy = args.flag("policy").unwrap_or("fair");
+    let policy = dcluster::SchedulerPolicy::parse(policy)
+        .ok_or_else(|| format!("--policy: unknown policy {policy:?} (use fifo|fair|backfill)"))?;
+
+    let mut cluster_cfg = ClusterConfig::paper_cluster()
+        .with_nodes(nodes)
+        .with_scheduler(policy)
+        .with_fair_share_weights(vec![1.0; tenants + 1]);
+    if let Some(cap) = args.flag("queue-cap") {
+        cluster_cfg = cluster_cfg
+            .with_admission_queue_capacity(cap.parse().map_err(|e| format!("--queue-cap: {e}"))?);
+    }
+    if let Some(bytes) = args.flag("cache-bytes") {
+        cluster_cfg = cluster_cfg
+            .with_model_cache_bytes(bytes.parse().map_err(|e| format!("--cache-bytes: {e}"))?);
+    }
+    let cluster = SimCluster::new(cluster_cfg);
+    let total_cores = cluster.config().total_cores();
+
+    let mut spec = ServeSpec::new(seed);
+    let mut background = TenantWorkload { name: "background".into(), ..Default::default() };
+    for i in 0..fit_jobs {
+        background.fit_jobs.push(FitJob {
+            id: format!("background-{i}"),
+            submit_secs: 0.01 * i as f64,
+            cores: total_cores,
+            y: std::sync::Arc::clone(&y),
+            config: SpcaConfig::new(model.output_dim()).with_max_iters(3).with_seed(seed),
+        });
+    }
+    spec.tenants.push(background);
+    for t in 0..tenants {
+        spec.tenants.push(TenantWorkload {
+            name: format!("tenant-{t}"),
+            fit_jobs: vec![],
+            serve: Some(ServeLoad {
+                pool: std::sync::Arc::clone(&y),
+                batches,
+                batch_rows,
+                rate_per_sec: rate,
+                start_secs: 0.0,
+            }),
+            model: Some(model.clone()),
+        });
+    }
+
+    let out = run_serving(&cluster, &spec).map_err(|e| e.to_string())?;
+    println!("scheduler {policy}: {} fit jobs dispatched, {} rejected", out.schedule.records.len(), out.schedule.rejected.len());
+    println!(
+        "served {} requests in {} batches ({} rejected) across {nodes} nodes",
+        out.requests_total, out.batches_total, out.rejected_total
+    );
+    for t in &out.tenants {
+        if t.requests == 0 && t.jobs_completed == 0 {
+            continue;
+        }
+        println!(
+            "  {:<12} jobs {} (wait {:.2}s, run {:.2}s)  requests {:>8}  qps {:>8.1}  \
+             cache hit {:>5.1}%  p50 {:.4}s  p99 {:.4}s",
+            t.name,
+            t.jobs_completed,
+            t.wait_secs_total,
+            t.run_secs_total,
+            t.requests,
+            t.qps,
+            100.0 * t.cache_hit_rate(),
+            t.latency_p50_secs,
+            t.latency_p99_secs,
+        );
+    }
+    println!("model pushes      : {} ({} re-broadcasts)", out.broadcasts, out.rebroadcasts);
+    println!("virtual p50 / p99 : {:.4} s / {:.4} s", out.latency_p50_secs, out.latency_p99_secs);
+    println!("virtual makespan  : {:.1} s", out.makespan_secs);
+    println!("trace hash        : {:#018x}", out.trace_hash);
     Ok(())
 }
 

@@ -108,6 +108,59 @@ fn fit_is_reproducible_across_invocations() {
 }
 
 #[test]
+fn serve_replays_a_deterministic_multi_tenant_mix() {
+    let dir = workdir("serve");
+    let data = dir.join("data.sm");
+    let model = dir.join("model.txt");
+
+    assert!(cli()
+        .args(["generate", "lowrank", "300", "80", "--seed", "4", "-o"])
+        .arg(&data)
+        .status()
+        .unwrap()
+        .success());
+    assert!(cli()
+        .args(["fit", "-d", "3", "--iters", "2", "-i"])
+        .arg(&data)
+        .arg("-o")
+        .arg(&model)
+        .status()
+        .unwrap()
+        .success());
+
+    let run = || {
+        let out = cli()
+            .args([
+                "serve", "--tenants", "2", "--batches", "30", "--batch-rows", "4",
+                "--fit-jobs", "1", "--policy", "fifo", "-i",
+            ])
+            .arg(&data)
+            .arg("-m")
+            .arg(&model)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let text = run();
+    assert!(text.contains("served 240 requests in 60 batches"), "got:\n{text}");
+    assert!(text.contains("trace hash"));
+    assert_eq!(text, run(), "a seeded serve replay must be byte-identical");
+
+    // An unknown policy is a usage error, not a panic.
+    let out = cli()
+        .args(["serve", "--policy", "lifo", "-i"])
+        .arg(&data)
+        .arg("-m")
+        .arg(&model)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn helpful_errors_on_bad_usage() {
     let out = cli().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());
