@@ -38,6 +38,21 @@ pub fn file_name(job: Option<&str>) -> String {
     }
 }
 
+/// DFS name of the randomized-arm pass checkpoint. Deliberately distinct
+/// from the EM name: the blob layout is shared (`EmCheckpoint` carries the
+/// D×K basis `W` in its `c` slot), but an EM resume must never pick up a
+/// randomized basis or vice versa — the separate name makes the two arms'
+/// crash-recovery state mutually invisible.
+pub const RPCA_CHECKPOINT_FILE: &str = "_checkpoints/rpca-state";
+
+/// Job-scoped variant of [`RPCA_CHECKPOINT_FILE`], mirroring [`file_name`].
+pub fn rpca_file_name(job: Option<&str>) -> String {
+    match job {
+        Some(job) => dcluster::hdfs::job_scoped(job, RPCA_CHECKPOINT_FILE),
+        None => RPCA_CHECKPOINT_FILE.to_string(),
+    }
+}
+
 const MAGIC: &[u8; 8] = b"SPCACKPT";
 const VERSION: u32 = 2;
 /// Oldest version [`EmCheckpoint::decode`] still reads.

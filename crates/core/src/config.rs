@@ -1,6 +1,44 @@
 //! Configuration of a PCA fit.
 
+use crate::error::SpcaError;
 use linalg::Precision;
+
+/// Which algorithm family a fit runs. Both produce a [`crate::PcaModel`],
+/// share the input pipeline, byte meters, fault plans and checkpoint
+/// machinery, and are each bitwise deterministic across worker counts,
+/// engines and timing models — but their communication patterns differ
+/// fundamentally (DESIGN.md §15): EM runs many thin iterations, randomized
+/// subspace iteration runs few fat passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// The paper's probabilistic-PCA EM (default).
+    #[default]
+    PpcaEm,
+    /// Randomized subspace iteration (Halko et al., arXiv:1007.5510):
+    /// seeded Gaussian range sketch, q power passes with per-pass
+    /// orthonormalization, final small SVD of the covariance sketch.
+    Randomized,
+}
+
+impl Algorithm {
+    /// Stable label used in fingerprints, trace names and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::PpcaEm => "ppca-em",
+            Algorithm::Randomized => "randomized",
+        }
+    }
+
+    /// Parses a CLI/user spelling. Accepts the fingerprint labels plus the
+    /// common shorthands (`em`, `rpca`).
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        match s {
+            "em" | "ppca" | "ppca-em" => Some(Algorithm::PpcaEm),
+            "randomized" | "rpca" | "rand" => Some(Algorithm::Randomized),
+            _ => None,
+        }
+    }
+}
 
 /// Smart-guess initialization (the paper's sPCA-SG, Section 5.2): run the
 /// algorithm on a small random row sample first and seed the full run with
@@ -64,6 +102,21 @@ pub struct SpcaConfig {
     /// (see `dcluster::hdfs::job_scoped`). Never changes the fitted
     /// model — only where its transient state lives.
     pub job_id: Option<String>,
+    /// Algorithm family: the paper's PPCA-EM (default) or randomized
+    /// subspace iteration. See [`Algorithm`].
+    pub algorithm: Algorithm,
+    /// Randomized arm only: oversampling columns `p` added to the sketch
+    /// width (`K = d + p`). Halko et al. recommend 5–10; zero oversampling
+    /// makes the sketch exactly square and is rejected by [`Self::validate`].
+    pub rpca_oversample: usize,
+    /// Randomized arm only: number of power-iteration passes `q` after the
+    /// initial range sketch (total distributed passes = `q + 1`).
+    pub rpca_power_iters: usize,
+    /// Randomized arm only: caller's declaration that the input spectrum
+    /// decays slowly (noisy). Purely a validation hint: with it set,
+    /// `rpca_power_iters == 0` is rejected, because a plain one-pass sketch
+    /// on a flat spectrum gives a subspace dominated by noise.
+    pub rpca_noisy_spectrum: bool,
 }
 
 impl SpcaConfig {
@@ -84,7 +137,70 @@ impl SpcaConfig {
             crash_at_iteration: None,
             precision: Precision::F64,
             job_id: None,
+            algorithm: Algorithm::PpcaEm,
+            rpca_oversample: 10,
+            rpca_power_iters: 2,
+            rpca_noisy_spectrum: false,
         }
+    }
+
+    /// Selects the algorithm family (PPCA-EM or randomized).
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the randomized sketch oversampling `p` (sketch width `d + p`).
+    pub fn with_rpca_oversample(mut self, p: usize) -> Self {
+        self.rpca_oversample = p;
+        self
+    }
+
+    /// Sets the number of randomized power-iteration passes `q`.
+    pub fn with_rpca_power_iters(mut self, q: usize) -> Self {
+        self.rpca_power_iters = q;
+        self
+    }
+
+    /// Declares the input spectrum noisy (flat tail). Validation then
+    /// insists on at least one power pass.
+    pub fn with_rpca_noisy_spectrum(mut self, noisy: bool) -> Self {
+        self.rpca_noisy_spectrum = noisy;
+        self
+    }
+
+    /// Rejects nonsensical knob combinations before any cluster work runs.
+    /// `n_cols` is the input width `D` (the sketch `d + p` must fit in it).
+    /// The EM arm currently has no rejectable combinations; the randomized
+    /// arm has three, each pinned by a test in `crates/core/tests/rpca.rs`.
+    pub fn validate(&self, n_cols: usize) -> Result<(), SpcaError> {
+        if self.algorithm != Algorithm::Randomized {
+            return Ok(());
+        }
+        if self.rpca_oversample == 0 {
+            return Err(SpcaError::InvalidConfig {
+                what: "randomized sketch needs oversampling >= 1 (rpca_oversample = 0 \
+                       leaves no slack columns to capture the tail)"
+                    .into(),
+            });
+        }
+        if self.rpca_power_iters == 0 && self.rpca_noisy_spectrum {
+            return Err(SpcaError::InvalidConfig {
+                what: "spectrum flagged noisy but rpca_power_iters = 0: a one-pass \
+                       sketch on a flat spectrum recovers noise, not signal"
+                    .into(),
+            });
+        }
+        let width = self.components + self.rpca_oversample;
+        if width > n_cols {
+            return Err(SpcaError::InvalidConfig {
+                what: format!(
+                    "sketch width d + p = {width} exceeds the input's {n_cols} columns; \
+                     lower components or rpca_oversample"
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Scopes this fit's DFS namespace (checkpoints, inputs) to a job id.
@@ -164,6 +280,7 @@ impl SpcaConfig {
         let opt_usize = |v: Option<usize>| v.map_or("none".to_string(), |x| x.to_string());
         let opt_f64 = |v: Option<f64>| v.map_or("none".to_string(), |x| format!("{x}"));
         vec![
+            ("spca.algorithm".into(), self.algorithm.label().to_string()),
             ("spca.checkpoint_every".into(), opt_usize(self.checkpoint_every)),
             ("spca.components".into(), self.components.to_string()),
             ("spca.error_sample_rows".into(), self.error_sample_rows.to_string()),
@@ -175,6 +292,9 @@ impl SpcaConfig {
             ("spca.partitions".into(), opt_usize(self.partitions)),
             ("spca.precision".into(), self.precision.label().to_string()),
             ("spca.rel_tolerance".into(), opt_f64(self.rel_tolerance)),
+            ("spca.rpca_noisy_spectrum".into(), self.rpca_noisy_spectrum.to_string()),
+            ("spca.rpca_oversample".into(), self.rpca_oversample.to_string()),
+            ("spca.rpca_power_iters".into(), self.rpca_power_iters.to_string()),
             ("spca.seed".into(), self.seed.to_string()),
             (
                 "spca.smart_guess".into(),
@@ -237,6 +357,43 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted, "fingerprint keys must stay sorted");
+    }
+
+    #[test]
+    fn algorithm_labels_round_trip_through_parse() {
+        for alg in [Algorithm::PpcaEm, Algorithm::Randomized] {
+            assert_eq!(Algorithm::parse(alg.label()), Some(alg));
+        }
+        assert_eq!(Algorithm::parse("em"), Some(Algorithm::PpcaEm));
+        assert_eq!(Algorithm::parse("rpca"), Some(Algorithm::Randomized));
+        assert_eq!(Algorithm::parse("qr"), None);
+    }
+
+    #[test]
+    fn fingerprint_carries_algorithm_and_rpca_knobs() {
+        let fp = SpcaConfig::new(2).fingerprint();
+        assert!(fp.contains(&("spca.algorithm".into(), "ppca-em".into())));
+        let fp = SpcaConfig::new(2)
+            .with_algorithm(Algorithm::Randomized)
+            .with_rpca_oversample(4)
+            .with_rpca_power_iters(3)
+            .with_rpca_noisy_spectrum(true)
+            .fingerprint();
+        assert!(fp.contains(&("spca.algorithm".into(), "randomized".into())));
+        assert!(fp.contains(&("spca.rpca_oversample".into(), "4".into())));
+        assert!(fp.contains(&("spca.rpca_power_iters".into(), "3".into())));
+        assert!(fp.contains(&("spca.rpca_noisy_spectrum".into(), "true".into())));
+        let keys: Vec<&String> = fp.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "fingerprint keys must stay sorted");
+    }
+
+    #[test]
+    fn validate_ignores_rpca_knobs_on_the_em_arm() {
+        // EM with absurd rpca knobs still validates: the knobs are inert.
+        let c = SpcaConfig::new(50).with_rpca_oversample(0);
+        assert!(c.validate(10).is_ok());
     }
 
     #[test]

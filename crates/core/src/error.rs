@@ -41,6 +41,14 @@ pub enum SpcaError {
         /// Human-readable description of the offending spec.
         what: String,
     },
+    /// A fit configuration was mis-specified (nonsensical randomized
+    /// knobs: zero oversampling, no power passes on a declared-noisy
+    /// spectrum, sketch wider than the input). Rejected by
+    /// `SpcaConfig::validate` before any cluster work is charged.
+    InvalidConfig {
+        /// Human-readable description of the offending knob combination.
+        what: String,
+    },
 }
 
 impl fmt::Display for SpcaError {
@@ -61,6 +69,9 @@ impl fmt::Display for SpcaError {
             }
             SpcaError::InvalidServing { what } => {
                 write!(f, "invalid serving spec: {what}")
+            }
+            SpcaError::InvalidConfig { what } => {
+                write!(f, "invalid fit config: {what}")
             }
         }
     }
@@ -106,5 +117,9 @@ mod tests {
 
         let e = SpcaError::InvalidServing { what: "tenant 0 has no model".into() };
         assert!(e.to_string().contains("tenant 0"));
+
+        let e = SpcaError::InvalidConfig { what: "rpca_oversample = 0".into() };
+        assert!(e.to_string().contains("invalid fit config"));
+        assert!(e.to_string().contains("rpca_oversample"));
     }
 }

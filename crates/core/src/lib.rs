@@ -41,10 +41,11 @@ pub mod mixture;
 pub mod model;
 pub mod mr;
 pub mod ppca;
+pub mod rpca;
 pub mod serving;
 pub mod spark;
 
-pub use config::SpcaConfig;
+pub use config::{Algorithm, SpcaConfig};
 pub use error::SpcaError;
 pub use model::{IterationStat, PcaModel, SpcaRun};
 
@@ -99,16 +100,19 @@ impl Spca {
         &self.config
     }
 
-    /// Fits on the Spark-like engine (Algorithm 4 + Algorithm 5):
-    /// accumulator-based `YtX`/`XtX` job, cached input RDD, millisecond
-    /// task overheads.
+    /// Fits on the Spark-like engine. For the default [`Algorithm::PpcaEm`]
+    /// this is Algorithm 4 + Algorithm 5 (accumulator-based `YtX`/`XtX`
+    /// job, cached input RDD, millisecond task overheads); with
+    /// [`Algorithm::Randomized`] it runs the fat-pass subspace iteration
+    /// of [`rpca`] over the same persisted RDD.
     pub fn fit_spark(&self, cluster: &SimCluster, y: &SparseMat) -> Result<SpcaRun> {
         spark::fit(cluster, y, &self.config)
     }
 
     /// Fits on the MapReduce engine (Section 4.1): stateful-combiner
     /// mappers, composite shuffle keys, per-job Hadoop overheads,
-    /// intermediate data through the simulated DFS.
+    /// intermediate data through the simulated DFS. Dispatches on
+    /// [`SpcaConfig::algorithm`] like [`Self::fit_spark`].
     pub fn fit_mapreduce(&self, cluster: &SimCluster, y: &SparseMat) -> Result<SpcaRun> {
         mr::fit(cluster, y, &self.config)
     }

@@ -269,6 +269,11 @@ impl EmJobs for MrJobs<'_> {
 /// file and stage labels are scoped to `jobs/<id>/` like the Spark
 /// engine's, so concurrent tenants on one cluster never collide.
 pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<SpcaRun> {
+    // Algorithm dispatch mirrors `spark::fit`: the randomized arm rides
+    // the same entry point, so job scoping and callers stay unchanged.
+    if config.algorithm == crate::config::Algorithm::Randomized {
+        return crate::rpca::fit_mapreduce(cluster, y, config);
+    }
     let input = crate::scoped_input(config, "input/Y");
     let run = fit_with_input(cluster, y, config, &input);
     cluster.set_job_scope(None);

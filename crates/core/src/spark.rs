@@ -306,6 +306,12 @@ pub fn transform(
 /// tenants on one cluster never collide (checkpoints scope through
 /// `checkpoint::file_name` inside `run_em`).
 pub fn fit(cluster: &SimCluster, y: &SparseMat, config: &SpcaConfig) -> Result<SpcaRun> {
+    // Algorithm dispatch happens here (not in `Spca`) so every caller —
+    // the serving subsystem included — gets the randomized arm through
+    // the same entry point.
+    if config.algorithm == crate::config::Algorithm::Randomized {
+        return crate::rpca::fit_spark(cluster, y, config);
+    }
     let input = crate::scoped_input(config, "input/Y");
     let run = fit_with_input(cluster, y, config, &input);
     cluster.set_job_scope(None);

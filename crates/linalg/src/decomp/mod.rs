@@ -14,6 +14,7 @@ pub mod bidiag;
 pub mod bidiag_svd;
 pub mod cholesky;
 pub mod eig;
+pub mod helpers;
 pub mod lanczos;
 pub mod lu;
 pub mod qr;
@@ -25,6 +26,7 @@ pub use bidiag::{bidiagonalize, svd_via_bidiag, Bidiagonal};
 pub use bidiag_svd::golub_reinsch_svd;
 pub use cholesky::Cholesky;
 pub use eig::{jacobi_eigen, sym_eigen, tridiag_eigen, SymEigen};
+pub use helpers::{orthonormal_columns, subspace_overlap, top_singular_triplets};
 pub use lanczos::lanczos_svd;
 pub use lu::Lu;
 pub use qr::{qr_thin, Qr};

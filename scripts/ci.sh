@@ -50,6 +50,11 @@ cargo run --release --offline -p spca-bench --bin bench_faults -- \
 # run and asserts the v3 2x bar on sparse shuffle records internally.
 cargo run --release --offline -p spca-bench --bin bench_wire -- \
     --smoke --out "$TRACE_DIR/BENCH_wire.json"
+# bench_rpca runs the three-way PPCA-EM vs Mahout-SSVD vs randomized
+# time-to-accuracy comparison and asserts the randomized arm's
+# worker-count bit-determinism; its hashes/bytes gate below.
+cargo run --release --offline -p spca-bench --bin bench_rpca -- \
+    --smoke --out "$TRACE_DIR/BENCH_rpca.json"
 # bench_scale asserts the event-engine throughput floor (1M events/sec),
 # the ≤100% per-link utilization invariant at 1000 virtual nodes, and
 # timing-model bit-identity of the fitted models.
@@ -89,7 +94,8 @@ cargo run --release --offline -p spca-bench --bin trace_check -- \
     "$TRACE_DIR/trace_report.json" \
     --plain "$TRACE_DIR/BENCH_em.json" "$TRACE_DIR/BENCH_em_f32.json" \
     "$TRACE_DIR/BENCH_em_bf16.json" "$TRACE_DIR/BENCH_faults.json" \
-    "$TRACE_DIR/BENCH_wire.json" "$TRACE_DIR/BENCH_scale.json" \
+    "$TRACE_DIR/BENCH_wire.json" "$TRACE_DIR/BENCH_rpca.json" \
+    "$TRACE_DIR/BENCH_scale.json" \
     "$TRACE_DIR/BENCH_serving.json" "$TRACE_DIR/RUN_faults.json" \
     "$TRACE_DIR/RUN_trace_report.json" "$TRACE_DIR/RUN_cli.json"
 # Performance regression gate: diff the fresh ledgers and benchmark JSON

@@ -4,6 +4,7 @@
 //! spca-cli generate tweets 20000 4000 --seed 1 -o tweets.sm
 //! spca-cli info -i tweets.sm
 //! spca-cli fit -i tweets.sm -o model.txt -d 10 --engine spark --iters 8
+//! spca-cli fit -i tweets.sm -o model.txt -d 10 --algorithm randomized --power-iters 3
 //! spca-cli transform -i tweets.sm -m model.txt -o latent.dm
 //! spca-cli likelihood -i tweets.sm -m model.txt
 //! ```
@@ -37,7 +38,8 @@ usage:
            [--seed N] -o FILE
   spca-cli info -i FILE
   spca-cli fit -i DATA -o MODEL [-d N] [--engine spark|mapreduce]
-           [--iters N] [--seed N] [--nodes N] [--partitions N]
+           [--algorithm em|randomized] [--iters N] [--seed N] [--nodes N]
+           [--partitions N] [--oversample N] [--power-iters N]
            [--precision f64|f32|bf16] [--codec v2|v3|v3q]
            [--timing uncontended|contended] [--ledger FILE]
   spca-cli transform -i DATA -m MODEL -o OUT
@@ -188,6 +190,19 @@ fn fit(args: &Args<'_>) -> Result<(), String> {
             .ok_or_else(|| format!("--precision: unknown arm {precision:?} (use f64|f32|bf16)"))?;
         config = config.with_precision(precision);
     }
+    if let Some(alg) = args.flag("algorithm") {
+        let alg = spca_core::Algorithm::parse(alg)
+            .ok_or_else(|| format!("--algorithm: unknown algorithm {alg:?} (use em|randomized)"))?;
+        config = config.with_algorithm(alg);
+    }
+    if let Some(p) = args.flag("oversample") {
+        config = config.with_rpca_oversample(p.parse().map_err(|e| format!("--oversample: {e}"))?);
+    }
+    if let Some(q) = args.flag("power-iters") {
+        config =
+            config.with_rpca_power_iters(q.parse().map_err(|e| format!("--power-iters: {e}"))?);
+    }
+    config.validate(y.cols()).map_err(|e| e.to_string())?;
 
     // --ledger FILE: capture a versioned machine-readable run ledger of
     // the fit (config fingerprint, per-iteration telemetry, category
